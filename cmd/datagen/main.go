@@ -1,0 +1,92 @@
+// Command datagen exports the synthetic application datasets to CSV —
+// the stand-ins for the published measurement tables the paper
+// evaluates on (Thiagarajan et al. ICS'18, Marathe et al. SC'17).
+//
+//	datagen -out data/                     # every dataset
+//	datagen -out data/ -app kripke-exec    # one dataset
+//	datagen -list                          # names and sizes only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/apps/hypre"
+	"github.com/hpcautotune/hiperbot/internal/apps/kripke"
+	"github.com/hpcautotune/hiperbot/internal/apps/lulesh"
+	"github.com/hpcautotune/hiperbot/internal/apps/openatom"
+)
+
+func models() map[string]*apps.Model {
+	return map[string]*apps.Model{
+		"kripke-exec":         kripke.Exec(),
+		"kripke-energy":       kripke.Energy(),
+		"kripke-transfer-src": kripke.TransferSource(),
+		"kripke-transfer-tgt": kripke.TransferTarget(),
+		"hypre":               hypre.Selection(),
+		"hypre-transfer-src":  hypre.TransferSource(),
+		"hypre-transfer-tgt":  hypre.TransferTarget(),
+		"lulesh":              lulesh.Flags(),
+		"openatom":            openatom.Decomposition(),
+	}
+}
+
+func main() {
+	var (
+		out  = flag.String("out", "data", "output directory")
+		app  = flag.String("app", "", "export only this dataset")
+		list = flag.Bool("list", false, "list datasets without exporting")
+	)
+	flag.Parse()
+
+	all := models()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	if *list {
+		for _, n := range names {
+			tbl := all[n].Table()
+			_, _, best := tbl.Best()
+			fmt.Printf("%-22s %6d configs  %-20s best %.4g\n", n, tbl.Len(), tbl.Metric, best)
+		}
+		return
+	}
+
+	if *app != "" {
+		if _, ok := all[*app]; !ok {
+			fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *app)
+			os.Exit(1)
+		}
+		names = []string{*app}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	for _, n := range names {
+		path := filepath.Join(*out, n+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		tbl := all[n].Table()
+		if err := tbl.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, tbl.Len())
+	}
+}

@@ -1,0 +1,240 @@
+// Command hiperbot tunes a parameter space against a measurement CSV
+// or one of the built-in application models.
+//
+// Tune a CSV of prior measurements (header: parameter columns then one
+// metric column; discrete levels as labels):
+//
+//	hiperbot -csv results.csv -budget 150
+//
+// Tune a built-in synthetic application model:
+//
+//	hiperbot -app kripke-exec -budget 96
+//	hiperbot -app lulesh -budget 150 -importance
+//
+// The tool prints the best configuration found, the evaluation trace,
+// and (with -importance) the JS-divergence parameter ranking.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/apps/hypre"
+	"github.com/hpcautotune/hiperbot/internal/apps/kripke"
+	"github.com/hpcautotune/hiperbot/internal/apps/lulesh"
+	"github.com/hpcautotune/hiperbot/internal/apps/openatom"
+	"github.com/hpcautotune/hiperbot/internal/core"
+	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/report"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+func builtinModels() map[string]*apps.Model {
+	return map[string]*apps.Model{
+		"kripke-exec":   kripke.Exec(),
+		"kripke-energy": kripke.Energy(),
+		"hypre":         hypre.Selection(),
+		"lulesh":        lulesh.Flags(),
+		"openatom":      openatom.Decomposition(),
+	}
+}
+
+func main() {
+	var (
+		csvPath    = flag.String("csv", "", "CSV file of measurements to tune over")
+		appName    = flag.String("app", "", "built-in app model (kripke-exec, kripke-energy, hypre, lulesh, openatom)")
+		budget     = flag.Int("budget", 150, "total objective evaluations (including initial samples)")
+		initial    = flag.Int("init", 20, "initial random samples")
+		quantile   = flag.Float64("quantile", 0.20, "good/bad split quantile α")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		importance = flag.Bool("importance", false, "print the parameter-importance ranking")
+		trace      = flag.Bool("trace", false, "print every evaluation")
+		checkpoint = flag.String("checkpoint", "", "write the evaluation history to this CSV when done")
+		resumePath = flag.String("resume", "", "resume from a history CSV written by -checkpoint")
+		logPath    = flag.String("log", "", "stream one JSON line per evaluation to this file")
+	)
+	flag.Parse()
+
+	tbl, err := loadTable(*csvPath, *appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiperbot:", err)
+		os.Exit(1)
+	}
+	if *budget > tbl.Len() {
+		fmt.Fprintf(os.Stderr, "hiperbot: budget %d exceeds the %d available configurations\n", *budget, tbl.Len())
+		os.Exit(1)
+	}
+
+	candidates := make([]space.Config, tbl.Len())
+	for i := range candidates {
+		candidates[i] = tbl.Config(i)
+	}
+	var onStep func(int, core.Observation)
+	if *trace {
+		onStep = func(i int, o core.Observation) {
+			fmt.Printf("%4d  %-70s %.6g\n", i+1, tbl.Space.Describe(o.Config), o.Value)
+		}
+	}
+	var recorder *core.Recorder
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiperbot:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		recorder = core.NewRecorder(f, tbl.Space)
+		printStep := onStep
+		onStep = func(i int, o core.Observation) {
+			recorder.OnStep(i, o)
+			if printStep != nil {
+				printStep(i, o)
+			}
+		}
+	}
+	tn, err := core.NewTuner(tbl.Space, tbl.Objective(), core.Options{
+		InitialSamples: *initial,
+		Surrogate:      core.SurrogateConfig{Quantile: *quantile},
+		Seed:           *seed,
+		Candidates:     candidates,
+		OnStep:         onStep,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiperbot:", err)
+		os.Exit(1)
+	}
+	if *resumePath != "" {
+		if err := resumeFrom(tn, tbl, *resumePath); err != nil {
+			fmt.Fprintln(os.Stderr, "hiperbot:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed %d evaluations from %s\n", tn.Evaluations(), *resumePath)
+	}
+	best, err := tn.Run(*budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiperbot:", err)
+		os.Exit(1)
+	}
+	if *checkpoint != "" {
+		if err := writeCheckpoint(tn, *checkpoint); err != nil {
+			fmt.Fprintln(os.Stderr, "hiperbot:", err)
+			os.Exit(1)
+		}
+	}
+	if recorder != nil && recorder.Err() != nil {
+		fmt.Fprintln(os.Stderr, "hiperbot: event log:", recorder.Err())
+		os.Exit(1)
+	}
+
+	report.Section(os.Stdout, "Tuning %s (%d configurations, metric: %s)", tbl.Name, tbl.Len(), tbl.Metric)
+	fmt.Printf("evaluations: %d (%.1f%% of the space)\n", tn.Evaluations(), 100*float64(tn.Evaluations())/float64(tbl.Len()))
+	fmt.Printf("best found:  %.6g\n  %s\n", best.Value, tbl.Space.Describe(best.Config))
+	_, _, exhaustive := tbl.Best()
+	fmt.Printf("exhaustive best: %.6g (gap: %.2f%%)\n", exhaustive, 100*(best.Value-exhaustive)/exhaustive)
+
+	if *importance {
+		s := tn.Surrogate()
+		if s == nil {
+			fmt.Fprintln(os.Stderr, "hiperbot: no surrogate built (budget <= initial samples?)")
+			os.Exit(1)
+		}
+		printImportance(tbl.Space, s)
+	}
+}
+
+func loadTable(csvPath, appName string) (*dataset.Table, error) {
+	switch {
+	case csvPath != "" && appName != "":
+		return nil, fmt.Errorf("pass either -csv or -app, not both")
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		sp, err := inferSpace(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.ReadCSV(csvPath, sp, f)
+	case appName != "":
+		m, ok := builtinModels()[appName]
+		if !ok {
+			names := make([]string, 0, len(builtinModels()))
+			for n := range builtinModels() {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("unknown app %q (available: %s)", appName, strings.Join(names, ", "))
+		}
+		return m.Table(), nil
+	default:
+		return nil, fmt.Errorf("pass -csv FILE or -app NAME (see -h)")
+	}
+}
+
+// inferSpace reads the CSV once to discover parameter columns and
+// their observed levels, treating every column except the last as a
+// discrete parameter.
+func inferSpace(path string) (*space.Space, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.InferSpaceFromCSV(f)
+}
+
+// resumeFrom seeds the tuner with a checkpointed history.
+func resumeFrom(tn *core.Tuner, tbl *dataset.Table, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, err := core.LoadHistoryCSV(tbl.Space, f)
+	if err != nil {
+		return err
+	}
+	return tn.Resume(h)
+}
+
+// writeCheckpoint persists the tuner's history for a later -resume.
+func writeCheckpoint(tn *core.Tuner, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tn.History().WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint written to %s (%d evaluations)\n", path, tn.Evaluations())
+	return nil
+}
+
+func printImportance(sp *space.Space, s *core.Surrogate) {
+	imp := s.Importance()
+	type pair struct {
+		name string
+		js   float64
+	}
+	pairs := make([]pair, len(imp))
+	for i := range imp {
+		pairs[i] = pair{sp.Param(i).Name, imp[i]}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].js > pairs[b].js })
+	tbl := report.Table{Title: "\nParameter importance (JS divergence between good/bad densities)",
+		Columns: []string{"parameter", "importance"}}
+	for _, p := range pairs {
+		tbl.Add(p.name, fmt.Sprintf("%.4f", p.js))
+	}
+	tbl.Render(os.Stdout)
+}

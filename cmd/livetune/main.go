@@ -1,0 +1,193 @@
+// Command livetune autotunes the live parallel mini-kernels in
+// miniapps/ by measured wall time — the end-to-end workflow the paper
+// targets, where every objective evaluation is a real execution.
+//
+//	livetune -kernel sweep -budget 48
+//	livetune -kernel amg -budget 40 -marginals
+//	livetune -kernel hydro -budget 40
+//	livetune -kernel chares -budget 40
+//
+// Measurements are medians over -reps runs to tame wall-clock noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+	"github.com/hpcautotune/hiperbot/internal/report"
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/miniapps/amg"
+	"github.com/hpcautotune/hiperbot/miniapps/chares"
+	"github.com/hpcautotune/hiperbot/miniapps/hydro"
+	"github.com/hpcautotune/hiperbot/miniapps/sweep"
+)
+
+// kernel bundles a tunable space with a measured objective.
+type kernel struct {
+	space   *space.Space
+	measure func(c space.Config) (time.Duration, error)
+}
+
+func kernels() map[string]kernel {
+	return map[string]kernel{
+		"sweep": {
+			space: space.New(
+				space.Discrete("nesting", "GDZ", "DGZ", "ZGD"),
+				space.DiscreteInts("gset", 1, 2, 4, 8),
+				space.DiscreteInts("dset", 1, 2, 4, 8),
+				space.DiscreteInts("workers", 1, 2, 4, 8),
+			),
+			measure: func(c space.Config) (time.Duration, error) {
+				res, err := sweep.Run(sweep.Config{
+					NX: 64, NY: 64, Groups: 16, Directions: 16,
+					Nesting: []sweep.Nesting{sweep.NestingGDZ, sweep.NestingDGZ, sweep.NestingZGD}[int(c[0])],
+					Gset:    []int{1, 2, 4, 8}[int(c[1])],
+					Dset:    []int{1, 2, 4, 8}[int(c[2])],
+					Workers: []int{1, 2, 4, 8}[int(c[3])],
+				})
+				return res.Elapsed, err
+			},
+		},
+		"sweep3d": {
+			space: space.New(
+				space.Discrete("nesting", "GDZ", "DGZ", "ZGD"),
+				space.DiscreteInts("gset", 1, 2, 4),
+				space.DiscreteInts("workers", 1, 2, 4, 8),
+			),
+			measure: func(c space.Config) (time.Duration, error) {
+				res, err := sweep.Run3D(sweep.Config3D{
+					NX: 24, NY: 24, NZ: 24, Groups: 8, Directions: 24,
+					Nesting: []sweep.Nesting{sweep.NestingGDZ, sweep.NestingDGZ, sweep.NestingZGD}[int(c[0])],
+					Gset:    []int{1, 2, 4}[int(c[1])],
+					Workers: []int{1, 2, 4, 8}[int(c[2])],
+				})
+				return res.Elapsed, err
+			},
+		},
+		"amg": {
+			space: space.New(
+				space.Discrete("smoother", "jacobi", "redblack-gs"),
+				space.DiscreteInts("levels", 2, 3, 4, 5),
+				space.DiscreteInts("presweeps", 1, 2, 3),
+				space.DiscreteInts("postsweeps", 0, 1, 2),
+				space.DiscreteInts("mu", 1, 2),
+				space.DiscreteInts("workers", 1, 2, 4),
+			),
+			measure: func(c space.Config) (time.Duration, error) {
+				res, err := amg.Solve(amg.Config{
+					N:          127,
+					Smoother:   []amg.Smoother{amg.Jacobi, amg.RedBlackGS}[int(c[0])],
+					Levels:     []int{2, 3, 4, 5}[int(c[1])],
+					PreSweeps:  []int{1, 2, 3}[int(c[2])],
+					PostSweeps: []int{0, 1, 2}[int(c[3])],
+					MU:         []int{1, 2}[int(c[4])],
+					Workers:    []int{1, 2, 4}[int(c[5])],
+					Tol:        1e-8,
+				})
+				if err != nil {
+					return 0, err
+				}
+				if !res.Converged {
+					// Non-convergence is a (very) bad configuration,
+					// not an error: report the elapsed time scaled up.
+					return res.Elapsed * 10, nil
+				}
+				return res.Elapsed, nil
+			},
+		},
+		"hydro": {
+			space: space.New(
+				space.DiscreteInts("tile", 0, 4, 8, 16, 32),
+				space.DiscreteInts("unroll", 1, 2, 4),
+				space.Discrete("alloc", "per-step", "pooled"),
+				space.DiscreteInts("workers", 1, 2, 4),
+			),
+			measure: func(c space.Config) (time.Duration, error) {
+				res, err := hydro.Run(hydro.Config{
+					NX: 96, NY: 96, Steps: 12,
+					Tile:    []int{0, 4, 8, 16, 32}[int(c[0])],
+					Unroll:  []int{1, 2, 4}[int(c[1])],
+					Alloc:   []hydro.Alloc{hydro.AllocPerStep, hydro.AllocPooled}[int(c[2])],
+					Workers: []int{1, 2, 4}[int(c[3])],
+				})
+				return res.Elapsed, err
+			},
+		},
+		"chares": {
+			space: space.New(
+				space.DiscreteInts("grain", 1<<8, 1<<10, 1<<12, 1<<14, 1<<16),
+				space.DiscreteInts("workers", 1, 2, 4, 8),
+			),
+			measure: func(c space.Config) (time.Duration, error) {
+				res, err := chares.Run(chares.Config{
+					TotalWork: 1 << 20,
+					Grain:     []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16}[int(c[0])],
+					Imbalance: 0.7,
+					Workers:   []int{1, 2, 4, 8}[int(c[1])],
+				})
+				return res.Elapsed, err
+			},
+		},
+	}
+}
+
+func main() {
+	var (
+		name      = flag.String("kernel", "sweep", "kernel to tune: sweep, sweep3d, amg, hydro, chares")
+		budget    = flag.Int("budget", 48, "total measured configurations")
+		reps      = flag.Int("reps", 3, "measurements per configuration (median taken)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		marginals = flag.Bool("marginals", false, "print the surrogate's per-parameter beliefs")
+	)
+	flag.Parse()
+
+	k, ok := kernels()[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "livetune: unknown kernel %q\n", *name)
+		os.Exit(1)
+	}
+
+	evals := 0
+	objective := func(c space.Config) float64 {
+		evals++
+		times := make([]float64, 0, *reps)
+		for i := 0; i < *reps; i++ {
+			d, err := k.measure(c)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "livetune:", err)
+				os.Exit(1)
+			}
+			times = append(times, d.Seconds())
+		}
+		sort.Float64s(times)
+		return times[len(times)/2]
+	}
+
+	start := time.Now()
+	tn, err := core.NewTuner(k.space, objective, core.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livetune:", err)
+		os.Exit(1)
+	}
+	best, err := tn.Run(*budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livetune:", err)
+		os.Exit(1)
+	}
+
+	report.Section(os.Stdout, "Tuned %s kernel by measured wall time", *name)
+	fmt.Printf("measured %d configurations (%d runs) in %v\n",
+		evals, evals**reps, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("fastest: %s → %.3f ms\n", k.space.Describe(best.Config), best.Value*1e3)
+
+	if *marginals {
+		if s := tn.Surrogate(); s != nil {
+			fmt.Println("\nsurrogate beliefs:")
+			fmt.Print(core.RenderMarginals(s.Marginals()))
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package hiperbot_test
+
+import (
+	"fmt"
+	"strings"
+
+	hiperbot "github.com/hpcautotune/hiperbot"
+)
+
+// Example demonstrates the minimal tuning loop: define a space, hand
+// the tuner an objective, and run a fixed evaluation budget.
+func Example() {
+	sp := hiperbot.NewSpace(
+		hiperbot.Discrete("layout", "aos", "soa"),
+		hiperbot.DiscreteInts("threads", 1, 2, 4, 8),
+	)
+	// A deterministic stand-in for "run the application".
+	objective := func(c hiperbot.Config) float64 {
+		t := []float64{8, 4.5, 2.8, 2.2}[int(c[1])] // thread scaling
+		if int(c[0]) == 0 {                         // aos layout penalty
+			t *= 1.4
+		}
+		return t
+	}
+	tuner, err := hiperbot.NewTuner(sp, objective, hiperbot.Options{
+		InitialSamples: 4, // the space has only 8 configurations
+		Seed:           1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	best, err := tuner.Run(8)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s → %.1f s\n", sp.Describe(best.Config), best.Value)
+	// Output: layout=soa, threads=8 → 2.2 s
+}
+
+// ExampleImportance ranks parameters by how strongly they separate
+// good configurations from bad ones (paper §VI).
+func ExampleImportance() {
+	sp := hiperbot.NewSpace(
+		hiperbot.Discrete("matters", "a", "b"),
+		hiperbot.Discrete("noise", "x", "y"),
+	)
+	h := hiperbot.NewHistory(sp)
+	h.MustAdd(hiperbot.Config{0, 0}, 1.0)
+	h.MustAdd(hiperbot.Config{0, 1}, 1.1)
+	h.MustAdd(hiperbot.Config{1, 0}, 9.0)
+	h.MustAdd(hiperbot.Config{1, 1}, 9.1)
+	names, _, err := hiperbot.Importance(h, hiperbot.SurrogateConfig{Quantile: 0.5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(names[0])
+	// Output: matters
+}
+
+// ExampleLoadDataset tunes over pre-collected measurements: the tuner
+// only ever proposes configurations that exist in the table.
+func ExampleLoadDataset() {
+	sp := hiperbot.NewSpace(
+		hiperbot.Discrete("solver", "cg", "mg"),
+		hiperbot.DiscreteInts("threads", 1, 2),
+	)
+	csv := "solver,threads,time\n" +
+		"cg,1,4.0\ncg,2,2.5\nmg,1,2.0\nmg,2,1.2\n"
+	tbl, err := hiperbot.LoadDataset("study", sp, strings.NewReader(csv))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	hist, err := hiperbot.TuneDataset(tbl, 3, hiperbot.Options{InitialSamples: 2, Seed: 5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d evaluations, best %.1f s\n", hist.Len(), hist.Best().Value)
+	// Output: 3 evaluations, best 1.2 s
+}
+
+// ExampleNewPrior shows transfer learning: source-domain observations
+// become a prior that steers the target-domain search (eqs. 9-10).
+func ExampleNewPrior() {
+	sp := hiperbot.NewSpace(hiperbot.Discrete("solver", "slow", "fast"))
+	src := hiperbot.NewHistory(sp)
+	src.MustAdd(hiperbot.Config{0}, 10) // slow is bad in the source...
+	src.MustAdd(hiperbot.Config{1}, 1)  // ...fast is good
+	prior, err := hiperbot.NewPrior(src, hiperbot.SurrogateConfig{Quantile: 0.5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	s, err := hiperbot.BuildSurrogate(src, hiperbot.SurrogateConfig{
+		Quantile: 0.5, Prior: prior, PriorWeight: 1,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(s.Score(hiperbot.Config{1}) > s.Score(hiperbot.Config{0}))
+	// Output: true
+}

@@ -1,0 +1,91 @@
+// Batch tuning: drive HiPerBOt the way a cluster allocation does —
+// ask the model for a batch of candidates, run them "concurrently",
+// fold the results back in, repeat. Uses the asynchronous
+// SelectBatch/Observe API so the evaluation loop stays under the
+// caller's control (job scheduler, goroutines, MPI launcher, ...).
+//
+//	go run ./examples/batch_cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync"
+
+	hiperbot "github.com/hpcautotune/hiperbot"
+)
+
+// jobCost models a solver run: decomposition sweet spot plus a solver
+// penalty; each "job" takes real wall time on a cluster, which is why
+// we evaluate four at a time.
+func jobCost(c hiperbot.Config) float64 {
+	nodes := []float64{1, 2, 4, 8, 16, 32, 64}[int(c[0])]
+	solver := int(c[1])
+	tile := []float64{4, 8, 16, 32, 64}[int(c[2])]
+	pen := 0.35*math.Abs(math.Log2(nodes/16)) +
+		[]float64{0, 0.06, 0.3}[solver] +
+		0.12*math.Abs(math.Log2(tile/16))
+	return 25 * (1 + pen)
+}
+
+func main() {
+	sp := hiperbot.NewSpace(
+		hiperbot.DiscreteInts("nodes", 1, 2, 4, 8, 16, 32, 64),
+		hiperbot.Discrete("solver", "amg", "amg-agg", "ilu"),
+		hiperbot.DiscreteInts("tile", 4, 8, 16, 32, 64),
+	)
+	tuner, err := hiperbot.NewTuner(sp, jobCost, hiperbot.Options{
+		InitialSamples: 8,
+		Seed:           11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Initial random samples (these could also run as one batch).
+	for tuner.Evaluations() < 8 {
+		if _, err := tuner.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	const batchSize = 4
+	round := 0
+	for tuner.Evaluations() < 32 {
+		batch, err := tuner.SelectBatch(batchSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		round++
+
+		// "Submit" the batch: evaluate concurrently, then report back.
+		type result struct {
+			cfg   hiperbot.Config
+			value float64
+		}
+		results := make([]result, len(batch))
+		var wg sync.WaitGroup
+		for i, cfg := range batch {
+			wg.Add(1)
+			go func(i int, cfg hiperbot.Config) {
+				defer wg.Done()
+				results[i] = result{cfg: cfg, value: jobCost(cfg)}
+			}(i, cfg)
+		}
+		wg.Wait()
+		for _, r := range results {
+			if err := tuner.Observe(r.cfg, r.value); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("round %d: %d jobs, best so far %.2f s\n", round, len(batch), tuner.Best().Value)
+	}
+
+	best := tuner.Best()
+	fmt.Printf("\nbest after %d runs in %d batched rounds: %s → %.2f s\n",
+		tuner.Evaluations(), round, sp.Describe(best.Config), best.Value)
+}

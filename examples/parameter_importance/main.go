@@ -1,0 +1,72 @@
+// Parameter importance: rank compiler flags by how much they matter,
+// from existing measurement data — no additional runs (paper §VI).
+//
+// Given a CSV of past build-and-benchmark results, HiPerBOt's
+// surrogate splits the observations into good and bad at the
+// α-quantile and measures, per parameter, the Jensen-Shannon
+// divergence between the two value distributions. Parameters whose
+// good values differ sharply from their bad values are the ones worth
+// tuning first.
+//
+//	go run ./examples/parameter_importance
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	hiperbot "github.com/hpcautotune/hiperbot"
+)
+
+// measurements is a small flag-tuning study of a fictional kernel:
+// the vectorizer flag dominates, the allocator matters some, and the
+// debug-symbols flag is pure noise.
+const measurements = `vectorize,allocator,symbols,runtime
+on,system,off,2.11
+on,system,on,2.13
+on,pool,off,1.62
+on,pool,on,1.64
+on,arena,off,1.71
+on,arena,on,1.70
+off,system,off,3.42
+off,system,on,3.45
+off,pool,off,2.95
+off,pool,on,2.97
+off,arena,off,3.05
+off,arena,on,3.02
+`
+
+func main() {
+	sp := hiperbot.NewSpace(
+		hiperbot.Discrete("vectorize", "on", "off"),
+		hiperbot.Discrete("allocator", "system", "pool", "arena"),
+		hiperbot.Discrete("symbols", "off", "on"),
+	)
+	tbl, err := hiperbot.LoadDataset("flag-study", sp, strings.NewReader(measurements))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fold every measurement into a history: importance analysis can
+	// use all the data (the "actual ranking" column of the paper's
+	// Table I).
+	h := hiperbot.NewHistory(sp)
+	for i := 0; i < tbl.Len(); i++ {
+		h.MustAdd(tbl.Config(i), tbl.Value(i))
+	}
+
+	names, scores, err := hiperbot.Importance(h, hiperbot.SurrogateConfig{Quantile: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("parameter importance (JS divergence, higher = more impact):")
+	for i := range names {
+		bar := strings.Repeat("#", int(scores[i]*60))
+		fmt.Printf("  %-10s %.4f  %s\n", names[i], scores[i], bar)
+	}
+
+	_, cfg, best := tbl.Best()
+	fmt.Printf("\nbest measured configuration: %s (%.2f s)\n", sp.Describe(cfg), best)
+}

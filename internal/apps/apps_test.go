@@ -1,0 +1,191 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+func toySpec() Spec {
+	sp := space.New(
+		space.DiscreteInts("a", 1, 2, 4),
+		space.DiscreteInts("b", 1, 2),
+	)
+	return Spec{
+		Name:   "toy",
+		Metric: "time (s)",
+		Space:  sp,
+		Raw: func(c space.Config) float64 {
+			return c[0]*10 + c[1] // raw range [0, 21]
+		},
+		TargetMin:  1,
+		TargetMax:  3,
+		Expert:     space.Config{0, 0},
+		ExpertNote: "default",
+	}
+}
+
+func TestModelCalibration(t *testing.T) {
+	m := NewModel(toySpec())
+	tbl := m.Table()
+	_, _, best := tbl.Best()
+	if !almostEqual(best, 1, 1e-9) {
+		t.Fatalf("calibrated best = %v, want 1", best)
+	}
+	worst := tbl.Stats().Max
+	if !almostEqual(worst, 3, 1e-9) {
+		t.Fatalf("calibrated worst = %v, want 3", worst)
+	}
+}
+
+func TestModelCalibrationPreservesRanking(t *testing.T) {
+	m := NewModel(toySpec())
+	// Raw a=0,b=0 < raw a=0,b=1 < raw a=1,b=0 ... calibration is affine
+	// with positive slope, so Evaluate must preserve the order.
+	prev := -1.0
+	for _, c := range []space.Config{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}} {
+		v := m.Evaluate(c)
+		if v <= prev {
+			t.Fatalf("ranking broken at %v: %v <= %v", c, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestModelTableMatchesEvaluate(t *testing.T) {
+	m := NewModel(toySpec())
+	tbl := m.Table()
+	for i := 0; i < tbl.Len(); i++ {
+		if tbl.Value(i) != m.Evaluate(tbl.Config(i)) {
+			t.Fatalf("table/evaluate mismatch at row %d", i)
+		}
+	}
+}
+
+func TestModelEvaluatePanicsOnInvalid(t *testing.T) {
+	m := NewModel(toySpec())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Evaluate(space.Config{9, 0})
+}
+
+func TestNewModelValidation(t *testing.T) {
+	cases := map[string]func(s *Spec){
+		"no name":     func(s *Spec) { s.Name = "" },
+		"no metric":   func(s *Spec) { s.Metric = "" },
+		"nil raw":     func(s *Spec) { s.Raw = nil },
+		"bad anchors": func(s *Spec) { s.TargetMax = s.TargetMin },
+		"zero min":    func(s *Spec) { s.TargetMin = 0 },
+		"bad expert":  func(s *Spec) { s.Expert = space.Config{99, 0} },
+	}
+	for name, mutate := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			s := toySpec()
+			mutate(&s)
+			NewModel(s)
+		}()
+	}
+}
+
+func TestDropoutFilterDeterministicAndRate(t *testing.T) {
+	cards := []int{10, 10, 10}
+	f := DropoutFilter(42, 0.7, cards)
+	g := DropoutFilter(42, 0.7, cards)
+	kept := 0
+	total := 0
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			for c := 0; c < 10; c++ {
+				cfg := space.Config{float64(a), float64(b), float64(c)}
+				if f(cfg) != g(cfg) {
+					t.Fatal("dropout filter not deterministic")
+				}
+				if f(cfg) {
+					kept++
+				}
+				total++
+			}
+		}
+	}
+	rate := float64(kept) / float64(total)
+	if rate < 0.65 || rate > 0.75 {
+		t.Fatalf("keep rate = %v, want ~0.7", rate)
+	}
+}
+
+func TestDropoutFilterSeedsDiffer(t *testing.T) {
+	cards := []int{20, 20}
+	f := DropoutFilter(1, 0.5, cards)
+	g := DropoutFilter(2, 0.5, cards)
+	diff := 0
+	for a := 0; a < 20; a++ {
+		for b := 0; b < 20; b++ {
+			cfg := space.Config{float64(a), float64(b)}
+			if f(cfg) != g(cfg) {
+				diff++
+			}
+		}
+	}
+	if diff < 100 {
+		t.Fatalf("different seeds agree too often: only %d/400 differ", diff)
+	}
+}
+
+func TestAnd(t *testing.T) {
+	yes := func(space.Config) bool { return true }
+	no := func(space.Config) bool { return false }
+	if !And(yes, yes)(nil) || And(yes, no)(nil) || And(no, yes)(nil) {
+		t.Fatal("And wrong")
+	}
+}
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	c := space.Config{1, 2, 3}
+	n1 := Noise(7, 0.01, c)
+	n2 := Noise(7, 0.01, c)
+	if n1 != n2 {
+		t.Fatal("Noise not deterministic")
+	}
+	if n1 < 0.9 || n1 > 1.1 {
+		t.Fatalf("Noise(sigma=0.01) = %v, want near 1", n1)
+	}
+	if Noise(8, 0.01, c) == n1 {
+		t.Fatal("Noise ignores seed")
+	}
+}
+
+func TestCards(t *testing.T) {
+	sp := space.New(space.Discrete("a", "x", "y"), space.DiscreteInts("b", 1, 2, 3))
+	got := Cards(sp)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Cards = %v", got)
+	}
+}
+
+func TestParallelMapMatchesSerial(t *testing.T) {
+	sp := space.New(space.DiscreteInts("a", 0, 1, 2, 3, 4, 5, 6, 7))
+	configs := sp.Enumerate()
+	f := func(c space.Config) float64 { return c[0] * 2 }
+	got := parallelMap(configs, f)
+	for i, c := range configs {
+		if got[i] != f(c) {
+			t.Fatalf("parallelMap mismatch at %d", i)
+		}
+	}
+}
+
+func almostEqual(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

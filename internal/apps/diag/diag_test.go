@@ -1,0 +1,195 @@
+// Package diag holds cross-application dataset diagnostics: every
+// synthetic dataset must reproduce the structural anchors the paper
+// reports (size, best value, expert value, good-set size). These tests
+// are the contract between the app models and the experiment harness.
+package diag
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/apps/hypre"
+	"github.com/hpcautotune/hiperbot/internal/apps/kripke"
+	"github.com/hpcautotune/hiperbot/internal/apps/lulesh"
+	"github.com/hpcautotune/hiperbot/internal/apps/openatom"
+)
+
+type anchor struct {
+	model     *apps.Model
+	wantLen   int     // paper's dataset size
+	lenTol    float64 // acceptable relative deviation
+	wantBest  float64
+	expertMin float64 // expert value must be at least this (clearly worse than best)
+	expertMax float64
+}
+
+func anchors() []anchor {
+	return []anchor{
+		{kripke.Exec(), 1609, 0.06, 8.43, 14.5, 16.0},            // paper: expert 15.2 s
+		{kripke.Energy(), 17815, 0.05, 2500, 4400, 5100},         // paper: expert 4742 J
+		{hypre.Selection(), 4589, 0.05, 3.45, 3.45, 4.3},         // no expert value quoted
+		{lulesh.Flags(), 4800, 0.05, 2.72, 5.4, 6.6},             // paper: -O3 default 6.02 s
+		{openatom.Decomposition(), 8928, 0.05, 1.24, 1.45, 1.75}, // paper: expert 1.6 s
+	}
+}
+
+func TestDatasetAnchors(t *testing.T) {
+	for _, a := range anchors() {
+		a := a
+		t.Run(a.model.Name(), func(t *testing.T) {
+			t.Parallel()
+			tbl := a.model.Table()
+			n := tbl.Len()
+			rel := float64(n-a.wantLen) / float64(a.wantLen)
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > a.lenTol {
+				t.Errorf("dataset size = %d, want ~%d (±%.0f%%)", n, a.wantLen, a.lenTol*100)
+			}
+			_, _, best := tbl.Best()
+			if !almost(best, a.wantBest, 1e-6*a.wantBest) {
+				t.Errorf("best = %v, want %v", best, a.wantBest)
+			}
+			expert, _ := a.model.Expert()
+			ev, ok := tbl.Lookup(expert)
+			if !ok {
+				t.Fatalf("expert config missing from table")
+			}
+			if ev < a.expertMin || ev > a.expertMax {
+				t.Errorf("expert value = %v, want in [%v,%v]", ev, a.expertMin, a.expertMax)
+			}
+			t.Logf("%s: n=%d best=%.4g expert=%.4g median=%.4g p05=%.4g max=%.4g good5%%=%d",
+				a.model.Name(), n, best, ev, tbl.Stats().Median,
+				tbl.PercentileValue(0.05), tbl.Stats().Max, len(tbl.GoodSetPercentile(0.05)))
+		})
+	}
+}
+
+// The paper notes Kripke energy has "more than 800 good configurations"
+// within the tolerance threshold — the reason Fig. 3b's recall
+// saturates around 0.3.
+func TestKripkeEnergyGoodSetLarge(t *testing.T) {
+	tbl := kripke.Energy().Table()
+	good := len(tbl.GoodSetPercentile(0.05))
+	if good < 800 {
+		t.Errorf("kripke-energy 5%% good set = %d, want > 800", good)
+	}
+}
+
+// Kripke exec: "only a few samples in the high-performing bins"
+// (§V-A) — the best 5%-percentile set must be a small fraction and the
+// very best bin (within 5% of optimum) tiny.
+func TestKripkeExecFewGoodSamples(t *testing.T) {
+	tbl := kripke.Exec().Table()
+	nearBest := len(tbl.GoodSetTolerance(0.05))
+	if nearBest > tbl.Len()/20 {
+		t.Errorf("configs within 5%% of best = %d of %d, want rare", nearBest, tbl.Len())
+	}
+	if nearBest < 1 {
+		t.Error("no config within 5% of best?")
+	}
+}
+
+func TestTransferDomainsCorrelated(t *testing.T) {
+	pairs := []struct {
+		name     string
+		src, tgt *apps.Model
+		srcN     int
+		tgtN     int
+	}{
+		{"kripke", kripke.TransferSource(), kripke.TransferTarget(), 17815, 17385},
+		{"hypre", hypre.TransferSource(), hypre.TransferTarget(), 57313, 50395},
+	}
+	for _, p := range pairs {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			srcTbl := p.src.Table()
+			tgtTbl := p.tgt.Table()
+			checkSize(t, "src", srcTbl.Len(), p.srcN)
+			checkSize(t, "tgt", tgtTbl.Len(), p.tgtN)
+			// Rank correlation on the shared configurations: transfer
+			// learning only helps when source ranking predicts target
+			// ranking. Use Spearman on a deterministic subsample.
+			var sv, tv []float64
+			for i := 0; i < srcTbl.Len(); i += 7 {
+				c := srcTbl.Config(i)
+				if v, ok := tgtTbl.Lookup(c); ok {
+					sv = append(sv, srcTbl.Value(i))
+					tv = append(tv, v)
+				}
+			}
+			if len(sv) < 500 {
+				t.Fatalf("only %d shared configs sampled", len(sv))
+			}
+			rho := spearman(sv, tv)
+			if rho < 0.75 {
+				t.Errorf("source/target Spearman correlation = %.3f, want >= 0.75", rho)
+			}
+			if rho > 0.999 {
+				t.Errorf("source/target correlation = %.4f: domains identical, transfer trivial", rho)
+			}
+			t.Logf("%s transfer: src n=%d tgt n=%d spearman=%.3f", p.name, srcTbl.Len(), tgtTbl.Len(), rho)
+		})
+	}
+}
+
+func checkSize(t *testing.T, label string, got, want int) {
+	t.Helper()
+	rel := float64(got-want) / float64(want)
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.05 {
+		t.Errorf("%s size = %d, want ~%d", label, got, want)
+	}
+}
+
+func spearman(a, b []float64) float64 {
+	ra := ranks(a)
+	rb := ranks(b)
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= n
+	mb /= n
+	var num, da, db float64
+	for i := range ra {
+		x := ra[i] - ma
+		y := rb[i] - mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / (math.Sqrt(da) * math.Sqrt(db))
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	r := make([]float64, len(xs))
+	for rank, i := range idx {
+		r[i] = float64(rank)
+	}
+	return r
+}
+
+func almost(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,254 @@
+// Package hypre models the HYPRE new_ij benchmark (Falgout & Yang),
+// a suite of algebraic-multigrid-preconditioned Krylov solvers. The
+// tunable parameters follow the paper's Table I: solver, smoother,
+// MPI ranks, OpenMP threads, and the AMG cycle knobs MU (cycle type)
+// and PMX (max interpolation elements). The transfer-learning variant
+// (paper §VII-B) additionally exposes the coarsening scheme and
+// interpolation operator, growing the space to ~57 k configurations.
+//
+// The model's structure mirrors the paper's importance ranking
+// (Table I, all samples): Ranks (0.49) and OMP (0.32) dominate —
+// "the combination of number of MPI ranks and OpenMP threads per node
+// affects resource utilization and application time" — followed by
+// the solver (0.26); smoother is marginal and MU/PMX are noise-level.
+package hypre
+
+import (
+	"math"
+	"sync"
+
+	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Parameter positions in the configuration-selection space.
+const (
+	iSolver = iota
+	iSmoother
+	iRanks
+	iOMP
+	iMU
+	iPMX
+)
+
+var (
+	solvers   = []string{"AMG-PCG", "AMG-GMRES", "PCG", "GMRES"}
+	smoothers = []string{"jacobi", "hybrid-GS", "l1-GS", "chebyshev", "FCF-jacobi", "none"}
+)
+
+// selectionSpace builds the Fig. 4 space (~4589 configurations).
+func selectionSpace(dropSeed uint64, keep float64) *space.Space {
+	sp := space.New(
+		space.Discrete("Solver", solvers...),
+		space.Discrete("Smoother", smoothers...),
+		space.DiscreteInts("Ranks", 1, 2, 4, 8, 16, 32),
+		space.DiscreteInts("OMP", 1, 2, 4, 8, 16),
+		space.DiscreteInts("MU", 1, 2, 3),
+		space.DiscreteInts("PMX", 4, 6, 8),
+	)
+	structural := func(c space.Config) bool {
+		ranks := sp.Param(iRanks).NumericValue(int(c[iRanks]))
+		omp := sp.Param(iOMP).NumericValue(int(c[iOMP]))
+		cores := ranks * omp
+		return cores >= 2 && cores <= 64
+	}
+	drop := apps.DropoutFilter(dropSeed, keep, apps.Cards(sp))
+	return sp.WithConstraint(apps.And(structural, drop))
+}
+
+// rawTime models the solve time of new_ij as a penalty sum. The
+// paper's importance ranking (Ranks 0.49, OMP 0.32, Solver 0.26, the
+// rest ≈ 0) drives the weights: new_ij is a pure-MPI-friendly
+// benchmark where adding ranks helps all phases while threads only
+// help the smoother, so the best configurations fill the node with
+// ranks and run one thread each.
+func rawTime(sp *space.Space, c space.Config, scale float64, noiseSeed uint64) float64 {
+	ranks := sp.Param(iRanks).NumericValue(int(c[iRanks]))
+	omp := sp.Param(iOMP).NumericValue(int(c[iOMP]))
+
+	var pen float64
+
+	// MPI decomposition: the AMG setup and coarse-grid work scale with
+	// rank count up to the full node (32).
+	pen += 0.28 * math.Abs(math.Log2(ranks/32.0))
+
+	// Threads: the smoother tolerates a couple of threads; beyond
+	// that, NUMA contention in the triple-matrix products bites.
+	pen += 0.20 * math.Log2(omp)
+
+	// Solver convergence: AMG-preconditioned Krylov needs far fewer
+	// iterations than plain Krylov on the modeled Poisson-like system.
+	pen += []float64{0.00, 0.05, 0.35, 0.42}[int(c[iSolver])]
+
+	// Smoother: second-order effect on the iteration count.
+	pen += []float64{0.018, 0, 0.004, 0.009, 0.013, 0.022}[int(c[iSmoother])]
+
+	// MU (V- vs W-cycles) and PMX barely move total time on this
+	// problem — matching their ~0.00 importance in Table I.
+	mu := sp.Param(iMU).NumericValue(int(c[iMU]))
+	pmx := sp.Param(iPMX).NumericValue(int(c[iPMX]))
+	pen += 0.002*math.Abs(mu-2) + 0.001*math.Abs(pmx-6)/2
+
+	t := scale * (1 + pen)
+	return t * apps.Noise(noiseSeed, 0.015, c)
+}
+
+// Selection returns the HYPRE configuration-selection model
+// (Fig. 4 dataset, ~4589 configurations, ≈ 3.45–4.75 s).
+var Selection = sync.OnceValue(func() *apps.Model {
+	sp := selectionSpace(0x4589, 0.9237)
+	return apps.NewModel(apps.Spec{
+		Name:      "hypre",
+		Metric:    "execution time (s)",
+		Space:     sp,
+		Raw:       func(c space.Config) float64 { return rawTime(sp, c, 1, 0x6879) },
+		TargetMin: 3.45,
+		TargetMax: 4.75,
+		Expert:    expertSelection(sp),
+		ExpertNote: "AMG-PCG with the library-default hybrid-GS smoother, " +
+			"pure-MPI decomposition",
+	})
+})
+
+func expertSelection(sp *space.Space) space.Config {
+	for _, c := range []space.Config{
+		{0, 1, 5, 0, 0, 1}, // AMG-PCG, hybrid-GS, 32 ranks, 1 thread, MU 1, PMX 6
+		{0, 1, 4, 0, 0, 1},
+		{0, 1, 5, 1, 0, 1},
+		{0, 0, 5, 0, 0, 1},
+	} {
+		if sp.Valid(c) {
+			return c
+		}
+	}
+	return sp.Enumerate()[0]
+}
+
+// Transfer space parameter positions (coarsening and interpolation
+// inserted after the smoother).
+const (
+	tSolver = iota
+	tSmoother
+	tCoarsen
+	tInterp
+	tRanks
+	tOMP
+	tMU
+	tPMX
+)
+
+var (
+	coarsenings    = []string{"falgout", "HMIS", "PMIS", "ruge-stueben", "CLJP"}
+	interpolations = []string{"classical", "ext+i", "FF1", "standard", "multipass"}
+)
+
+// transferSpace builds the eight-parameter space of the transfer study
+// (paper §VII-B: DSrc 57 313 configurations, DTrgt 50 395).
+func transferSpace(dropSeed uint64, keep float64) *space.Space {
+	sp := space.New(
+		space.Discrete("Solver", solvers...),
+		space.Discrete("Smoother", smoothers...),
+		space.Discrete("Coarsen", coarsenings...),
+		space.Discrete("Interp", interpolations...),
+		space.DiscreteInts("Ranks", 1, 2, 4, 8, 16, 32),
+		space.DiscreteInts("OMP", 1, 2, 4, 8, 16),
+		space.DiscreteInts("MU", 1, 2),
+		space.DiscreteInts("PMX", 4, 8),
+	)
+	drop := apps.DropoutFilter(dropSeed, keep, apps.Cards(sp))
+	return sp.WithConstraint(drop)
+}
+
+// rawTransferTime extends rawTime's penalty structure with
+// coarsening/interpolation effects, which control AMG operator
+// complexity.
+func rawTransferTime(sp *space.Space, c space.Config, scale float64, perturbSeed uint64) float64 {
+	ranks := sp.Param(tRanks).NumericValue(int(c[tRanks]))
+	omp := sp.Param(tOMP).NumericValue(int(c[tOMP]))
+
+	var pen float64
+	pen += 0.28 * math.Abs(math.Log2(ranks/32.0))
+	pen += 0.20 * math.Log2(omp)
+	pen += []float64{0.00, 0.05, 0.35, 0.42}[int(c[tSolver])]
+	pen += []float64{0.018, 0, 0.004, 0.009, 0.013, 0.022}[int(c[tSmoother])]
+
+	// Coarsening and interpolation: aggressive coarsening (HMIS/PMIS)
+	// trims operator complexity; long-range interpolation (ext+i, FF1)
+	// repairs the convergence it costs. Skipping the repair hurts more
+	// at scale — the one interaction, and the reason the source domain
+	// alone does not perfectly predict the target.
+	pen += []float64{0.03, 0.00, 0.01, 0.05, 0.07}[int(c[tCoarsen])]
+	pen += []float64{0.05, 0.00, 0.02, 0.03, 0.04}[int(c[tInterp])]
+	aggressive := int(c[tCoarsen]) == 1 || int(c[tCoarsen]) == 2
+	longRange := int(c[tInterp]) == 1 || int(c[tInterp]) == 2
+	if aggressive && !longRange {
+		pen += 0.04 * scale // convergence degradation grows with scale
+	}
+
+	mu := sp.Param(tMU).NumericValue(int(c[tMU]))
+	pmx := sp.Param(tPMX).NumericValue(int(c[tPMX]))
+	pen += 0.002*math.Abs(mu-2) + 0.001*math.Abs(pmx-6)/2
+
+	// In the target domain the penalties compound at scale: the
+	// BasinGap transform gives the dataset the sparse bottom of the
+	// published target (paper Fig. 8b's x-axis: 8/19/83/190
+	// configurations within 5/10/15/20 % of the best out of 50 395).
+	if perturbSeed != 0 {
+		pen = apps.BasinGap(pen, 0.30, 0.03)
+	}
+	t := scale * (1 + pen)
+	if perturbSeed != 0 {
+		// Target-only idiosyncrasies (different network, different
+		// matrix partitioning): unpredictable from source data alone,
+		// which is what separates one-shot prediction (PerfNet) from
+		// adaptive selection (HiPerBOt) at looser tolerances.
+		t *= apps.Noise(perturbSeed, 0.035, c)
+	}
+	return t * apps.Noise(0x68797472, 0.008, c)
+}
+
+// TransferSource returns the HYPRE transfer-learning source domain
+// (small problem, ~57 313 configurations).
+var TransferSource = sync.OnceValue(func() *apps.Model {
+	sp := transferSpace(0x57313, 0.796)
+	return apps.NewModel(apps.Spec{
+		Name:       "hypre-transfer-src",
+		Metric:     "execution time (s)",
+		Space:      sp,
+		Raw:        func(c space.Config) float64 { return rawTransferTime(sp, c, 1, 0) },
+		TargetMin:  0.9,
+		TargetMax:  2.4,
+		Expert:     expertTransfer(sp),
+		ExpertNote: "source domain: 16 nodes, small ij system",
+	})
+})
+
+// TransferTarget returns the HYPRE transfer-learning target domain
+// (large problem, ~50 395 configurations).
+var TransferTarget = sync.OnceValue(func() *apps.Model {
+	sp := transferSpace(0x50395, 0.6999)
+	return apps.NewModel(apps.Spec{
+		Name:       "hypre-transfer-tgt",
+		Metric:     "execution time (s)",
+		Space:      sp,
+		Raw:        func(c space.Config) float64 { return rawTransferTime(sp, c, 3.2, 0x7067) },
+		TargetMin:  3.45,
+		TargetMax:  9.6,
+		Expert:     expertTransfer(sp),
+		ExpertNote: "target domain: 64 nodes, full ij system",
+	})
+})
+
+func expertTransfer(sp *space.Space) space.Config {
+	for _, c := range []space.Config{
+		{0, 1, 0, 0, 5, 0, 0, 1},
+		{0, 1, 0, 0, 4, 0, 0, 1},
+		{0, 1, 1, 1, 5, 0, 0, 1},
+		{0, 0, 0, 0, 5, 1, 0, 1},
+	} {
+		if sp.Valid(c) {
+			return c
+		}
+	}
+	return sp.Enumerate()[0]
+}

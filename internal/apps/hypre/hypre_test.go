@@ -1,0 +1,120 @@
+package hypre
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+func TestSelectionBestStructure(t *testing.T) {
+	tbl := Selection().Table()
+	_, cfg, _ := tbl.Best()
+	sp := tbl.Space
+	if sp.Param(iSolver).Level(int(cfg[iSolver])) != "AMG-PCG" {
+		t.Errorf("best solver = %s, want AMG-PCG", sp.Param(iSolver).Level(int(cfg[iSolver])))
+	}
+	ranks := sp.Param(iRanks).NumericValue(int(cfg[iRanks]))
+	omp := sp.Param(iOMP).NumericValue(int(cfg[iOMP]))
+	if ranks < 16 {
+		t.Errorf("best ranks = %v, want the node filled with ranks", ranks)
+	}
+	if omp > 2 {
+		t.Errorf("best omp = %v, want few threads", omp)
+	}
+}
+
+// The paper's Table I says MU and PMX are irrelevant (importance 0.00):
+// flipping them must barely move the value.
+func TestMUAndPMXNegligible(t *testing.T) {
+	tbl := Selection().Table()
+	sp := tbl.Space
+	checked := 0
+	for i := 0; i < tbl.Len() && checked < 200; i++ {
+		cfg := tbl.Config(i)
+		alt := cfg.Clone()
+		alt[iMU] = float64((int(cfg[iMU]) + 1) % sp.Param(iMU).Cardinality())
+		v, ok := tbl.Lookup(alt)
+		if !ok {
+			continue // dropped by the dataset filter
+		}
+		base := tbl.Value(i)
+		rel := (v - base) / base
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.08 {
+			t.Fatalf("MU flip changed value by %.1f%% at %v", rel*100, cfg)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d MU pairs found", checked)
+	}
+}
+
+// Plain Krylov without AMG must be clearly slower at equal resources.
+func TestSolverOrdering(t *testing.T) {
+	tbl := Selection().Table()
+	sp := tbl.Space
+	compared := 0
+	for i := 0; i < tbl.Len() && compared < 100; i++ {
+		cfg := tbl.Config(i)
+		if int(cfg[iSolver]) != 0 { // AMG-PCG rows only
+			continue
+		}
+		alt := cfg.Clone()
+		alt[iSolver] = 2 // plain PCG
+		v, ok := tbl.Lookup(alt)
+		if !ok {
+			continue
+		}
+		if v <= tbl.Value(i) {
+			t.Fatalf("plain PCG (%v) not slower than AMG-PCG (%v) at %v", v, tbl.Value(i), sp.Describe(cfg))
+		}
+		compared++
+	}
+	if compared < 20 {
+		t.Fatalf("only %d solver pairs found", compared)
+	}
+}
+
+func TestTransferSpacesShareParams(t *testing.T) {
+	src := TransferSource().Space()
+	tgt := TransferTarget().Space()
+	if src.NumParams() != tgt.NumParams() {
+		t.Fatal("transfer spaces differ in arity")
+	}
+	for i := 0; i < src.NumParams(); i++ {
+		a, b := src.Param(i), tgt.Param(i)
+		if a.Name != b.Name || a.Cardinality() != b.Cardinality() {
+			t.Fatalf("param %d differs: %s/%d vs %s/%d", i, a.Name, a.Cardinality(), b.Name, b.Cardinality())
+		}
+	}
+}
+
+func TestTransferTargetGoodSetMatchesPaper(t *testing.T) {
+	tgt := TransferTarget().Table()
+	// Paper Fig. 8b: 8/19/83/190 good cases at 5/10/15/20%.
+	for _, g := range []struct {
+		gamma  float64
+		lo, hi int
+	}{{0.05, 2, 40}, {0.10, 8, 90}, {0.15, 25, 300}, {0.20, 80, 600}} {
+		n := len(tgt.GoodSetTolerance(g.gamma))
+		if n < g.lo || n > g.hi {
+			t.Errorf("γ=%v: good cases = %d, want in [%d,%d] (paper: 8/19/83/190)", g.gamma, n, g.lo, g.hi)
+		}
+	}
+}
+
+func TestExpertsValid(t *testing.T) {
+	for _, m := range []interface {
+		Expert() (space.Config, string)
+		Space() *space.Space
+		Name() string
+	}{Selection(), TransferSource(), TransferTarget()} {
+		cfg, _ := m.Expert()
+		if !m.Space().Valid(cfg) {
+			t.Errorf("%s: expert invalid", m.Name())
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package kripke
+
+import (
+	"math"
+	"sync"
+
+	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Package power caps in watts for the PKG_LIMIT parameter. The node
+// TDP is 115 W; caps below the knee throttle frequency.
+var powerCaps = []int{50, 60, 65, 70, 75, 80, 90, 100, 115}
+
+// energySpace extends the execution-time space with the PKG_LIMIT
+// hardware parameter (paper §V-A energy study: 17 815 configurations).
+func energySpace(dropSeed uint64, keep float64) *space.Space {
+	sp := space.New(
+		space.Discrete("Nesting", nestings...),
+		space.DiscreteInts("Gset", 1, 2, 4, 8, 16),
+		space.DiscreteInts("Dset", 8, 16, 32, 64),
+		space.DiscreteInts("OMP", 1, 2, 4, 8, 12),
+		space.DiscreteInts("Ranks", 1, 2, 4, 8, 16, 32),
+		space.DiscreteInts("PKG_LIMIT", powerCaps...),
+	)
+	structural := func(c space.Config) bool {
+		omp := sp.Param(iOMP).NumericValue(int(c[iOMP]))
+		ranks := sp.Param(iRanks).NumericValue(int(c[iRanks]))
+		cores := omp * ranks
+		return cores >= 4 && cores <= 128
+	}
+	drop := apps.DropoutFilter(dropSeed, keep, apps.Cards(sp))
+	return sp.WithConstraint(apps.And(structural, drop))
+}
+
+// throttle returns (time multiplier, average power draw) for a config
+// under a package power cap. The compute-bound fraction of the sweep
+// slows with frequency; communication does not. Power follows the cap
+// with an idle floor — the modeled workload saturates the package, so
+// higher caps always draw more power, making energy minimal at a low
+// cap and the expert's "2nd or 3rd highest power level" heuristic
+// (paper: 4742 J) nearly twice the 2500 J optimum.
+func throttle(sp *space.Space, c space.Config) (timeMul, power float64) {
+	cap := sp.Param(iCap).NumericValue(int(c[iCap]))
+	const tdp = 115.0
+	const idle = 25.0
+
+	omp := sp.Param(iOMP).NumericValue(int(c[iOMP]))
+	ranks := sp.Param(iRanks).NumericValue(int(c[iRanks]))
+	util := math.Min(1, omp*ranks/40.0)
+
+	// Unthrottled power demand of this configuration.
+	demand := idle + (tdp-idle)*(0.5+0.5*util)
+
+	freq := 1.0
+	if cap < demand {
+		freq = math.Pow(cap/demand, 0.85)
+	}
+
+	const computeFrac = 0.35
+	timeMul = computeFrac/freq + (1 - computeFrac)
+	power = math.Min(cap, demand)
+	return timeMul, power
+}
+
+// rawEnergy models total package energy: throttled time × power drawn.
+func rawEnergy(sp *space.Space, c space.Config, scale, shift float64) float64 {
+	base := rawTime(sp, c[:iCap], scale, shift)
+	timeMul, power := throttle(sp, c)
+	e := power * base * timeMul
+	return e * apps.Noise(0x6e72+uint64(scale*13), 0.006, c)
+}
+
+// Energy returns the Kripke energy model (Fig. 3 dataset, ~17 815
+// configurations, values ≈ 2500–5000 J, expert ≈ 4742 J).
+var Energy = sync.OnceValue(func() *apps.Model {
+	sp := energySpace(0x17815, 0.6873)
+	return apps.NewModel(apps.Spec{
+		Name:      "kripke-energy",
+		Metric:    "energy (J)",
+		Space:     sp,
+		Raw:       func(c space.Config) float64 { return rawEnergy(sp, c, 1, 0) },
+		TargetMin: 2500,
+		TargetMax: 7322,
+		Expert:    expertEnergy(sp),
+		ExpertNote: "2nd or 3rd highest power level with a good layout " +
+			"(paper §V-A: 4742 J)",
+	})
+})
+
+// expertEnergy picks a near-top power cap (the paper's expert
+// heuristic) with an otherwise well-tuned configuration.
+func expertEnergy(sp *space.Space) space.Config {
+	nCaps := len(powerCaps)
+	for _, capIdx := range []int{nCaps - 2, nCaps - 3, nCaps - 1} {
+		for _, base := range []space.Config{
+			{5, 2, 1, 2, 3}, // ZGD, gset 4, dset 16, omp 4, ranks 8
+			{4, 2, 1, 2, 3},
+			{5, 2, 1, 3, 3},
+			{0, 2, 1, 2, 3},
+		} {
+			c := append(base.Clone(), float64(capIdx))
+			if sp.Valid(c) {
+				return c
+			}
+		}
+	}
+	return sp.Enumerate()[0]
+}
+
+// TransferSource returns the small-scale Kripke dataset used as the
+// transfer-learning source domain DSrc (paper §VII-A: 17 815
+// configurations gathered at 16 nodes with a smaller problem).
+var TransferSource = sync.OnceValue(func() *apps.Model {
+	sp := energySpace(0x17815, 0.6873) // same grid as the energy study
+	return apps.NewModel(apps.Spec{
+		Name:       "kripke-transfer-src",
+		Metric:     "execution time (s)",
+		Space:      sp,
+		Raw:        func(c space.Config) float64 { return rawTransfer(sp, c, 1.0, 0, 0) },
+		TargetMin:  2.1,
+		TargetMax:  6.4,
+		Expert:     expertEnergy(sp),
+		ExpertNote: "source domain: 16 nodes, small problem",
+	})
+})
+
+// TransferTarget returns the large-scale Kripke target domain DTrgt
+// (paper §VII-A: 17 385 configurations at 64 nodes). A different
+// dropout seed yields a slightly different valid set; scaled
+// coefficients and a rank-correlation-preserving perturbation shift
+// the optimum without destroying the source ranking structure.
+var TransferTarget = sync.OnceValue(func() *apps.Model {
+	sp := energySpace(0x17385, 0.6707)
+	return apps.NewModel(apps.Spec{
+		Name:       "kripke-transfer-tgt",
+		Metric:     "execution time (s)",
+		Space:      sp,
+		Raw:        func(c space.Config) float64 { return rawTransfer(sp, c, 4.0, 0, 0x7472) },
+		TargetMin:  8.43,
+		TargetMax:  19.5,
+		Expert:     expertEnergy(sp),
+		ExpertNote: "target domain: 64 nodes, full problem",
+	})
+})
+
+// rawTransfer is the execution-time model under a power cap used by
+// the transfer pair: the cap inflates time through throttling but the
+// objective is time, matching the paper's tuning-for-performance
+// transfer study. perturbSeed != 0 adds a small domain-specific
+// perturbation so source and target are correlated but not identical.
+//
+// The BasinGap transform reproduces the extreme sparsity of the
+// published transfer datasets near the optimum (Fig. 8a's x-axis:
+// only 2 configurations within 10 % of the best and 18 within 20 %,
+// out of 17 385): at 64 nodes the penalty terms compound, so a
+// configuration must be right in *every* parameter to stay near the
+// best, and any single suboptimal choice costs a large constant
+// factor.
+func rawTransfer(sp *space.Space, c space.Config, scale, shift float64, perturbSeed uint64) float64 {
+	pen := timePenalty(sp, c[:iCap], shift)
+	if perturbSeed != 0 {
+		// Domain-specific structure shift: the target's basin is not
+		// exactly the source's.
+		pen = apps.BasinGap(pen, 0.35, 0.02)
+	}
+	timeMul, _ := throttle(sp, c)
+	t := scale * (1 + pen) * timeMul
+	t *= apps.Noise(0x6b74+uint64(scale*7), 0.008, c)
+	if perturbSeed != 0 {
+		t *= apps.Noise(perturbSeed, 0.015, c)
+	}
+	return t
+}

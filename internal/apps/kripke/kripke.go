@@ -1,0 +1,165 @@
+// Package kripke models the Kripke discrete-ordinates SN particle
+// transport proxy application (Kunen et al., LLNL). The paper tunes
+// five application/runtime parameters — data-layout nesting order,
+// group sets (Gset), direction sets (Dset), OpenMP threads, and MPI
+// ranks — plus, for the energy study, a hardware package power cap
+// (PKG_LIMIT).
+//
+// The synthetic performance model is a penalty-sum over the
+// first-order behaviours of a KBA-style sweep code: total-core
+// occupancy, rank-count communication, thread synchronization, the
+// vectorization interaction between nesting order and set shapes, and
+// sweep-pipelining granularity. A configuration is near-optimal only
+// when *every* penalty is near zero, which reproduces the paper's
+// observation that "there are only a few samples in the
+// high-performing bins" (§V-A).
+//
+// Calibration anchors come from the paper: execution times span
+// 8.43 s (exhaustive best) to ~18 s, with the expert's manual choice
+// at ~15.2 s; energies span ~2500 J to ~5000 J with the expert's
+// 2nd/3rd-highest-power heuristic at ~4742 J.
+package kripke
+
+import (
+	"math"
+	"sync"
+
+	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Parameter positions in the execution-time space.
+const (
+	iNest = iota
+	iGset
+	iDset
+	iOMP
+	iRanks
+	iCap // energy space only
+)
+
+var nestings = []string{"DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD"}
+
+// execSpace builds the five-parameter execution-time space. The
+// structural constraint keeps the total core count within the node
+// (ranks×threads ≤ 64) and above a minimum occupancy (≥ 4); the
+// dropout filter emulates the failed runs that make the published
+// dataset 1609 configurations rather than a full cross product.
+func execSpace(dropSeed uint64, keep float64) *space.Space {
+	sp := space.New(
+		space.Discrete("Nesting", nestings...),
+		space.DiscreteInts("Gset", 1, 2, 4, 8, 16),
+		space.DiscreteInts("Dset", 8, 16, 32, 64),
+		space.DiscreteInts("OMP", 1, 2, 4, 8, 12),
+		space.DiscreteInts("Ranks", 1, 2, 4, 8, 16, 32),
+	)
+	structural := func(c space.Config) bool {
+		omp := sp.Param(iOMP).NumericValue(int(c[iOMP]))
+		ranks := sp.Param(iRanks).NumericValue(int(c[iRanks]))
+		cores := omp * ranks
+		return cores >= 4 && cores <= 128
+	}
+	drop := apps.DropoutFilter(dropSeed, keep, apps.Cards(sp))
+	return sp.WithConstraint(apps.And(structural, drop))
+}
+
+// rawTime is the uncalibrated execution-time model: 1 + the sum of
+// penalties that are independent per parameter except for one sparse
+// interaction — the structure of the measured dataset, whose good
+// configurations share marginal parameter values. scale grows the
+// problem (used by the transfer-learning target domain); shift nudges
+// sweet spots so source and target rankings correlate without being
+// identical.
+func rawTime(sp *space.Space, c space.Config, scale, shift float64) float64 {
+	pen := timePenalty(sp, c, shift)
+	// Idiosyncratic per-configuration effects (cache-set conflicts,
+	// MPI mapping artifacts) frozen into the measured dataset. They
+	// make the landscape rugged in Hamming space — neighbors of good
+	// configurations are not reliably good — while leaving the
+	// marginal statistics intact, exactly the structure that favors
+	// density models over graph propagation in the paper's data.
+	t := scale * (1 + pen)
+	return t * apps.Noise(0x6b72+uint64(scale*7), 0.02, c)
+}
+
+// timePenalty is the structural part of the execution-time model.
+func timePenalty(sp *space.Space, c space.Config, shift float64) float64 {
+	nest := int(c[iNest])
+	gset := sp.Param(iGset).NumericValue(int(c[iGset]))
+	dset := sp.Param(iDset).NumericValue(int(c[iDset]))
+	omp := sp.Param(iOMP).NumericValue(int(c[iOMP]))
+	ranks := sp.Param(iRanks).NumericValue(int(c[iRanks]))
+
+	var pen float64
+
+	// Domain decomposition: 16 ranks balance MPI message cost against
+	// KBA pipeline depth; the penalty is superlinear toward very few
+	// ranks (no overlap at all). Ranks top Table I's ranking. The
+	// target domain (shift > 0) prefers more ranks.
+	pen += 0.20 * math.Pow(math.Abs(math.Log2(ranks/(16.0+16.0*shift))), 1.15)
+
+	// Thread team: sweet spot at 8; 12 oversubscribes the socket.
+	if omp >= 12 {
+		pen += 0.17
+	} else {
+		pen += 0.10 * math.Abs(math.Log2(omp/8.0))
+	}
+
+	// Data layout: zones-innermost nestings (GDZ, DGZ) vectorize the
+	// sweep kernel; the others strip-mine poorly. The effect is mostly
+	// independent of the set shape — in the measured dataset the good
+	// layouts stay good across set sizes, which is what lets a
+	// factorized density model home in on them.
+	pen += [...]float64{0.04, 0.10, 0.00, 0.22, 0.12, 0.25}[nest]
+
+	// Set granularity: gset 4 / dset 16 balance sweep pipelining
+	// against per-set launch overhead; the target domain (shift > 0)
+	// prefers more, smaller sets.
+	pen += 0.06 * math.Abs(math.Log2(gset/(4.0+4.0*shift)))
+	pen += 0.05 * math.Abs(math.Log2(dset/16.0))
+
+	// Interaction: high rank counts starve without enough subsweeps to
+	// overlap communication (the one genuinely non-separable term).
+	if ranks >= 16 && gset*dset < 32 {
+		pen += 0.12
+	}
+	return pen
+}
+
+// Exec returns the Kripke execution-time model (Fig. 2 dataset,
+// ~1609 configurations, values ≈ 8.43–18 s).
+var Exec = sync.OnceValue(func() *apps.Model {
+	sp := execSpace(0x1609, 0.5587)
+	return apps.NewModel(apps.Spec{
+		Name:      "kripke-exec",
+		Metric:    "execution time (s)",
+		Space:     sp,
+		Raw:       func(c space.Config) float64 { return rawTime(sp, c, 1, 0) },
+		TargetMin: 8.43,
+		TargetMax: 18.0,
+		Expert:    expertExec(sp),
+		ExpertNote: "manual sweep over loop orderings with a few group/energy " +
+			"sets at the default small run setup (paper §V-A: 15.2 s)",
+	})
+})
+
+// expertExec is the expert's manual pick: they sweep nesting orders
+// and a few set shapes but keep the default single-rank multithreaded
+// launch configuration, leaving most of the parallelism on the table —
+// which is why the paper's expert lands at 15.2 s against an 8.43 s
+// optimum.
+func expertExec(sp *space.Space) space.Config {
+	for _, c := range []space.Config{
+		{2, 1, 1, 2, 0}, // GDZ, gset 2, dset 16, omp 4, ranks 1
+		{0, 1, 1, 2, 0},
+		{2, 1, 1, 1, 1},
+		{2, 2, 1, 2, 0},
+		{0, 2, 1, 1, 1},
+	} {
+		if sp.Valid(c) {
+			return c
+		}
+	}
+	// Dropout removed all preferred picks; fall back to any valid config.
+	return sp.Enumerate()[0]
+}

@@ -1,0 +1,120 @@
+package lulesh
+
+import (
+	"testing"
+)
+
+func TestBestUsesTheBigThreeFlags(t *testing.T) {
+	tbl := Flags().Table()
+	_, cfg, _ := tbl.Best()
+	sp := tbl.Space
+	if sp.Param(iBuiltin).Level(int(cfg[iBuiltin])) != "on" {
+		t.Error("best config has builtins off")
+	}
+	if sp.Param(iMalloc).Level(int(cfg[iMalloc])) == "system" {
+		t.Error("best config uses the system allocator")
+	}
+	if sp.Param(iUnroll).Level(int(cfg[iUnroll])) == "off" {
+		t.Error("best config has unrolling off")
+	}
+}
+
+// Flipping builtin off must always slow a configuration down (the
+// dominant flag, importance 0.21).
+func TestBuiltinAlwaysHelps(t *testing.T) {
+	tbl := Flags().Table()
+	compared := 0
+	for i := 0; i < tbl.Len() && compared < 200; i++ {
+		cfg := tbl.Config(i)
+		if int(cfg[iBuiltin]) != 1 {
+			continue
+		}
+		alt := cfg.Clone()
+		alt[iBuiltin] = 0
+		v, ok := tbl.Lookup(alt)
+		if !ok {
+			continue
+		}
+		if v <= tbl.Value(i) {
+			t.Fatalf("builtin=off (%v) not slower than on (%v)", v, tbl.Value(i))
+		}
+		compared++
+	}
+	if compared < 50 {
+		t.Fatalf("only %d builtin pairs found", compared)
+	}
+}
+
+// All optimization levels are production levels: their spread must be
+// small (the paper's level importance is only 0.04).
+func TestLevelSpreadSmall(t *testing.T) {
+	tbl := Flags().Table()
+	sp := tbl.Space
+	for i := 0; i < tbl.Len() && i < 3000; i++ {
+		cfg := tbl.Config(i)
+		for l := 0; l < sp.Param(iLevel).Cardinality(); l++ {
+			alt := cfg.Clone()
+			alt[iLevel] = float64(l)
+			v, ok := tbl.Lookup(alt)
+			if !ok {
+				continue
+			}
+			rel := (v - tbl.Value(i)) / tbl.Value(i)
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > 0.10 {
+				t.Fatalf("level flip changed value by %.1f%% at %s", rel*100, sp.Describe(cfg))
+			}
+		}
+	}
+}
+
+// strategy and functions are noise-level (importance 0.00).
+func TestStrategyAndFunctionsNegligible(t *testing.T) {
+	tbl := Flags().Table()
+	checked := 0
+	for i := 0; i < tbl.Len() && checked < 100; i++ {
+		cfg := tbl.Config(i)
+		alt := cfg.Clone()
+		alt[iFunctions] = float64(1 - int(cfg[iFunctions]))
+		v, ok := tbl.Lookup(alt)
+		if !ok {
+			continue
+		}
+		rel := (v - tbl.Value(i)) / tbl.Value(i)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.03 {
+			t.Fatalf("functions flip changed value by %.1f%%", rel*100)
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d pairs found", checked)
+	}
+}
+
+func TestExpertIsDefaultO3Build(t *testing.T) {
+	m := Flags()
+	cfg, note := m.Expert()
+	sp := m.Space()
+	if !sp.Valid(cfg) {
+		t.Fatal("expert invalid")
+	}
+	if sp.Param(iLevel).Level(int(cfg[iLevel])) != "O3" {
+		t.Errorf("expert level = %s, want O3", sp.Param(iLevel).Level(int(cfg[iLevel])))
+	}
+	if sp.Param(iMalloc).Level(int(cfg[iMalloc])) != "system" {
+		t.Error("expert should use the default system allocator")
+	}
+	if note == "" {
+		t.Error("expert note empty")
+	}
+	v, _ := m.Table().Lookup(cfg)
+	_, _, best := m.Table().Best()
+	if v < 2*best {
+		t.Errorf("expert %v not ≈2.2x the best %v (paper: 6.02 vs 2.72)", v, best)
+	}
+}

@@ -1,0 +1,85 @@
+package openatom
+
+import (
+	"testing"
+)
+
+func TestBestGrainAtSweetSpot(t *testing.T) {
+	tbl := Decomposition().Table()
+	_, cfg, _ := tbl.Best()
+	sp := tbl.Space
+	sgrain := sp.Param(iSgrain).NumericValue(int(cfg[iSgrain]))
+	if sgrain != 64 && sgrain != 32 && sgrain != 128 {
+		t.Errorf("best sgrain = %v, want near the 64 sweet spot", sgrain)
+	}
+}
+
+// sgrain dominates (importance 0.26): extreme grains must be clearly
+// slower than the sweet spot at matched other parameters.
+func TestGrainPenaltyAsymmetric(t *testing.T) {
+	sp := Decomposition().Space()
+	mk := func(sgrainIdx int) float64 {
+		c := []float64{float64(sgrainIdx), 1, 1, 1, 1, 0, 0, 0}
+		return rawTime(sp, c)
+	}
+	sweet := mk(2)  // 64
+	coarse := mk(5) // 512
+	fine := mk(0)   // 16
+	if coarse <= sweet || fine <= sweet {
+		t.Fatalf("sweet spot not fastest: sweet=%v coarse=%v fine=%v", sweet, coarse, fine)
+	}
+	// Asymmetry: too coarse hurts more than too fine at equal log2
+	// distance (idle processors vs scheduling overhead).
+	coarse2 := mk(4) // 256 (+2 octaves)
+	fine2 := mk(0)   // 16 (-2 octaves)
+	if coarse2 <= fine2 {
+		t.Errorf("under-decomposition (%v) should cost more than over-decomposition (%v)", coarse2, fine2)
+	}
+}
+
+// ortho is irrelevant (importance 0.00).
+func TestOrthoNegligible(t *testing.T) {
+	tbl := Decomposition().Table()
+	checked := 0
+	for i := 0; i < tbl.Len() && checked < 100; i++ {
+		cfg := tbl.Config(i)
+		alt := cfg.Clone()
+		alt[iOrtho] = float64(1 - int(cfg[iOrtho]))
+		v, ok := tbl.Lookup(alt)
+		if !ok {
+			continue
+		}
+		rel := (v - tbl.Value(i)) / tbl.Value(i)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.06 {
+			t.Fatalf("ortho flip changed value by %.1f%%", rel*100)
+		}
+		checked++
+	}
+	if checked < 30 {
+		t.Fatalf("only %d ortho pairs found", checked)
+	}
+}
+
+func TestExpertSymmetricDecomposition(t *testing.T) {
+	m := Decomposition()
+	cfg, note := m.Expert()
+	sp := m.Space()
+	if !sp.Valid(cfg) {
+		t.Fatal("expert invalid")
+	}
+	if sp.Param(iOrtho).Level(int(cfg[iOrtho])) != "symmetric" {
+		t.Error("expert should use the symmetric decomposition")
+	}
+	if note == "" {
+		t.Error("expert note empty")
+	}
+	// Paper: expert 1.6 s vs best 1.24 s — a ~29% gap.
+	v, _ := m.Table().Lookup(cfg)
+	_, _, best := m.Table().Best()
+	if v < 1.15*best {
+		t.Errorf("expert %v too close to best %v", v, best)
+	}
+}

@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+func table(t *testing.T) *dataset.Table {
+	t.Helper()
+	sp := space.New(space.DiscreteInts("p", 0, 1, 2, 3, 4, 5, 6, 7))
+	configs := sp.Enumerate()
+	values := make([]float64, len(configs))
+	for i, c := range configs {
+		values[i] = (c[0] - 5) * (c[0] - 5)
+	}
+	return dataset.MustNew("t", "v", sp, configs, values)
+}
+
+func TestRandomSelectsDistinct(t *testing.T) {
+	tbl := table(t)
+	h, err := Random(tbl, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 5 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	// History rejects duplicates, so reaching 5 proves distinctness.
+}
+
+func TestRandomFullBudget(t *testing.T) {
+	tbl := table(t)
+	h, err := Random(tbl, tbl.Len(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Best().Value != 0 {
+		t.Fatalf("full random must find the optimum, got %v", h.Best().Value)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	tbl := table(t)
+	h1, _ := Random(tbl, 4, 9)
+	h2, _ := Random(tbl, 4, 9)
+	for i := 0; i < 4; i++ {
+		if h1.At(i).Value != h2.At(i).Value {
+			t.Fatal("not deterministic")
+		}
+	}
+	h3, _ := Random(tbl, 4, 10)
+	same := true
+	for i := 0; i < 4; i++ {
+		if h1.At(i).Value != h3.At(i).Value {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	tbl := table(t)
+	if _, err := Random(tbl, 0, 1); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	if _, err := Random(tbl, tbl.Len()+1, 1); err == nil {
+		t.Error("budget beyond dataset accepted")
+	}
+}
+
+func TestExhaustiveBest(t *testing.T) {
+	tbl := table(t)
+	best := ExhaustiveBest(tbl)
+	if best.Value != 0 || best.Config[0] != 5 {
+		t.Fatalf("best = %+v", best)
+	}
+}

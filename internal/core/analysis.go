@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// This file provides introspection on a fitted surrogate beyond the
+// single JS-divergence number of §VI: per-parameter marginal reports
+// showing *which* values the model believes are good, and a compact
+// textual rendering for logs and CLIs. The paper uses the surrogate
+// only to rank parameter importance; exposing the underlying densities
+// is the natural next step for users deciding how to set the
+// parameters they cannot afford to tune.
+
+// LevelBelief describes the surrogate's view of one discrete level.
+type LevelBelief struct {
+	// Label is the level's name.
+	Label string
+	// Good and Bad are the probability masses pg(level) and pb(level).
+	Good, Bad float64
+	// Lift is Good/Bad: values above 1 mark levels the model
+	// associates with good configurations.
+	Lift float64
+}
+
+// MarginalReport summarizes one parameter's fitted densities.
+type MarginalReport struct {
+	// Param is the parameter's name.
+	Param string
+	// Importance is the JS divergence between the good and bad
+	// densities (eq. 13).
+	Importance float64
+	// Levels holds per-level beliefs for discrete parameters, sorted
+	// by descending lift; empty for continuous parameters.
+	Levels []LevelBelief
+	// GoodPeak is, for continuous parameters, the grid point where the
+	// good density peaks (0 for discrete parameters).
+	GoodPeak float64
+}
+
+// Marginals returns one report per parameter, in parameter order.
+func (s *Surrogate) Marginals() []MarginalReport {
+	imp := s.Importance()
+	out := make([]MarginalReport, s.sp.NumParams())
+	for i := 0; i < s.sp.NumParams(); i++ {
+		p := s.sp.Param(i)
+		rep := MarginalReport{Param: p.Name, Importance: imp[i]}
+		switch p.Kind {
+		case space.DiscreteKind:
+			for l := 0; l < p.Cardinality(); l++ {
+				pg, pb := s.DensityAt(i, float64(l))
+				lift := pg / pb
+				rep.Levels = append(rep.Levels, LevelBelief{
+					Label: p.Level(l), Good: pg, Bad: pb, Lift: lift,
+				})
+			}
+			sort.Slice(rep.Levels, func(a, b int) bool {
+				if rep.Levels[a].Lift != rep.Levels[b].Lift {
+					return rep.Levels[a].Lift > rep.Levels[b].Lift
+				}
+				return rep.Levels[a].Label < rep.Levels[b].Label
+			})
+		case space.ContinuousKind:
+			// Scan a grid for the good-density peak.
+			const grid = 64
+			bestX, bestP := p.Lo, -1.0
+			for k := 0; k <= grid; k++ {
+				x := p.Lo + (p.Hi-p.Lo)*float64(k)/grid
+				pg, _ := s.DensityAt(i, x)
+				if pg > bestP {
+					bestP, bestX = pg, x
+				}
+			}
+			rep.GoodPeak = bestX
+		}
+		out[i] = rep
+	}
+	return out
+}
+
+// RenderMarginals formats the reports as a compact, aligned text block
+// sorted by descending importance.
+func RenderMarginals(reports []MarginalReport) string {
+	sorted := append([]MarginalReport(nil), reports...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Importance > sorted[b].Importance })
+	var b strings.Builder
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%-12s importance %.4f", r.Param, r.Importance)
+		if len(r.Levels) > 0 {
+			b.WriteString("  best levels:")
+			for i, l := range r.Levels {
+				if i >= 3 {
+					break
+				}
+				fmt.Fprintf(&b, " %s(%.2fx)", l.Label, l.Lift)
+			}
+		} else {
+			fmt.Fprintf(&b, "  good density peaks near %.4g", r.GoodPeak)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+func TestMarginalsDiscrete(t *testing.T) {
+	h := buildTestHistory(t) // a=0 good, a=2 bad, b irrelevant
+	s, err := BuildSurrogate(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := s.Marginals()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	a := reports[0]
+	if a.Param != "a" || len(a.Levels) != 3 {
+		t.Fatalf("report a wrong: %+v", a)
+	}
+	// Levels sorted by lift: "x" (level 0, the good one) first.
+	if a.Levels[0].Label != "x" {
+		t.Fatalf("top level = %s, want x", a.Levels[0].Label)
+	}
+	if a.Levels[0].Lift <= 1 {
+		t.Fatalf("good level lift = %v, want > 1", a.Levels[0].Lift)
+	}
+	last := a.Levels[len(a.Levels)-1]
+	if last.Lift >= 1 {
+		t.Fatalf("bad level lift = %v, want < 1", last.Lift)
+	}
+	if a.Importance <= reports[1].Importance {
+		t.Fatal("relevant parameter not more important")
+	}
+}
+
+func TestMarginalsContinuousPeak(t *testing.T) {
+	sp := space.New(space.Continuous("x", 0, 10))
+	h := NewHistory(sp)
+	for _, x := range []float64{1.8, 2.0, 2.2, 2.1, 1.9} {
+		h.MustAdd(space.Config{x}, 1)
+	}
+	for _, x := range []float64{5, 6, 7, 8, 9, 5.5, 6.5, 7.5, 8.5, 9.5,
+		4.8, 6.2, 7.7, 8.8, 9.2, 5.2, 6.8, 7.2, 8.2, 9.8} {
+		h.MustAdd(space.Config{x}, 10+x)
+	}
+	s, err := BuildSurrogate(h, SurrogateConfig{Quantile: 0.2, Bandwidth: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := s.Marginals()
+	if math.Abs(reports[0].GoodPeak-2.0) > 0.5 {
+		t.Fatalf("good peak at %v, want ~2", reports[0].GoodPeak)
+	}
+	if len(reports[0].Levels) != 0 {
+		t.Fatal("continuous report should have no levels")
+	}
+}
+
+func TestRenderMarginals(t *testing.T) {
+	h := buildTestHistory(t)
+	s, err := BuildSurrogate(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderMarginals(s.Marginals())
+	if !strings.Contains(out, "importance") || !strings.Contains(out, "best levels:") {
+		t.Fatalf("render missing fields:\n%s", out)
+	}
+	// Sorted by importance: parameter "a" line first.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "a") {
+		t.Fatalf("most important parameter not first:\n%s", out)
+	}
+}

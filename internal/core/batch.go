@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// This file extends the paper's one-candidate-per-iteration loop
+// (§III-A) with batch selection, for clusters that can evaluate
+// several configurations concurrently. The paper's framework "will
+// enable users to select good configurations ... reducing the user
+// effort and resource overhead"; in practice allocations run many jobs
+// at once, so the tuner must hand out k candidates per model update.
+//
+// Pure top-k by expected improvement degenerates to k near-identical
+// picks (the argmax and its Hamming neighbors), so SelectBatch
+// diversifies: candidates are ranked by EI score, then greedily
+// admitted subject to a minimum Hamming distance from the picks
+// already in the batch, relaxing the constraint when the pool runs
+// dry. With k = 1 this reduces exactly to the paper's selection.
+
+// SelectBatch returns up to k distinct, not-yet-evaluated
+// configurations to evaluate next, using the current surrogate. It
+// never evaluates the objective. The tuner must have completed its
+// initial sampling phase; call Step (or Run) through the initial
+// phase first.
+func (t *Tuner) SelectBatch(k int) ([]space.Config, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: SelectBatch with k < 1")
+	}
+	if t.history.Len() < t.opts.InitialSamples {
+		return nil, fmt.Errorf("core: SelectBatch before initial sampling is complete (%d/%d)",
+			t.history.Len(), t.opts.InitialSamples)
+	}
+	s, err := BuildSurrogate(t.history, t.opts.Surrogate)
+	if err != nil {
+		return nil, err
+	}
+	t.surrogate = s
+
+	switch t.strategy {
+	case Ranking:
+		return t.batchByRanking(s, k)
+	case Proposal:
+		return t.batchByProposal(s, k)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", t.strategy)
+	}
+}
+
+// Observe folds an externally evaluated observation into the history,
+// e.g. one produced from a SelectBatch candidate. Duplicates error.
+func (t *Tuner) Observe(c space.Config, value float64) error {
+	if err := t.history.Add(c, value); err != nil {
+		return err
+	}
+	t.markEvaluated(c)
+	if t.opts.OnStep != nil {
+		t.opts.OnStep(t.iter, Observation{Config: c.Clone(), Value: value})
+	}
+	t.iter++
+	return nil
+}
+
+// RunBatched runs the tuner with batches of size k: after the initial
+// samples, each model update hands out k candidates which are
+// evaluated (sequentially here; the eval function may parallelize
+// internally) and folded back in together.
+func (t *Tuner) RunBatched(budget, k int) (Observation, error) {
+	if k < 1 {
+		return Observation{}, fmt.Errorf("core: RunBatched with k < 1")
+	}
+	if budget < t.opts.InitialSamples {
+		return Observation{}, fmt.Errorf("core: budget %d below %d initial samples", budget, t.opts.InitialSamples)
+	}
+	for t.history.Len() < t.opts.InitialSamples {
+		if _, err := t.Step(); err != nil {
+			return Observation{}, err
+		}
+	}
+	for t.history.Len() < budget {
+		want := k
+		if rem := budget - t.history.Len(); want > rem {
+			want = rem
+		}
+		batch, err := t.SelectBatch(want)
+		if err != nil {
+			return Observation{}, err
+		}
+		if len(batch) == 0 {
+			break // pool exhausted
+		}
+		for _, c := range batch {
+			if err := t.Observe(c, t.obj(c)); err != nil {
+				return Observation{}, err
+			}
+		}
+	}
+	return t.history.Best(), nil
+}
+
+// batchByRanking ranks the remaining pool by score and greedily admits
+// candidates at pairwise Hamming distance >= minDist, halving the
+// distance requirement whenever a full pass admits nothing.
+func (t *Tuner) batchByRanking(s *Surrogate, k int) ([]space.Config, error) {
+	if len(t.remaining) == 0 {
+		return nil, nil
+	}
+	type scored struct {
+		idx   int
+		score float64
+	}
+	pool := make([]scored, len(t.remaining))
+	scores := make([]float64, len(t.remaining))
+	parallelFor(len(t.remaining), t.opts.Parallelism, func(i int) {
+		scores[i] = s.Score(t.candidates[t.remaining[i]])
+	})
+	for i, idx := range t.remaining {
+		pool[i] = scored{idx: idx, score: scores[i]}
+	}
+	sort.Slice(pool, func(a, b int) bool {
+		if pool[a].score != pool[b].score {
+			return pool[a].score > pool[b].score
+		}
+		return pool[a].idx < pool[b].idx
+	})
+
+	var picks []space.Config
+	minDist := 2
+	for len(picks) < k && minDist >= 0 {
+		admitted := 0
+		for _, cand := range pool {
+			if len(picks) >= k {
+				break
+			}
+			c := t.candidates[cand.idx]
+			if containsConfig(picks, c) {
+				continue
+			}
+			if minHamming(picks, c) >= minDist {
+				picks = append(picks, c)
+				admitted++
+			}
+		}
+		if admitted == 0 || len(picks) < k {
+			minDist-- // relax diversity until the batch fills
+		}
+	}
+	return picks, nil
+}
+
+// batchByProposal draws candidates from pg and keeps the k best
+// distinct ones.
+func (t *Tuner) batchByProposal(s *Surrogate, k int) ([]space.Config, error) {
+	type scored struct {
+		c     space.Config
+		score float64
+	}
+	var cands []scored
+	seen := make(map[string]bool)
+	draws := t.opts.ProposalCandidates * k
+	for i := 0; i < draws; i++ {
+		c := s.SampleGood(t.rng)
+		key := t.sp.Key(c)
+		if t.history.Contains(c) || seen[key] {
+			continue
+		}
+		seen[key] = true
+		cands = append(cands, scored{c: c, score: s.Score(c)})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]space.Config, len(cands))
+	for i, sc := range cands {
+		out[i] = sc.c
+	}
+	return out, nil
+}
+
+func containsConfig(set []space.Config, c space.Config) bool {
+	for _, s := range set {
+		if s.Equal(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// minHamming returns the smallest Hamming distance from c to any
+// configuration in set (or a large value for an empty set).
+func minHamming(set []space.Config, c space.Config) int {
+	if len(set) == 0 {
+		return 1 << 30
+	}
+	min := 1 << 30
+	for _, s := range set {
+		d := 0
+		for i := range c {
+			if s[i] != c[i] {
+				d++
+			}
+		}
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}

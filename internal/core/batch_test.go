@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+func TestSelectBatchDistinctAndUnevaluated(t *testing.T) {
+	tn, err := NewTuner(quadSpace(), quadObjective, Options{InitialSamples: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := tn.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := tn.SelectBatch(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 6 {
+		t.Fatalf("batch size %d, want 6", len(batch))
+	}
+	sp := quadSpace()
+	seen := map[string]bool{}
+	for _, c := range batch {
+		k := sp.Key(c)
+		if seen[k] {
+			t.Fatalf("duplicate %v in batch", c)
+		}
+		seen[k] = true
+		if tn.History().Contains(c) {
+			t.Fatalf("batch proposes evaluated config %v", c)
+		}
+	}
+}
+
+func TestSelectBatchSizeOneMatchesStep(t *testing.T) {
+	mk := func() *Tuner {
+		tn, err := NewTuner(quadSpace(), quadObjective, Options{InitialSamples: 8, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := tn.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tn
+	}
+	a := mk()
+	batch, err := a.SelectBatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := mk()
+	obs, err := b.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !batch[0].Equal(obs.Config) {
+		t.Fatalf("k=1 batch %v differs from Step pick %v", batch[0], obs.Config)
+	}
+}
+
+func TestSelectBatchBeforeInitFails(t *testing.T) {
+	tn, err := NewTuner(quadSpace(), quadObjective, Options{InitialSamples: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.SelectBatch(2); err == nil {
+		t.Fatal("SelectBatch before initialization accepted")
+	}
+	if _, err := tn.SelectBatch(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestObserveFoldsIn(t *testing.T) {
+	tn, err := NewTuner(quadSpace(), quadObjective, Options{InitialSamples: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := tn.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := space.Config{2, 3}
+	if tn.History().Contains(c) {
+		t.Skip("unlucky: optimum already sampled")
+	}
+	if err := tn.Observe(c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tn.Best().Value != 0 {
+		t.Fatal("observation not folded in")
+	}
+	if err := tn.Observe(c, 0); err == nil {
+		t.Fatal("duplicate Observe accepted")
+	}
+}
+
+func TestRunBatchedFindsOptimum(t *testing.T) {
+	tn, err := NewTuner(quadSpace(), quadObjective, Options{InitialSamples: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := tn.RunBatched(40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value != 0 {
+		t.Fatalf("batched tuning best = %+v", best)
+	}
+	if tn.Evaluations() != 40 {
+		t.Fatalf("evaluations = %d", tn.Evaluations())
+	}
+}
+
+func TestRunBatchedRespectsBudgetNotMultiple(t *testing.T) {
+	tn, err := NewTuner(quadSpace(), quadObjective, Options{InitialSamples: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.RunBatched(17, 5); err != nil { // 5 init + 2 batches of 5 + one of 2
+		t.Fatal(err)
+	}
+	if tn.Evaluations() != 17 {
+		t.Fatalf("evaluations = %d, want exactly 17", tn.Evaluations())
+	}
+}
+
+func TestRunBatchedProposalStrategy(t *testing.T) {
+	sp := space.New(space.Continuous("x", 0, 4))
+	obj := func(c space.Config) float64 { return (c[0] - 3) * (c[0] - 3) }
+	tn, err := NewTuner(sp, obj, Options{InitialSamples: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := tn.RunBatched(48, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := best.Config[0] - 3; d > 0.5 || d < -0.5 {
+		t.Fatalf("batched proposal best x = %v", best.Config[0])
+	}
+}
+
+func TestBatchDiversity(t *testing.T) {
+	tn, err := NewTuner(quadSpace(), quadObjective, Options{InitialSamples: 10, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := tn.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := tn.SelectBatch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one pair must differ in both coordinates: pure top-k
+	// would cluster around the argmax.
+	diverse := false
+	for i := 0; i < len(batch); i++ {
+		for j := i + 1; j < len(batch); j++ {
+			d := 0
+			for dim := range batch[i] {
+				if batch[i][dim] != batch[j][dim] {
+					d++
+				}
+			}
+			if d >= 2 {
+				diverse = true
+			}
+		}
+	}
+	if !diverse {
+		t.Fatalf("batch not diversified: %v", batch)
+	}
+}

@@ -1,0 +1,121 @@
+// Package core implements HiPerBOt, the paper's contribution: an
+// active-learning configuration-selection framework built on
+// Tree-structured-Parzen-Estimator-style Bayesian optimization
+// (paper §II-III, following Bergstra et al. 2011).
+//
+// The pieces map one-to-one onto the paper:
+//
+//   - History is the observation history H_t (§III-A);
+//   - Surrogate holds the factorized good/bad densities pg(x), pb(x)
+//     split at the α-quantile threshold y_τ (§II, §III-B) and scores
+//     candidates by the expected-improvement ratio pg(x)/pb(x) (eq. 5);
+//   - Prior carries source-domain densities for transfer learning and
+//     mixes them in with weight w (eqs. 9-10, §III-E);
+//   - Tuner runs the iterative select→evaluate→update loop (§III-C)
+//     with either the Ranking or the Proposal selection strategy
+//     (§III-D);
+//   - Importance ranks parameters by the Jensen-Shannon divergence
+//     between their good and bad densities (§VI).
+package core
+
+import (
+	"fmt"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Observation pairs an evaluated configuration with its objective
+// value (lower is better).
+type Observation struct {
+	Config space.Config
+	Value  float64
+}
+
+// History is the observation history H_t: every configuration whose
+// true objective has been computed, in evaluation order.
+type History struct {
+	sp   *space.Space
+	obs  []Observation
+	seen map[string]bool
+	best int // index of the best observation, -1 when empty
+}
+
+// NewHistory creates an empty history over the given space.
+func NewHistory(sp *space.Space) *History {
+	return &History{sp: sp, seen: make(map[string]bool), best: -1}
+}
+
+// Add appends an observation. Duplicate configurations are rejected
+// with an error: the paper's Ranking strategy guarantees no duplicate
+// evaluations, so a duplicate signals a selection bug (or a caller
+// re-evaluating a noisy objective, which this framework models as
+// deterministic tables).
+func (h *History) Add(c space.Config, v float64) error {
+	key := h.sp.Key(c)
+	if h.seen[key] {
+		return fmt.Errorf("core: duplicate observation for %s", h.sp.Describe(c))
+	}
+	h.seen[key] = true
+	h.obs = append(h.obs, Observation{Config: c.Clone(), Value: v})
+	if h.best < 0 || v < h.obs[h.best].Value {
+		h.best = len(h.obs) - 1
+	}
+	return nil
+}
+
+// MustAdd is Add but panics on duplicates.
+func (h *History) MustAdd(c space.Config, v float64) {
+	if err := h.Add(c, v); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of observations.
+func (h *History) Len() int { return len(h.obs) }
+
+// At returns the i-th observation in evaluation order.
+func (h *History) At(i int) Observation { return h.obs[i] }
+
+// Observations returns the full history slice (shared; do not mutate).
+func (h *History) Observations() []Observation { return h.obs }
+
+// Contains reports whether the configuration has been evaluated.
+func (h *History) Contains(c space.Config) bool {
+	return h.seen[h.sp.Key(c)]
+}
+
+// Best returns the best observation so far. It panics on an empty
+// history.
+func (h *History) Best() Observation {
+	if h.best < 0 {
+		panic("core: Best on empty history")
+	}
+	return h.obs[h.best]
+}
+
+// Values returns the objective values in evaluation order.
+func (h *History) Values() []float64 {
+	out := make([]float64, len(h.obs))
+	for i, o := range h.obs {
+		out[i] = o.Value
+	}
+	return out
+}
+
+// BestTrajectory returns, for each prefix length i+1, the best value
+// observed within the first i+1 evaluations — the "best configuration
+// vs sample size" curves of Figs. 2a-6a.
+func (h *History) BestTrajectory() []float64 {
+	out := make([]float64, len(h.obs))
+	for i, o := range h.obs {
+		if i == 0 || o.Value < out[i-1] {
+			out[i] = o.Value
+		} else {
+			out[i] = out[i-1]
+		}
+	}
+	return out
+}
+
+// Space returns the configuration space of the history.
+func (h *History) Space() *space.Space { return h.sp }

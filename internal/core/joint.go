@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// JointSurrogate is the ablation counterpart of the factorized
+// Surrogate: it estimates the *full joint* histograms pg(x) and pb(x)
+// over the discrete configuration grid instead of the per-parameter
+// product of eqs. 7-8.
+//
+// The paper rejects this design up front — "Estimating the full joint
+// distributions pg(x) and pb(x) over the parameter space is not
+// feasible as it would require significant amount of data" (§III-B) —
+// and the ablation bench quantifies why: with the paper's budgets
+// (tens to hundreds of samples over spaces of 10^3..10^4 cells) the
+// joint histogram is almost everywhere smoothing mass, so its EI
+// ranking degenerates to noise, while the factorized model already
+// separates good from bad marginals. JointSurrogate exists to make
+// that comparison runnable, not for production use.
+type JointSurrogate struct {
+	sp        *space.Space
+	threshold float64
+	smoothing float64
+	// Sparse counts keyed by the grid index; the (astronomically
+	// large) remaining mass is implicit smoothing.
+	goodCounts, badCounts map[int]float64
+	goodTotal, badTotal   float64
+	gridSize              float64
+}
+
+// BuildJointSurrogate fits the joint-histogram model to a history over
+// a fully discrete space.
+func BuildJointSurrogate(h *History, cfg SurrogateConfig) (*JointSurrogate, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if h.Len() == 0 {
+		return nil, fmt.Errorf("core: BuildJointSurrogate on empty history")
+	}
+	sp := h.Space()
+	if !sp.AllDiscrete() {
+		return nil, fmt.Errorf("core: joint surrogate requires a fully discrete space")
+	}
+	values := h.Values()
+	threshold := stats.Quantile(values, cfg.Quantile)
+	j := &JointSurrogate{
+		sp:         sp,
+		threshold:  threshold,
+		smoothing:  cfg.Smoothing,
+		goodCounts: make(map[int]float64),
+		badCounts:  make(map[int]float64),
+		gridSize:   float64(sp.GridSize()),
+	}
+	for _, o := range h.Observations() {
+		idx := sp.GridIndex(o.Config)
+		if o.Value <= threshold {
+			j.goodCounts[idx]++
+			j.goodTotal++
+		} else {
+			j.badCounts[idx]++
+			j.badTotal++
+		}
+	}
+	return j, nil
+}
+
+// Threshold returns the good/bad split value y_τ.
+func (j *JointSurrogate) Threshold() float64 { return j.threshold }
+
+// Score returns log pg(x) - log pb(x) under the joint histograms with
+// Laplace smoothing spread over the whole grid.
+func (j *JointSurrogate) Score(c space.Config) float64 {
+	idx := j.sp.GridIndex(c)
+	pg := (j.goodCounts[idx] + j.smoothing) / (j.goodTotal + j.smoothing*j.gridSize)
+	pb := (j.badCounts[idx] + j.smoothing) / (j.badTotal + j.smoothing*j.gridSize)
+	return math.Log(pg) - math.Log(pb)
+}
+
+// CoverageFraction reports how much of the grid carries any observed
+// mass — the data-sparsity number behind the paper's infeasibility
+// argument (≈ |H| / gridSize for deduplicated histories).
+func (j *JointSurrogate) CoverageFraction() float64 {
+	seen := make(map[int]struct{}, len(j.goodCounts)+len(j.badCounts))
+	for idx := range j.goodCounts {
+		seen[idx] = struct{}{}
+	}
+	for idx := range j.badCounts {
+		seen[idx] = struct{}{}
+	}
+	return float64(len(seen)) / j.gridSize
+}

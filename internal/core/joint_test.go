@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+func TestJointSurrogateScoresObservedGoodHigher(t *testing.T) {
+	h := buildTestHistory(t)
+	j, err := BuildJointSurrogate(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A configuration actually observed as good must outscore one
+	// actually observed as bad.
+	var goodCfg, badCfg space.Config
+	for _, o := range h.Observations() {
+		if o.Value <= j.Threshold() && goodCfg == nil {
+			goodCfg = o.Config
+		}
+		if o.Value > j.Threshold() && badCfg == nil {
+			badCfg = o.Config
+		}
+	}
+	if goodCfg == nil || badCfg == nil {
+		t.Fatal("history lacks both labels")
+	}
+	if j.Score(goodCfg) <= j.Score(badCfg) {
+		t.Fatalf("joint score: good %v <= bad %v", j.Score(goodCfg), j.Score(badCfg))
+	}
+}
+
+// The paper's infeasibility argument: on a realistic grid, the joint
+// model cannot generalize — unobserved cells all score identically
+// (pure smoothing), so it cannot rank the unseen good region above the
+// unseen bad region, while the factorized model can.
+func TestJointCannotGeneralizeFactorizedCan(t *testing.T) {
+	sp := space.New(
+		space.DiscreteInts("a", 0, 1, 2, 3, 4, 5, 6, 7),
+		space.DiscreteInts("b", 0, 1, 2, 3, 4, 5, 6, 7),
+		space.DiscreteInts("c", 0, 1, 2, 3, 4, 5, 6, 7),
+	) // 512 cells
+	obj := func(c space.Config) float64 {
+		return math.Abs(c[0]-2) + math.Abs(c[1]-5) + math.Abs(c[2]-3)
+	}
+	h := NewHistory(sp)
+	r := stats.NewRNG(5)
+	for h.Len() < 40 {
+		c := sp.Sample(r)
+		if h.Contains(c) {
+			continue
+		}
+		h.MustAdd(c, obj(c))
+	}
+	// Two configurations the history has (almost surely) not seen:
+	// the global optimum and a far corner.
+	best := space.Config{2, 5, 3}
+	worst := space.Config{7, 0, 7}
+	if h.Contains(best) || h.Contains(worst) {
+		t.Skip("unlucky sample hit the probe configs")
+	}
+
+	fact, err := BuildSurrogate(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fact.Score(best) <= fact.Score(worst) {
+		t.Fatalf("factorized model failed to generalize: %v <= %v",
+			fact.Score(best), fact.Score(worst))
+	}
+
+	joint, err := BuildJointSurrogate(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.Score(best) != joint.Score(worst) {
+		t.Fatalf("joint model should be indifferent between unseen cells: %v vs %v",
+			joint.Score(best), joint.Score(worst))
+	}
+	if cov := joint.CoverageFraction(); cov > 0.1 {
+		t.Fatalf("coverage %v unexpectedly high", cov)
+	}
+}
+
+func TestJointSurrogateValidation(t *testing.T) {
+	if _, err := BuildJointSurrogate(NewHistory(histSpace()), SurrogateConfig{}); err == nil {
+		t.Error("empty history accepted")
+	}
+	cont := space.New(space.Continuous("x", 0, 1))
+	h := NewHistory(cont)
+	h.MustAdd(space.Config{0.5}, 1)
+	if _, err := BuildJointSurrogate(h, SurrogateConfig{}); err == nil {
+		t.Error("continuous space accepted")
+	}
+}
+
+func TestJointCoverageMatchesHistory(t *testing.T) {
+	h := buildTestHistory(t)
+	j, err := BuildJointSurrogate(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(h.Len()) / float64(histSpace().GridSize())
+	if math.Abs(j.CoverageFraction()-want) > 1e-9 {
+		t.Fatalf("coverage %v, want %v", j.CoverageFraction(), want)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Persistence: tuning campaigns over real applications run for hours
+// and die for boring reasons (node reclaimed, queue timeout). A
+// History can be checkpointed to CSV after every evaluation and a new
+// Tuner resumed from it via Options.Resume, continuing exactly where
+// the campaign stopped — no evaluations are repeated because resumed
+// configurations are removed from the candidate pool.
+
+// WriteCSV serializes the history in evaluation order using the same
+// column format as dataset CSVs (parameter columns, then "value").
+func (h *History) WriteCSV(w io.Writer) error {
+	if h.Len() == 0 {
+		return fmt.Errorf("core: cannot serialize an empty history")
+	}
+	configs := make([]space.Config, h.Len())
+	values := make([]float64, h.Len())
+	for i, o := range h.obs {
+		configs[i] = o.Config
+		values[i] = o.Value
+	}
+	tbl, err := dataset.New("history", "value", h.sp, configs, values)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return tbl.WriteCSV(w)
+}
+
+// LoadHistoryCSV reads a history written by WriteCSV, preserving the
+// evaluation order.
+func LoadHistoryCSV(sp *space.Space, r io.Reader) (*History, error) {
+	tbl, err := dataset.ReadCSV("history", sp, r)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	h := NewHistory(sp)
+	for i := 0; i < tbl.Len(); i++ {
+		if err := h.Add(tbl.Config(i), tbl.Value(i)); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Resume seeds the tuner with previously collected observations (e.g.
+// a checkpointed history). Resumed observations count toward the
+// initial-sample quota, so a tuner resumed past InitialSamples goes
+// straight to model-guided selection. It must be called before any
+// Step/Run, and every resumed configuration must be valid (and, under
+// Ranking, part of the candidate pool).
+func (t *Tuner) Resume(h *History) error {
+	if t.history.Len() > 0 {
+		return fmt.Errorf("core: Resume after evaluations have started")
+	}
+	if h == nil || h.Len() == 0 {
+		return fmt.Errorf("core: Resume with an empty history")
+	}
+	for _, o := range h.Observations() {
+		if err := t.sp.Check(o.Config); err != nil {
+			return fmt.Errorf("core: resumed observation invalid: %w", err)
+		}
+		if t.strategy == Ranking {
+			if _, ok := t.pos[t.sp.Key(o.Config)]; !ok {
+				return fmt.Errorf("core: resumed configuration %s not in the candidate pool",
+					t.sp.Describe(o.Config))
+			}
+		}
+		if err := t.history.Add(o.Config, o.Value); err != nil {
+			return err
+		}
+		t.markEvaluated(o.Config)
+		t.iter++
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// Property: for any randomly shaped discrete space and any objective,
+// the tuner (a) never errors within a valid budget, (b) never
+// evaluates a configuration twice, (c) evaluates exactly the budget,
+// and (d) its best matches the minimum over its own history.
+func TestTunerInvariantsRandomSpaces(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		nParams := 1 + r.Intn(4)
+		params := make([]space.Param, nParams)
+		for i := range params {
+			k := 2 + r.Intn(5)
+			vals := make([]int, k)
+			for j := range vals {
+				vals[j] = j
+			}
+			params[i] = space.DiscreteInts(string(rune('a'+i)), vals...)
+		}
+		sp := space.New(params...)
+		size := sp.GridSize()
+
+		// A rugged deterministic objective.
+		obj := func(c space.Config) float64 {
+			parts := make([]uint64, len(c)+1)
+			parts[0] = seed
+			for i, v := range c {
+				parts[i+1] = uint64(int(v))
+			}
+			return stats.HashUnit(parts...) * 100
+		}
+
+		init := 2 + r.Intn(5)
+		if init > size {
+			init = size
+		}
+		budget := init + r.Intn(size-init+1)
+		tn, err := NewTuner(sp, obj, Options{InitialSamples: init, Seed: seed})
+		if err != nil {
+			t.Logf("seed %d: NewTuner: %v", seed, err)
+			return false
+		}
+		best, err := tn.Run(budget)
+		if err != nil {
+			t.Logf("seed %d: Run: %v", seed, err)
+			return false
+		}
+		h := tn.History()
+		if h.Len() != budget {
+			t.Logf("seed %d: evaluated %d, budget %d", seed, h.Len(), budget)
+			return false
+		}
+		// Duplicates are impossible (History rejects them), but verify
+		// the best is consistent with the trajectory.
+		minSeen := h.At(0).Value
+		for i := 1; i < h.Len(); i++ {
+			if h.At(i).Value < minSeen {
+				minSeen = h.At(i).Value
+			}
+		}
+		if best.Value != minSeen {
+			t.Logf("seed %d: best %v != trajectory min %v", seed, best.Value, minSeen)
+			return false
+		}
+		// Full-space budgets must find the global optimum.
+		if budget == size {
+			globalBest := -1.0
+			for _, c := range sp.Enumerate() {
+				v := obj(c)
+				if globalBest < 0 || v < globalBest {
+					globalBest = v
+				}
+			}
+			if best.Value != globalBest {
+				t.Logf("seed %d: full sweep best %v != global %v", seed, best.Value, globalBest)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: surrogate scores are always finite on valid configurations
+// for any history shape.
+func TestSurrogateScoresFiniteRandomHistories(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		sp := space.New(
+			space.DiscreteInts("a", 0, 1, 2, 3),
+			space.DiscreteInts("b", 0, 1, 2),
+		)
+		h := NewHistory(sp)
+		n := 1 + r.Intn(12)
+		all := sp.Enumerate()
+		for _, idx := range r.SampleWithoutReplacement(len(all), n) {
+			h.MustAdd(all[idx], r.Float64()*10)
+		}
+		s, err := BuildSurrogate(h, SurrogateConfig{})
+		if err != nil {
+			return false
+		}
+		for _, c := range all {
+			v := s.Score(c)
+			if v != v || v > 1e300 || v < -1e300 { // NaN or overflow
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Recorder streams tuning-session events as JSON Lines — one object
+// per evaluation — so long campaigns can be monitored (tail -f) and
+// post-processed without custom parsing. Wire it up through
+// Options.OnStep:
+//
+//	rec := core.NewRecorder(w, sp)
+//	opts.OnStep = rec.OnStep
+//
+// Each line carries the iteration, the configuration (as a
+// name→label map), the measured value, and the best value so far.
+type Recorder struct {
+	mu   sync.Mutex
+	enc  *json.Encoder
+	sp   *space.Space
+	best float64
+	n    int
+	err  error
+}
+
+// RecorderEvent is the JSONL schema of one evaluation.
+type RecorderEvent struct {
+	Iteration int               `json:"iteration"`
+	Config    map[string]string `json:"config"`
+	Value     float64           `json:"value"`
+	BestSoFar float64           `json:"best_so_far"`
+}
+
+// NewRecorder creates a recorder writing to w for configurations of sp.
+func NewRecorder(w io.Writer, sp *space.Space) *Recorder {
+	return &Recorder{enc: json.NewEncoder(w), sp: sp}
+}
+
+// OnStep is an Options.OnStep callback. Write errors are sticky and
+// reported by Err (OnStep has no error return).
+func (r *Recorder) OnStep(iteration int, obs Observation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 || obs.Value < r.best {
+		r.best = obs.Value
+	}
+	r.n++
+	cfg := make(map[string]string, r.sp.NumParams())
+	for i := 0; i < r.sp.NumParams(); i++ {
+		p := r.sp.Param(i)
+		if p.Kind == space.DiscreteKind {
+			cfg[p.Name] = p.Level(int(obs.Config[i]))
+		} else {
+			cfg[p.Name] = fmt.Sprintf("%g", obs.Config[i])
+		}
+	}
+	if err := r.enc.Encode(RecorderEvent{
+		Iteration: iteration,
+		Config:    cfg,
+		Value:     obs.Value,
+		BestSoFar: r.best,
+	}); err != nil && r.err == nil {
+		r.err = err
+	}
+}
+
+// Err returns the first write error, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Events returns the number of events recorded.
+func (r *Recorder) Events() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// ReadEvents parses a JSONL stream written by a Recorder.
+func ReadEvents(rd io.Reader) ([]RecorderEvent, error) {
+	dec := json.NewDecoder(rd)
+	var out []RecorderEvent
+	for {
+		var ev RecorderEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("core: reading events: %w", err)
+		}
+		out = append(out, ev)
+	}
+}

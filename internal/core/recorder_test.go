@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+func TestRecorderStreamsEvents(t *testing.T) {
+	sp := quadSpace()
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, sp)
+	tn, err := NewTuner(sp, quadObjective, Options{
+		InitialSamples: 5, Seed: 4, OnStep: rec.OnStep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Err() != nil {
+		t.Fatal(rec.Err())
+	}
+	if rec.Events() != 12 {
+		t.Fatalf("events = %d", rec.Events())
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 12 {
+		t.Fatalf("parsed %d events", len(events))
+	}
+	prevBest := events[0].BestSoFar
+	for i, ev := range events {
+		if ev.Iteration != i {
+			t.Fatalf("iteration %d at position %d", ev.Iteration, i)
+		}
+		if len(ev.Config) != 2 {
+			t.Fatalf("config map %v", ev.Config)
+		}
+		if ev.BestSoFar > prevBest {
+			t.Fatalf("best_so_far increased at %d", i)
+		}
+		prevBest = ev.BestSoFar
+	}
+	if events[len(events)-1].BestSoFar != tn.Best().Value {
+		t.Fatal("final best mismatch")
+	}
+}
+
+func TestRecorderConfigLabels(t *testing.T) {
+	sp := histSpace() // a: x/y/z, b: ints
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, sp)
+	rec.OnStep(0, Observation{Config: space.Config{2, 1}, Value: 3})
+	out := buf.String()
+	for _, want := range []string{`"a":"z"`, `"b":"2"`, `"value":3`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("event missing %s: %s", want, out)
+		}
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// density is a one-dimensional probability density over a single
+// parameter's domain, the building block of the factorized surrogate
+// (paper eq. 7-8).
+type density interface {
+	// logProb returns the log density/mass at the parameter value
+	// (level index for discrete parameters, real value for continuous).
+	logProb(x float64) float64
+	// sample draws a value from the density.
+	sample(r *stats.RNG) float64
+	// probs returns a discretized probability vector for divergence
+	// computations (§VI).
+	probs() []float64
+}
+
+// discreteDensity wraps a smoothed categorical histogram (§III-B.1).
+// Log masses are precomputed: Ranking scores every candidate in the
+// space each iteration, so logProb sits on the hot path.
+type discreteDensity struct {
+	cat  *stats.Categorical
+	logP []float64
+}
+
+func newDiscreteDensity(cat *stats.Categorical) discreteDensity {
+	logP := make([]float64, cat.K())
+	for i := range logP {
+		logP[i] = math.Log(cat.Prob(i))
+	}
+	return discreteDensity{cat: cat, logP: logP}
+}
+
+func (d discreteDensity) logProb(x float64) float64 {
+	return d.logP[int(x)]
+}
+func (d discreteDensity) sample(r *stats.RNG) float64 {
+	return float64(d.cat.Sample(r))
+}
+func (d discreteDensity) probs() []float64 { return d.cat.Probs() }
+
+// continuousDensity wraps a Gaussian KDE (§III-B.2) with the parameter
+// bounds and a bin count for discretized divergences.
+type continuousDensity struct {
+	kde    *stats.KDE
+	lo, hi float64
+	bins   int
+}
+
+func (d continuousDensity) logProb(x float64) float64 {
+	p := d.kde.Density(x)
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+func (d continuousDensity) sample(r *stats.RNG) float64 {
+	return d.kde.Sample(r)
+}
+func (d continuousDensity) probs() []float64 {
+	return d.kde.DiscretizedProbs(d.lo, d.hi, d.bins)
+}
+
+// SurrogateConfig collects the surrogate's hyperparameters.
+type SurrogateConfig struct {
+	// Quantile is α: the fraction of the history labeled "good"
+	// (paper §III-C step 2; 0.20 in the paper's experiments).
+	Quantile float64
+	// Smoothing is the Laplace pseudo-count for discrete histograms.
+	Smoothing float64
+	// Bandwidth is the Gaussian-kernel bandwidth for continuous
+	// parameters; <= 0 selects Scott's rule per density.
+	Bandwidth float64
+	// Bins discretizes continuous densities for importance analysis.
+	Bins int
+	// Prior, when non-nil, mixes source-domain densities into pg/pb
+	// with weight PriorWeight (paper eqs. 9-10).
+	Prior *Prior
+	// PriorWeight is w in eqs. 9-10.
+	PriorWeight float64
+}
+
+// withDefaults fills unset fields with the paper's choices.
+func (c SurrogateConfig) withDefaults() SurrogateConfig {
+	if c.Quantile == 0 {
+		c.Quantile = 0.20
+	}
+	if c.Smoothing == 0 {
+		c.Smoothing = 1.0
+	}
+	if c.Bins == 0 {
+		c.Bins = 20
+	}
+	if c.PriorWeight == 0 {
+		c.PriorWeight = 1.0
+	}
+	return c
+}
+
+func (c SurrogateConfig) validate() error {
+	if c.Quantile <= 0 || c.Quantile >= 1 {
+		return fmt.Errorf("core: quantile %v outside (0,1)", c.Quantile)
+	}
+	if c.Smoothing <= 0 {
+		return fmt.Errorf("core: smoothing %v must be positive", c.Smoothing)
+	}
+	if c.Bins < 2 {
+		return fmt.Errorf("core: bins %v must be >= 2", c.Bins)
+	}
+	if c.PriorWeight < 0 {
+		return fmt.Errorf("core: prior weight %v must be >= 0", c.PriorWeight)
+	}
+	return nil
+}
+
+// Surrogate is the cheap model I_t(x) of the expensive objective: a
+// pair of factorized densities pg (good) and pb (bad) split at the
+// α-quantile threshold y_τ.
+type Surrogate struct {
+	sp        *space.Space
+	good, bad []density
+	threshold float64
+	nGood     int
+	nBad      int
+	alpha     float64
+}
+
+// BuildSurrogate constructs the surrogate from the observation
+// history (paper §III-C step 2). The history must be non-empty.
+func BuildSurrogate(h *History, cfg SurrogateConfig) (*Surrogate, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if h.Len() == 0 {
+		return nil, fmt.Errorf("core: BuildSurrogate on empty history")
+	}
+	sp := h.Space()
+	if cfg.Prior != nil && cfg.Prior.sp != sp {
+		if cfg.Prior.sp.NumParams() != sp.NumParams() {
+			return nil, fmt.Errorf("core: prior space has %d parameters, target has %d",
+				cfg.Prior.sp.NumParams(), sp.NumParams())
+		}
+		for i := 0; i < sp.NumParams(); i++ {
+			a, b := cfg.Prior.sp.Param(i), sp.Param(i)
+			if a.Name != b.Name || a.Kind != b.Kind || a.Cardinality() != b.Cardinality() {
+				return nil, fmt.Errorf("core: prior parameter %d (%s) incompatible with target (%s)",
+					i, a.Name, b.Name)
+			}
+		}
+	}
+
+	// Split the history at the α-quantile: y_τ with p(y < y_τ) = α.
+	values := h.Values()
+	threshold := stats.Quantile(values, cfg.Quantile)
+	var goodObs, badObs []Observation
+	for _, o := range h.Observations() {
+		if o.Value <= threshold {
+			goodObs = append(goodObs, o)
+		} else {
+			badObs = append(badObs, o)
+		}
+	}
+
+	s := &Surrogate{
+		sp:        sp,
+		threshold: threshold,
+		nGood:     len(goodObs),
+		nBad:      len(badObs),
+		alpha:     cfg.Quantile,
+	}
+	s.good = make([]density, sp.NumParams())
+	s.bad = make([]density, sp.NumParams())
+	for i := 0; i < sp.NumParams(); i++ {
+		var priorGood, priorBad density
+		if cfg.Prior != nil {
+			priorGood, priorBad = cfg.Prior.good[i], cfg.Prior.bad[i]
+		}
+		s.good[i] = buildDensity(sp.Param(i), goodObs, i, cfg, priorGood, cfg.PriorWeight)
+		s.bad[i] = buildDensity(sp.Param(i), badObs, i, cfg, priorBad, cfg.PriorWeight)
+	}
+	return s, nil
+}
+
+// buildDensity estimates one parameter's density from the given
+// observation partition, optionally mixing in a source-domain prior.
+func buildDensity(p space.Param, obs []Observation, dim int, cfg SurrogateConfig, prior density, w float64) density {
+	switch p.Kind {
+	case space.DiscreteKind:
+		var cat *stats.Categorical
+		if len(obs) == 0 {
+			cat = stats.NewCategorical(p.Cardinality())
+		} else {
+			levels := make([]int, len(obs))
+			for i, o := range obs {
+				levels[i] = int(o.Config[dim])
+			}
+			cat = stats.CategoricalFromObservations(levels, p.Cardinality(), cfg.Smoothing)
+		}
+		if prior != nil && w > 0 {
+			cat = stats.Mix(prior.(discreteDensity).cat, w, cat, 1)
+		}
+		return newDiscreteDensity(cat)
+	case space.ContinuousKind:
+		var kde *stats.KDE
+		if len(obs) == 0 {
+			kde = stats.UniformKDE(p.Lo, p.Hi)
+		} else {
+			points := make([]float64, len(obs))
+			for i, o := range obs {
+				points[i] = o.Config[dim]
+			}
+			kde = stats.NewKDE(points, cfg.Bandwidth)
+			kde.SetBounds(p.Lo, p.Hi)
+		}
+		if prior != nil && w > 0 {
+			kde = stats.MergeKDE(prior.(continuousDensity).kde, w, kde, 1)
+			kde.SetBounds(p.Lo, p.Hi)
+		}
+		return continuousDensity{kde: kde, lo: p.Lo, hi: p.Hi, bins: cfg.Bins}
+	default:
+		panic(fmt.Sprintf("core: unknown parameter kind %v", p.Kind))
+	}
+}
+
+// Threshold returns y_τ, the good/bad split value.
+func (s *Surrogate) Threshold() float64 { return s.threshold }
+
+// GoodCount and BadCount report the partition sizes.
+func (s *Surrogate) GoodCount() int { return s.nGood }
+
+// BadCount reports the size of the bad partition.
+func (s *Surrogate) BadCount() int { return s.nBad }
+
+// Score returns the log expected-improvement score
+// log pg(x) - log pb(x). The expected improvement of eq. 5 is a
+// monotone function of pg/pb, so ranking by this score is equivalent
+// to ranking by EI while staying numerically stable for many
+// parameters.
+func (s *Surrogate) Score(c space.Config) float64 {
+	var score float64
+	for i := range s.good {
+		score += s.good[i].logProb(c[i]) - s.bad[i].logProb(c[i])
+	}
+	return score
+}
+
+// EI returns the expected improvement of eq. 5 up to the constant
+// factor: 1 / (α + (pb/pg)(1-α)). Exposed for the Fig. 1 toy
+// visualization; selection uses Score.
+func (s *Surrogate) EI(c space.Config) float64 {
+	ratio := math.Exp(-s.Score(c)) // pb/pg
+	return 1 / (s.alpha + ratio*(1-s.alpha))
+}
+
+// DensityAt returns pg and pb for a single parameter value, for
+// plotting the Fig. 1 densities.
+func (s *Surrogate) DensityAt(dim int, x float64) (pg, pb float64) {
+	return math.Exp(s.good[dim].logProb(x)), math.Exp(s.bad[dim].logProb(x))
+}
+
+// SampleGood draws a configuration from the factorized good density
+// pg(x) — the Proposal strategy's candidate generator (§III-D). For
+// constrained spaces it retries until a valid configuration appears.
+func (s *Surrogate) SampleGood(r *stats.RNG) space.Config {
+	const maxTries = 10000
+	for try := 0; try < maxTries; try++ {
+		c := make(space.Config, len(s.good))
+		for i, d := range s.good {
+			c[i] = d.sample(r)
+		}
+		if s.sp.Valid(c) {
+			return c
+		}
+	}
+	// The good density concentrates on an invalid region; fall back to
+	// a uniform valid sample rather than spinning forever.
+	return s.sp.Sample(r)
+}
+
+// Importance returns the Jensen-Shannon divergence between pg and pb
+// for every parameter (paper §VI, eqs. 13-14): the relative importance
+// of each parameter in separating good from bad configurations.
+func (s *Surrogate) Importance() []float64 {
+	out := make([]float64, len(s.good))
+	for i := range s.good {
+		out[i] = stats.JSDivergence(s.good[i].probs(), s.bad[i].probs())
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// buildTestHistory creates a history where level 0 of parameter "a" is
+// clearly good and level 2 clearly bad; parameter "b" is irrelevant.
+func buildTestHistory(t *testing.T) *History {
+	t.Helper()
+	sp := histSpace() // a: 3 levels, b: 4 levels
+	h := NewHistory(sp)
+	r := stats.NewRNG(1)
+	for i := 0; i < 40; i++ {
+		a := i % 3
+		b := r.Intn(4)
+		v := float64(10 * a) // a=0 → 0, a=1 → 10, a=2 → 20
+		// tiny jitter to avoid exact ties (deterministic)
+		v += float64(i) * 1e-6
+		if err := h.Add(space.Config{float64(a), float64(b)}, v); err != nil {
+			// duplicates possible; skip
+			continue
+		}
+	}
+	return h
+}
+
+func TestSurrogateThresholdSplitsQuantile(t *testing.T) {
+	h := buildTestHistory(t)
+	s, err := BuildSurrogate(h, SurrogateConfig{Quantile: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.GoodCount() + s.BadCount()
+	if total != h.Len() {
+		t.Fatalf("partition sizes %d+%d != %d", s.GoodCount(), s.BadCount(), h.Len())
+	}
+	frac := float64(s.GoodCount()) / float64(total)
+	if frac < 0.15 || frac > 0.45 {
+		t.Fatalf("good fraction = %v, want near 0.25", frac)
+	}
+	// Every good value must be <= threshold, every bad value > threshold.
+	for _, o := range h.Observations() {
+		if o.Value <= s.Threshold() {
+			continue
+		}
+	}
+}
+
+func TestSurrogateScoresGoodLevelHigher(t *testing.T) {
+	h := buildTestHistory(t)
+	s, err := BuildSurrogate(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := s.Score(space.Config{0, 1})
+	bad := s.Score(space.Config{2, 1})
+	if good <= bad {
+		t.Fatalf("Score(good)=%v <= Score(bad)=%v", good, bad)
+	}
+}
+
+func TestSurrogateEIMonotoneInScore(t *testing.T) {
+	h := buildTestHistory(t)
+	s, err := BuildSurrogate(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EI (eq. 5) must rank candidates exactly as the log-score does.
+	configs := []space.Config{{0, 0}, {1, 1}, {2, 2}, {0, 3}, {1, 0}}
+	for i := 0; i < len(configs); i++ {
+		for j := i + 1; j < len(configs); j++ {
+			si, sj := s.Score(configs[i]), s.Score(configs[j])
+			ei, ej := s.EI(configs[i]), s.EI(configs[j])
+			if (si > sj) != (ei > ej) && si != sj {
+				t.Fatalf("EI and Score disagree on %v vs %v", configs[i], configs[j])
+			}
+		}
+	}
+}
+
+func TestSurrogateIrrelevantParamNearUniform(t *testing.T) {
+	h := buildTestHistory(t)
+	s, err := BuildSurrogate(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := s.Importance()
+	if imp[0] <= imp[1] {
+		t.Fatalf("importance: relevant %v <= irrelevant %v", imp[0], imp[1])
+	}
+	if imp[1] > 0.2 {
+		t.Fatalf("irrelevant parameter importance = %v, want small", imp[1])
+	}
+	for _, v := range imp {
+		if v < 0 || v > math.Ln2+1e-9 {
+			t.Fatalf("importance %v outside [0, ln2]", v)
+		}
+	}
+}
+
+func TestSurrogateSampleGoodPrefersGoodLevels(t *testing.T) {
+	h := buildTestHistory(t)
+	s, err := BuildSurrogate(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(7)
+	count0 := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		c := s.SampleGood(r)
+		if int(c[0]) == 0 {
+			count0++
+		}
+	}
+	if float64(count0)/n < 0.5 {
+		t.Fatalf("SampleGood picked the good level only %d/%d times", count0, n)
+	}
+}
+
+func TestSurrogateEmptyHistoryFails(t *testing.T) {
+	if _, err := BuildSurrogate(NewHistory(histSpace()), SurrogateConfig{}); err == nil {
+		t.Fatal("expected error on empty history")
+	}
+}
+
+func TestSurrogateConfigValidation(t *testing.T) {
+	h := buildTestHistory(t)
+	bad := []SurrogateConfig{
+		{Quantile: -0.1},
+		{Quantile: 1.0},
+		{Quantile: 0.2, Smoothing: -1},
+		{Quantile: 0.2, Bins: 1},
+		{Quantile: 0.2, PriorWeight: -2},
+	}
+	for i, cfg := range bad {
+		if _, err := BuildSurrogate(h, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSurrogateContinuousDensities(t *testing.T) {
+	sp := space.New(space.Continuous("x", 0, 10))
+	h := NewHistory(sp)
+	// Good cluster near 2, bad cluster near 8.
+	goodXs := []float64{1.8, 2.0, 2.1, 2.3, 1.9}
+	badXs := []float64{7.5, 8.0, 8.2, 8.5, 7.8, 8.1, 7.9, 8.3, 7.7, 8.4,
+		6.9, 7.2, 9.0, 8.8, 7.4, 8.6, 9.1, 7.1, 6.8, 9.2}
+	for _, x := range goodXs {
+		h.MustAdd(space.Config{x}, 1+x*0.01)
+	}
+	for _, x := range badXs {
+		h.MustAdd(space.Config{x}, 10+x*0.01)
+	}
+	s, err := BuildSurrogate(h, SurrogateConfig{Quantile: 0.2, Bandwidth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Score(space.Config{2}) <= s.Score(space.Config{8}) {
+		t.Fatal("continuous surrogate prefers the bad cluster")
+	}
+	pg, pb := s.DensityAt(0, 2.0)
+	if pg <= pb {
+		t.Fatalf("pg(2)=%v <= pb(2)=%v", pg, pb)
+	}
+	// Proposal sampling stays in bounds and favors the good cluster.
+	r := stats.NewRNG(3)
+	near2 := 0
+	for i := 0; i < 500; i++ {
+		c := s.SampleGood(r)
+		if c[0] < 0 || c[0] > 10 {
+			t.Fatalf("sample %v out of bounds", c[0])
+		}
+		if math.Abs(c[0]-2) < 2 {
+			near2++
+		}
+	}
+	if near2 < 300 {
+		t.Fatalf("only %d/500 proposals near the good cluster", near2)
+	}
+}
+
+func TestSurrogateAllGoodOrAllBadDoesNotCrash(t *testing.T) {
+	sp := histSpace()
+	h := NewHistory(sp)
+	// All identical values: the quantile threshold equals the value,
+	// so everything is "good" and the bad partition is empty.
+	h.MustAdd(space.Config{0, 0}, 5)
+	h.MustAdd(space.Config{1, 1}, 5)
+	h.MustAdd(space.Config{2, 2}, 5)
+	s, err := BuildSurrogate(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BadCount() != 0 {
+		t.Fatalf("BadCount = %d, want 0", s.BadCount())
+	}
+	// Scores must be finite: the empty partition falls back to uniform.
+	if v := s.Score(space.Config{0, 0}); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("Score = %v on degenerate history", v)
+	}
+}
+
+func TestSurrogateWithPrior(t *testing.T) {
+	sp := histSpace()
+	// Source history: level 1 of parameter a is good.
+	src := NewHistory(sp)
+	for i := 0; i < 12; i++ { // all 3x4 combinations, each once
+		a := i % 3
+		v := 20.0
+		if a == 1 {
+			v = 1.0
+		}
+		src.MustAdd(space.Config{float64(a), float64(i % 4)}, v+float64(i)*1e-6)
+	}
+	prior, err := NewPrior(src, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target history: only two samples, both mediocre, no signal yet.
+	tgt := NewHistory(sp)
+	tgt.MustAdd(space.Config{0, 0}, 10)
+	tgt.MustAdd(space.Config{2, 3}, 12)
+
+	withPrior, err := BuildSurrogate(tgt, SurrogateConfig{Prior: prior, PriorWeight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPrior, err := BuildSurrogate(tgt, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the prior, level a=1 must score clearly higher than without.
+	cfg := space.Config{1, 0}
+	if withPrior.Score(cfg) <= noPrior.Score(cfg) {
+		t.Fatalf("prior did not boost the source-good level: %v <= %v",
+			withPrior.Score(cfg), noPrior.Score(cfg))
+	}
+}
+
+func TestPriorWeightScalesInfluence(t *testing.T) {
+	sp := histSpace()
+	src := NewHistory(sp)
+	for i := 0; i < 12; i++ { // all 3x4 combinations, each once
+		a := i % 3
+		v := 20.0
+		if a == 1 {
+			v = 1.0
+		}
+		src.MustAdd(space.Config{float64(a), float64(i % 4)}, v+float64(i)*1e-6)
+	}
+	prior, err := NewPrior(src, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewHistory(sp)
+	tgt.MustAdd(space.Config{0, 0}, 10)
+	tgt.MustAdd(space.Config{2, 3}, 12)
+
+	var prev float64
+	for i, w := range []float64{0.5, 2, 8} {
+		s, err := BuildSurrogate(tgt, SurrogateConfig{Prior: prior, PriorWeight: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		score := s.Score(space.Config{1, 0})
+		if i > 0 && score <= prev {
+			t.Fatalf("score did not increase with prior weight: %v <= %v at w=%v", score, prev, w)
+		}
+		prev = score
+	}
+}
+
+func TestPriorSpaceMismatchRejected(t *testing.T) {
+	src := NewHistory(histSpace())
+	src.MustAdd(space.Config{0, 0}, 1)
+	src.MustAdd(space.Config{1, 1}, 2)
+	prior, err := NewPrior(src, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := space.New(space.Discrete("different", "p", "q"))
+	tgt := NewHistory(other)
+	tgt.MustAdd(space.Config{0}, 1)
+	if _, err := BuildSurrogate(tgt, SurrogateConfig{Prior: prior}); err == nil {
+		t.Fatal("mismatched prior space accepted")
+	}
+}
+
+func TestPriorCompatibleSeparateSpacesAccepted(t *testing.T) {
+	// Source and target domains are distinct Space values with the
+	// same parameters — the normal transfer-learning setup.
+	srcSp := histSpace()
+	tgtSp := histSpace()
+	src := NewHistory(srcSp)
+	src.MustAdd(space.Config{0, 0}, 1)
+	src.MustAdd(space.Config{1, 1}, 9)
+	src.MustAdd(space.Config{2, 2}, 10)
+	prior, err := NewPrior(src, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewHistory(tgtSp)
+	tgt.MustAdd(space.Config{0, 1}, 2)
+	tgt.MustAdd(space.Config{2, 0}, 8)
+	if _, err := BuildSurrogate(tgt, SurrogateConfig{Prior: prior}); err != nil {
+		t.Fatalf("compatible prior rejected: %v", err)
+	}
+}

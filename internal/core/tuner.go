@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// Objective evaluates a configuration's true performance by running
+// the full application (paper: f(x)). It is assumed expensive.
+type Objective func(space.Config) float64
+
+// Strategy selects how the next candidate is chosen from the
+// surrogate (paper §III-D).
+type Strategy int
+
+const (
+	// Ranking enumerates an exhaustive candidate set, scores every
+	// not-yet-evaluated configuration, and picks the argmax. The right
+	// choice for the discrete, finite spaces of HPC applications; also
+	// guarantees no duplicate selections.
+	Ranking Strategy = iota
+	// Proposal samples candidates from the good density pg(x) and
+	// picks the best-scoring one — the only viable option for
+	// continuous spaces.
+	Proposal
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Ranking:
+		return "ranking"
+	case Proposal:
+		return "proposal"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a Tuner. The zero value plus a Seed reproduces
+// the paper's setup: 20 initial samples, α = 0.20, Ranking on finite
+// spaces and Proposal otherwise.
+type Options struct {
+	// InitialSamples seeds H_0 with uniformly random configurations
+	// (paper §III-C step 1; 20 in the paper's experiments).
+	InitialSamples int
+	// Surrogate carries the density hyperparameters (α, smoothing,
+	// bandwidth, prior).
+	Surrogate SurrogateConfig
+	// Strategy picks Ranking or Proposal. Ignored (forced to Proposal)
+	// when the space has continuous parameters.
+	Strategy Strategy
+	// ProposalCandidates is the number of pg-samples scored per
+	// iteration under the Proposal strategy.
+	ProposalCandidates int
+	// Candidates optionally fixes the Ranking candidate set. When nil,
+	// the space is enumerated (requires a fully discrete space).
+	Candidates []space.Config
+	// Seed drives all pseudo-randomness; runs are reproducible.
+	Seed uint64
+	// OnStep, when non-nil, observes every evaluation (including the
+	// initial samples) in order.
+	OnStep func(iteration int, obs Observation)
+	// Parallelism bounds the workers used for candidate scoring;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.InitialSamples == 0 {
+		o.InitialSamples = 20
+	}
+	if o.ProposalCandidates == 0 {
+		o.ProposalCandidates = 100
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	o.Surrogate = o.Surrogate.withDefaults()
+	return o
+}
+
+// Tuner runs HiPerBOt's iterative loop (paper §III-C): seed the
+// history with random samples, then repeatedly build the surrogate,
+// select the candidate with the highest expected improvement, evaluate
+// it, and fold the observation back in.
+type Tuner struct {
+	sp      *space.Space
+	obj     Objective
+	opts    Options
+	rng     *stats.RNG
+	history *History
+
+	candidates []space.Config // Ranking candidate pool
+	remaining  []int          // indices into candidates not yet evaluated
+	pos        map[string]int // candidate key → position in remaining
+	surrogate  *Surrogate     // current model (nil before first build)
+	strategy   Strategy
+	iter       int
+}
+
+// NewTuner validates the options and prepares a tuner. The objective
+// is not called yet; evaluation starts with Run or Step.
+func NewTuner(sp *space.Space, obj Objective, opts Options) (*Tuner, error) {
+	opts = opts.withDefaults()
+	if obj == nil {
+		return nil, fmt.Errorf("core: nil objective")
+	}
+	if opts.InitialSamples < 2 {
+		return nil, fmt.Errorf("core: need at least 2 initial samples, got %d", opts.InitialSamples)
+	}
+	if err := opts.Surrogate.validate(); err != nil {
+		return nil, err
+	}
+	t := &Tuner{
+		sp:      sp,
+		obj:     obj,
+		opts:    opts,
+		rng:     stats.NewRNG(opts.Seed),
+		history: NewHistory(sp),
+	}
+	t.strategy = opts.Strategy
+	if !sp.AllDiscrete() && t.strategy == Ranking && opts.Candidates == nil {
+		// Ranking needs a finite candidate set; fall back to Proposal.
+		t.strategy = Proposal
+	}
+	if t.strategy == Ranking {
+		if opts.Candidates != nil {
+			t.candidates = opts.Candidates
+		} else {
+			t.candidates = sp.Enumerate()
+		}
+		if len(t.candidates) == 0 {
+			return nil, fmt.Errorf("core: empty candidate set")
+		}
+		t.remaining = make([]int, len(t.candidates))
+		t.pos = make(map[string]int, len(t.candidates))
+		for i := range t.remaining {
+			t.remaining[i] = i
+			key := sp.Key(t.candidates[i])
+			if _, dup := t.pos[key]; dup {
+				return nil, fmt.Errorf("core: duplicate candidate %s", sp.Describe(t.candidates[i]))
+			}
+			t.pos[key] = i
+		}
+	}
+	return t, nil
+}
+
+// History exposes the observation history.
+func (t *Tuner) History() *History { return t.history }
+
+// Surrogate returns the most recently built surrogate (nil until the
+// first model-based step).
+func (t *Tuner) Surrogate() *Surrogate { return t.surrogate }
+
+// StrategyInUse reports the effective selection strategy.
+func (t *Tuner) StrategyInUse() Strategy { return t.strategy }
+
+// Evaluations returns the number of objective evaluations so far.
+func (t *Tuner) Evaluations() int { return t.history.Len() }
+
+// Best returns the best observation so far; panics before any
+// evaluation.
+func (t *Tuner) Best() Observation { return t.history.Best() }
+
+// Step performs exactly one objective evaluation: one of the initial
+// random samples while H is smaller than InitialSamples, afterwards
+// one surrogate-guided selection. It returns the new observation.
+func (t *Tuner) Step() (Observation, error) {
+	var c space.Config
+	switch {
+	case t.history.Len() < t.opts.InitialSamples:
+		var err error
+		c, err = t.sampleInitial()
+		if err != nil {
+			return Observation{}, err
+		}
+	default:
+		s, err := BuildSurrogate(t.history, t.opts.Surrogate)
+		if err != nil {
+			return Observation{}, err
+		}
+		t.surrogate = s
+		c, err = t.selectCandidate(s)
+		if err != nil {
+			return Observation{}, err
+		}
+	}
+	v := t.obj(c)
+	if err := t.history.Add(c, v); err != nil {
+		return Observation{}, err
+	}
+	t.markEvaluated(c)
+	obs := Observation{Config: c, Value: v}
+	if t.opts.OnStep != nil {
+		t.opts.OnStep(t.iter, obs)
+	}
+	t.iter++
+	return obs, nil
+}
+
+// Run performs objective evaluations until the history holds budget
+// observations (initial samples included) and returns the best.
+func (t *Tuner) Run(budget int) (Observation, error) {
+	if budget < t.opts.InitialSamples {
+		return Observation{}, fmt.Errorf("core: budget %d smaller than %d initial samples",
+			budget, t.opts.InitialSamples)
+	}
+	if t.strategy == Ranking && budget > len(t.candidates) {
+		return Observation{}, fmt.Errorf("core: budget %d exceeds the %d available configurations",
+			budget, len(t.candidates))
+	}
+	for t.history.Len() < budget {
+		if _, err := t.Step(); err != nil {
+			return Observation{}, err
+		}
+	}
+	return t.history.Best(), nil
+}
+
+// RunUntilStall evaluates until the best value has not improved by
+// more than tol (relative) for stallLimit consecutive model-guided
+// steps, or until maxBudget evaluations — the paper's alternative
+// termination criterion ("if the score of the new samples do not
+// improve as iterations progress").
+func (t *Tuner) RunUntilStall(maxBudget, stallLimit int, tol float64) (Observation, error) {
+	if stallLimit < 1 {
+		return Observation{}, fmt.Errorf("core: stallLimit must be >= 1")
+	}
+	stall := 0
+	bestSoFar := math.Inf(1)
+	for t.history.Len() < maxBudget {
+		if t.strategy == Ranking && len(t.remaining) == 0 {
+			break
+		}
+		obs, err := t.Step()
+		if err != nil {
+			return Observation{}, err
+		}
+		if t.history.Len() <= t.opts.InitialSamples {
+			bestSoFar = t.history.Best().Value
+			continue
+		}
+		if obs.Value < bestSoFar*(1-tol) {
+			bestSoFar = obs.Value
+			stall = 0
+		} else {
+			stall++
+			if stall >= stallLimit {
+				break
+			}
+		}
+	}
+	return t.history.Best(), nil
+}
+
+// sampleInitial draws a uniformly random configuration that has not
+// been evaluated yet.
+func (t *Tuner) sampleInitial() (space.Config, error) {
+	if t.strategy == Ranking {
+		if len(t.remaining) == 0 {
+			return nil, fmt.Errorf("core: candidate pool exhausted during initialization")
+		}
+		pick := t.rng.Intn(len(t.remaining))
+		return t.candidates[t.remaining[pick]], nil
+	}
+	const maxTries = 100000
+	for try := 0; try < maxTries; try++ {
+		c := t.sp.Sample(t.rng)
+		if !t.history.Contains(c) {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("core: could not draw an unevaluated initial sample")
+}
+
+// markEvaluated removes c from the Ranking candidate pool in O(1).
+func (t *Tuner) markEvaluated(c space.Config) {
+	if t.strategy != Ranking {
+		return
+	}
+	key := t.sp.Key(c)
+	i, ok := t.pos[key]
+	if !ok {
+		return
+	}
+	last := len(t.remaining) - 1
+	moved := t.remaining[last]
+	t.remaining[i] = moved
+	t.remaining = t.remaining[:last]
+	delete(t.pos, key)
+	if i <= last-1 {
+		t.pos[t.sp.Key(t.candidates[moved])] = i
+	}
+}
+
+// selectCandidate picks the next configuration to evaluate.
+func (t *Tuner) selectCandidate(s *Surrogate) (space.Config, error) {
+	switch t.strategy {
+	case Ranking:
+		return t.selectByRanking(s)
+	case Proposal:
+		return t.selectByProposal(s)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", t.strategy)
+	}
+}
+
+// selectByRanking scores every remaining candidate in parallel and
+// returns the argmax (ties broken by pool order, which is stable for a
+// fixed seed).
+func (t *Tuner) selectByRanking(s *Surrogate) (space.Config, error) {
+	if len(t.remaining) == 0 {
+		return nil, fmt.Errorf("core: no unevaluated candidates remain")
+	}
+	scores := make([]float64, len(t.remaining))
+	parallelFor(len(t.remaining), t.opts.Parallelism, func(i int) {
+		scores[i] = s.Score(t.candidates[t.remaining[i]])
+	})
+	best := 0
+	for i := 1; i < len(scores); i++ {
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	return t.candidates[t.remaining[best]], nil
+}
+
+// selectByProposal draws candidates from pg and returns the
+// best-scoring previously unevaluated one.
+func (t *Tuner) selectByProposal(s *Surrogate) (space.Config, error) {
+	var best space.Config
+	bestScore := math.Inf(-1)
+	misses := 0
+	for i := 0; i < t.opts.ProposalCandidates; i++ {
+		c := s.SampleGood(t.rng)
+		if t.history.Contains(c) {
+			misses++
+			continue
+		}
+		if sc := s.Score(c); sc > bestScore {
+			bestScore = sc
+			best = c
+		}
+	}
+	if best == nil {
+		// Every proposal was a duplicate (tiny discrete space); fall
+		// back to uniform exploration.
+		for try := 0; try < 100000; try++ {
+			c := t.sp.Sample(t.rng)
+			if !t.history.Contains(c) {
+				return c, nil
+			}
+		}
+		return nil, fmt.Errorf("core: proposal strategy exhausted the space")
+	}
+	return best, nil
+}
+
+// parallelFor runs body(i) for i in [0, n) on up to workers goroutines.
+func parallelFor(n, workers int, body func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,216 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	sp := space.New(
+		space.Discrete("solver", "pcg", "gmres"),
+		space.DiscreteInts("omp", 1, 2),
+	)
+	configs := []space.Config{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	values := []float64{4.0, 2.0, 8.0, 1.0}
+	tbl, err := New("test", "time (s)", sp, configs, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestTableLookup(t *testing.T) {
+	tbl := testTable(t)
+	v, ok := tbl.Lookup(space.Config{1, 1})
+	if !ok || v != 1.0 {
+		t.Fatalf("Lookup = %v,%v", v, ok)
+	}
+	if _, ok := tbl.Lookup(space.Config{0, 0, 0}); ok {
+		t.Fatal("Lookup accepted wrong arity")
+	}
+}
+
+func TestTableBest(t *testing.T) {
+	tbl := testTable(t)
+	i, c, v := tbl.Best()
+	if i != 3 || v != 1.0 || !c.Equal(space.Config{1, 1}) {
+		t.Fatalf("Best = %d,%v,%v", i, c, v)
+	}
+}
+
+func TestObjectiveMatchesTable(t *testing.T) {
+	tbl := testTable(t)
+	f := tbl.Objective()
+	for i := 0; i < tbl.Len(); i++ {
+		if f(tbl.Config(i)) != tbl.Value(i) {
+			t.Fatalf("objective mismatch at row %d", i)
+		}
+	}
+}
+
+func TestObjectivePanicsOnUnknown(t *testing.T) {
+	tbl := testTable(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown configuration")
+		}
+	}()
+	tbl.Objective()(space.Config{0, 0, 0})
+}
+
+func TestRejectsDuplicates(t *testing.T) {
+	sp := space.New(space.Discrete("a", "x", "y"))
+	_, err := New("d", "m", sp, []space.Config{{0}, {0}}, []float64{1, 2})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("expected duplicate error, got %v", err)
+	}
+}
+
+func TestRejectsInvalidConfig(t *testing.T) {
+	sp := space.New(space.Discrete("a", "x", "y"))
+	_, err := New("d", "m", sp, []space.Config{{5}}, []float64{1})
+	if err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+}
+
+func TestRejectsLengthMismatchAndEmpty(t *testing.T) {
+	sp := space.New(space.Discrete("a", "x"))
+	if _, err := New("d", "m", sp, []space.Config{{0}}, nil); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := New("d", "m", sp, nil, nil); err == nil {
+		t.Fatal("expected empty table error")
+	}
+}
+
+func TestPercentileValueAndGoodSet(t *testing.T) {
+	tbl := testTable(t) // values 4,2,8,1 → sorted 1,2,4,8
+	// Best 50% quantile with linear interpolation: between 2 and 4 → 3.
+	yl := tbl.PercentileValue(0.5)
+	if yl != 3 {
+		t.Fatalf("PercentileValue(0.5) = %v, want 3", yl)
+	}
+	good := tbl.GoodSetPercentile(0.5)
+	if len(good) != 2 { // values 1 and 2
+		t.Fatalf("good set = %v", good)
+	}
+}
+
+func TestGoodSetTolerance(t *testing.T) {
+	tbl := testTable(t) // best = 1
+	good := tbl.GoodSetTolerance(1.0)
+	if len(good) != 2 { // <= 2.0 : rows with 1 and 2
+		t.Fatalf("tolerance good set = %v", good)
+	}
+	goodAll := tbl.GoodSetTolerance(7.0)
+	if len(goodAll) != 4 {
+		t.Fatalf("tolerance 700%% should include all: %v", goodAll)
+	}
+}
+
+func TestGoodSetPanics(t *testing.T) {
+	tbl := testTable(t)
+	for name, f := range map[string]func(){
+		"percentile zero": func() { tbl.PercentileValue(0) },
+		"percentile >1":   func() { tbl.PercentileValue(1.5) },
+		"negative gamma":  func() { tbl.GoodSetTolerance(-0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStats(t *testing.T) {
+	tbl := testTable(t)
+	s := tbl.Stats()
+	if s.N != 4 || s.Min != 1 || s.Max != 8 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if math.Abs(s.Mean-3.75) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := testTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("test", tbl.Space, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tbl.Len() || back.Metric != tbl.Metric {
+		t.Fatalf("round trip changed shape: %d vs %d", back.Len(), tbl.Len())
+	}
+	for i := 0; i < tbl.Len(); i++ {
+		v, ok := back.Lookup(tbl.Config(i))
+		if !ok || v != tbl.Value(i) {
+			t.Fatalf("round trip lost row %d", i)
+		}
+	}
+}
+
+func TestCSVRoundTripContinuous(t *testing.T) {
+	sp := space.New(space.Continuous("x", 0, 10))
+	tbl := MustNew("c", "m", sp,
+		[]space.Config{{1.25}, {7.5}}, []float64{3.5, 0.125})
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("c", sp, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := back.Lookup(space.Config{7.5}); !ok || v != 0.125 {
+		t.Fatalf("continuous round trip failed: %v %v", v, ok)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	sp := space.New(space.Discrete("a", "x", "y"))
+	cases := map[string]string{
+		"bad header name":  "b,m\nx,1\n",
+		"bad column count": "a\nx\n",
+		"unknown level":    "a,m\nzzz,1\n",
+		"bad float":        "a,m\nx,notanumber\n",
+	}
+	for name, csvText := range cases {
+		if _, err := ReadCSV("d", sp, strings.NewReader(csvText)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	tbl := testTable(t)
+	if tbl.IndexOf(space.Config{0, 1}) != 1 {
+		t.Fatal("IndexOf wrong")
+	}
+	if tbl.IndexOf(space.Config{0}) != -1 {
+		t.Fatal("IndexOf should return -1 for unknown")
+	}
+}
+
+func TestValuesIsCopy(t *testing.T) {
+	tbl := testTable(t)
+	vs := tbl.Values()
+	vs[0] = -999
+	if tbl.Value(0) == -999 {
+		t.Fatal("Values aliases internal storage")
+	}
+}

@@ -1,0 +1,79 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Filter returns a new table containing the rows for which keep
+// returns true, preserving order. The space is shared. Filtering
+// everything away is an error (tables are never empty).
+func (t *Table) Filter(name string, keep func(c space.Config, value float64) bool) (*Table, error) {
+	var configs []space.Config
+	var values []float64
+	for i := 0; i < t.Len(); i++ {
+		if keep(t.configs[i], t.values[i]) {
+			configs = append(configs, t.configs[i])
+			values = append(values, t.values[i])
+		}
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("dataset: filter %q removed every row", name)
+	}
+	return New(name, t.Metric, t.Space, configs, values)
+}
+
+// FixParam returns the sub-table where the named discrete parameter is
+// pinned to the given level label — "how does the rest of the space
+// behave with the solver fixed?". The returned table still uses the
+// full space (the pinned column is constant across its rows).
+func (t *Table) FixParam(paramName, level string) (*Table, error) {
+	dim := t.Space.IndexOf(paramName)
+	if dim < 0 {
+		return nil, fmt.Errorf("dataset: unknown parameter %q", paramName)
+	}
+	p := t.Space.Param(dim)
+	if p.Kind != space.DiscreteKind {
+		return nil, fmt.Errorf("dataset: FixParam on continuous parameter %q", paramName)
+	}
+	lvl := p.LevelIndex(level)
+	if lvl < 0 {
+		return nil, fmt.Errorf("dataset: parameter %q has no level %q", paramName, level)
+	}
+	return t.Filter(
+		fmt.Sprintf("%s[%s=%s]", t.Name, paramName, level),
+		func(c space.Config, _ float64) bool { return int(c[dim]) == lvl },
+	)
+}
+
+// MarginalBest returns, for each level of the named discrete
+// parameter, the best metric value among rows with that level (and the
+// level's row count). Levels absent from the table report count 0 and
+// a zero value. This is the "conditioned best" view used to sanity-
+// check importance rankings against raw data.
+func (t *Table) MarginalBest(paramName string) (labels []string, bests []float64, counts []int, err error) {
+	dim := t.Space.IndexOf(paramName)
+	if dim < 0 {
+		return nil, nil, nil, fmt.Errorf("dataset: unknown parameter %q", paramName)
+	}
+	p := t.Space.Param(dim)
+	if p.Kind != space.DiscreteKind {
+		return nil, nil, nil, fmt.Errorf("dataset: MarginalBest on continuous parameter %q", paramName)
+	}
+	k := p.Cardinality()
+	labels = make([]string, k)
+	bests = make([]float64, k)
+	counts = make([]int, k)
+	for l := 0; l < k; l++ {
+		labels[l] = p.Level(l)
+	}
+	for i := 0; i < t.Len(); i++ {
+		l := int(t.configs[i][dim])
+		if counts[l] == 0 || t.values[i] < bests[l] {
+			bests[l] = t.values[i]
+		}
+		counts[l]++
+	}
+	return labels, bests, counts, nil
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+func filterTable(t *testing.T) *Table {
+	t.Helper()
+	sp := space.New(
+		space.Discrete("solver", "cg", "mg"),
+		space.DiscreteInts("threads", 1, 2, 4),
+	)
+	configs := sp.Enumerate() // 6 rows
+	values := make([]float64, len(configs))
+	for i, c := range configs {
+		values[i] = 10 - c[1]*2 // threads help
+		if int(c[0]) == 1 {     // mg faster
+			values[i] -= 3
+		}
+	}
+	return MustNew("f", "time", sp, configs, values)
+}
+
+func TestFilter(t *testing.T) {
+	tbl := filterTable(t)
+	fast, err := tbl.Filter("fast", func(_ space.Config, v float64) bool { return v < 7 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Len() >= tbl.Len() || fast.Len() == 0 {
+		t.Fatalf("filtered len = %d of %d", fast.Len(), tbl.Len())
+	}
+	for i := 0; i < fast.Len(); i++ {
+		if fast.Value(i) >= 7 {
+			t.Fatalf("row %d survived with value %v", i, fast.Value(i))
+		}
+	}
+}
+
+func TestFilterEmptyRejected(t *testing.T) {
+	tbl := filterTable(t)
+	if _, err := tbl.Filter("none", func(space.Config, float64) bool { return false }); err == nil {
+		t.Fatal("empty filter accepted")
+	}
+}
+
+func TestFixParam(t *testing.T) {
+	tbl := filterTable(t)
+	mg, err := tbl.FixParam("solver", "mg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Len() != 3 {
+		t.Fatalf("fixed table has %d rows, want 3", mg.Len())
+	}
+	for i := 0; i < mg.Len(); i++ {
+		if tbl.Space.Param(0).Level(int(mg.Config(i)[0])) != "mg" {
+			t.Fatal("non-mg row survived")
+		}
+	}
+	// Values use the level index: threads=4 is index 2 → 10-2*2-3 = 3.
+	_, _, best := mg.Best()
+	if best != 3 {
+		t.Fatalf("mg best = %v", best)
+	}
+}
+
+func TestFixParamErrors(t *testing.T) {
+	tbl := filterTable(t)
+	if _, err := tbl.FixParam("nope", "x"); err == nil {
+		t.Error("unknown param accepted")
+	}
+	if _, err := tbl.FixParam("solver", "zzz"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	spC := space.New(space.Continuous("x", 0, 1))
+	tc := MustNew("c", "m", spC, []space.Config{{0.5}}, []float64{1})
+	if _, err := tc.FixParam("x", "0.5"); err == nil {
+		t.Error("continuous FixParam accepted")
+	}
+}
+
+func TestMarginalBest(t *testing.T) {
+	tbl := filterTable(t)
+	labels, bests, counts, err := tbl.MarginalBest("solver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != "cg" || labels[1] != "mg" {
+		t.Fatalf("labels = %v", labels)
+	}
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// mg's best must beat cg's best by the solver bonus.
+	if bests[1] >= bests[0] {
+		t.Fatalf("marginal bests = %v", bests)
+	}
+	if _, _, _, err := tbl.MarginalBest("nope"); err == nil {
+		t.Error("unknown param accepted")
+	}
+}

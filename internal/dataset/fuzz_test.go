@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzInferSpaceFromCSV exercises the space-inference parser with
+// arbitrary input: it must either return an error or a space that can
+// re-parse the same CSV into a table (possibly rejecting it for
+// semantic reasons such as duplicate rows) — never panic.
+func FuzzInferSpaceFromCSV(f *testing.F) {
+	f.Add("a,b,m\nx,1,2.5\ny,2,3.5\n")
+	f.Add("solver,time\ncg,1\n")
+	f.Add("p,m\n1,2\n1,3\n") // duplicate config
+	f.Add("m\n")
+	f.Add("")
+	f.Add("a,m\n\"unterminated,1\n")
+	f.Add("a,m\nx,notanumber\n")
+	f.Fuzz(func(t *testing.T, csvText string) {
+		sp, err := InferSpaceFromCSV(strings.NewReader(csvText))
+		if err != nil {
+			return
+		}
+		// Inference succeeded: reading the same text must not panic.
+		_, _ = ReadCSV("fuzz", sp, strings.NewReader(csvText))
+	})
+}
+
+// FuzzReadCSVRoundTrip checks that any table that parses also writes
+// back out and re-parses to identical content.
+func FuzzReadCSVRoundTrip(f *testing.F) {
+	f.Add("a,b,m\nx,1,2.5\ny,2,3.5\nx,2,4.5\n")
+	f.Add("p,m\nq,1\n")
+	f.Fuzz(func(t *testing.T, csvText string) {
+		sp, err := InferSpaceFromCSV(strings.NewReader(csvText))
+		if err != nil {
+			return
+		}
+		tbl, err := ReadCSV("fuzz", sp, strings.NewReader(csvText))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteCSV(&buf); err != nil {
+			t.Fatalf("parsed table failed to serialize: %v", err)
+		}
+		back, err := ReadCSV("fuzz2", sp, &buf)
+		if err != nil {
+			t.Fatalf("serialized table failed to re-parse: %v", err)
+		}
+		if back.Len() != tbl.Len() {
+			t.Fatalf("round trip changed row count %d -> %d", tbl.Len(), back.Len())
+		}
+		for i := 0; i < tbl.Len(); i++ {
+			v, ok := back.Lookup(tbl.Config(i))
+			if !ok || v != tbl.Value(i) {
+				t.Fatalf("round trip lost row %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// InferSpaceFromCSV scans a measurement CSV (parameter columns
+// followed by one metric column) and constructs a Space: each
+// parameter column becomes a discrete parameter whose levels are the
+// distinct values observed, ordered numerically when every value
+// parses as a number and by first appearance otherwise.
+func InferSpaceFromCSV(r io.Reader) (*space.Space, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: need at least one parameter column and a metric column")
+	}
+	np := len(header) - 1
+	seenNames := make(map[string]bool, np)
+	for i := 0; i < np; i++ {
+		if header[i] == "" {
+			return nil, fmt.Errorf("dataset: column %d has an empty name", i+1)
+		}
+		if seenNames[header[i]] {
+			return nil, fmt.Errorf("dataset: duplicate column name %q", header[i])
+		}
+		seenNames[header[i]] = true
+	}
+	seen := make([]map[string]bool, np)
+	order := make([][]string, np)
+	for i := range seen {
+		seen[i] = make(map[string]bool)
+	}
+	rows := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		rows++
+		for i := 0; i < np; i++ {
+			if !seen[i][rec[i]] {
+				seen[i][rec[i]] = true
+				order[i] = append(order[i], rec[i])
+			}
+		}
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("dataset: CSV has no data rows")
+	}
+	params := make([]space.Param, np)
+	for i := 0; i < np; i++ {
+		if nums, ok := allNumeric(order[i]); ok {
+			// Numeric column: sort levels by value but keep the
+			// original strings as labels so round-tripping the CSV
+			// matches ("4.0" stays "4.0").
+			labels := append([]string(nil), order[i]...)
+			sortByValue(labels, nums)
+			params[i] = space.Param{
+				Name: header[i], Kind: space.DiscreteKind,
+				Levels: labels, Numeric: nums,
+			}
+		} else {
+			params[i] = space.Discrete(header[i], order[i]...)
+		}
+	}
+	return space.New(params...), nil
+}
+
+func allNumeric(levels []string) ([]float64, bool) {
+	out := make([]float64, len(levels))
+	for i, l := range levels {
+		v, err := strconv.ParseFloat(l, 64)
+		if err != nil {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// sortByValue co-sorts labels by their numeric values, ascending.
+func sortByValue(labels []string, values []float64) {
+	for i := 1; i < len(values); i++ {
+		for j := i; j > 0 && values[j] < values[j-1]; j-- {
+			values[j], values[j-1] = values[j-1], values[j]
+			labels[j], labels[j-1] = labels[j-1], labels[j]
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const inferCSV = `solver,threads,time
+cg,4,1.5
+gmres,1,6.0
+cg,1,4.0
+cg,2,2.5
+gmres,2,4.5
+gmres,4,3.5
+`
+
+func TestInferSpaceFromCSV(t *testing.T) {
+	sp, err := InferSpaceFromCSV(strings.NewReader(inferCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumParams() != 2 {
+		t.Fatalf("params = %d", sp.NumParams())
+	}
+	solver := sp.Param(0)
+	if solver.Name != "solver" || solver.Cardinality() != 2 {
+		t.Fatalf("solver param wrong: %+v", solver)
+	}
+	// Categorical: first-appearance order.
+	if solver.Level(0) != "cg" || solver.Level(1) != "gmres" {
+		t.Fatalf("solver levels: %v", solver.Levels)
+	}
+	threads := sp.Param(1)
+	if threads.Numeric == nil {
+		t.Fatal("numeric column not detected")
+	}
+	// Numeric: sorted ascending regardless of appearance order.
+	want := []float64{1, 2, 4}
+	for i, v := range want {
+		if threads.Numeric[i] != v {
+			t.Fatalf("threads numeric = %v", threads.Numeric)
+		}
+	}
+}
+
+func TestInferThenLoadRoundTrip(t *testing.T) {
+	sp, err := InferSpaceFromCSV(strings.NewReader(inferCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := ReadCSV("demo", sp, strings.NewReader(inferCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 6 {
+		t.Fatalf("rows = %d", tbl.Len())
+	}
+	_, cfg, best := tbl.Best()
+	if best != 1.5 {
+		t.Fatalf("best = %v", best)
+	}
+	if sp.Describe(cfg) != "solver=cg, threads=4" {
+		t.Fatalf("best config = %s", sp.Describe(cfg))
+	}
+}
+
+func TestInferPreservesOriginalNumericLabels(t *testing.T) {
+	csvText := "cap,metric\n65.0,1\n50.0,2\n115.0,3\n"
+	sp, err := InferSpaceFromCSV(strings.NewReader(csvText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sp.Param(0)
+	if p.Level(0) != "50.0" || p.Level(2) != "115.0" {
+		t.Fatalf("labels not preserved: %v", p.Levels)
+	}
+	if _, err := ReadCSV("caps", sp, strings.NewReader(csvText)); err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	cases := map[string]string{
+		"no data rows":  "a,m\n",
+		"single column": "m\n1\n",
+		"empty":         "",
+	}
+	for name, text := range cases {
+		if _, err := InferSpaceFromCSV(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

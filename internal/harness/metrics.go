@@ -1,0 +1,166 @@
+// Package harness orchestrates the paper's experiments: it wraps every
+// selection method behind a common interface, runs each one many times
+// with different seeds (the paper reports mean and standard deviation
+// over 50 repetitions), and computes the two evaluation metrics of
+// §IV-B — the best-performing-configuration curve and the Recall
+// score — at a series of sample-size checkpoints.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// GoodSet is a precomputed set of "good" rows of a dataset, either the
+// best-ℓ-percentile definition of eq. 11 or the γ-tolerance definition
+// of eq. 12.
+type GoodSet struct {
+	rows map[int]bool
+	n    int
+}
+
+// PercentileGoodSet builds the eq. 11 good set: configurations within
+// the best ℓ percentile of the dataset.
+func PercentileGoodSet(tbl *dataset.Table, ell float64) *GoodSet {
+	return newGoodSet(tbl.GoodSetPercentile(ell))
+}
+
+// ToleranceGoodSet builds the eq. 12 good set: configurations within
+// (1+γ) of the absolute best value.
+func ToleranceGoodSet(tbl *dataset.Table, gamma float64) *GoodSet {
+	return newGoodSet(tbl.GoodSetTolerance(gamma))
+}
+
+func newGoodSet(rows []int) *GoodSet {
+	g := &GoodSet{rows: make(map[int]bool, len(rows)), n: len(rows)}
+	for _, r := range rows {
+		g.rows[r] = true
+	}
+	return g
+}
+
+// Size returns the number of good configurations in the full space.
+func (g *GoodSet) Size() int { return g.n }
+
+// Contains reports whether dataset row idx is good.
+func (g *GoodSet) Contains(idx int) bool { return g.rows[idx] }
+
+// Recall computes R = |{x ∈ H : x good}| / |{x good}| for the first
+// prefix observations of a history (the full history when prefix >=
+// h.Len()). An empty good set yields recall 0.
+func (g *GoodSet) Recall(tbl *dataset.Table, h *core.History, prefix int) float64 {
+	if g.n == 0 {
+		return 0
+	}
+	if prefix > h.Len() {
+		prefix = h.Len()
+	}
+	found := 0
+	for i := 0; i < prefix; i++ {
+		idx := tbl.IndexOf(h.At(i).Config)
+		if idx >= 0 && g.rows[idx] {
+			found++
+		}
+	}
+	return float64(found) / float64(g.n)
+}
+
+// Curve aggregates a method's performance over repetitions at a series
+// of sample-size checkpoints: exactly the data behind one line of
+// Figs. 2-6 (both the (a) best-configuration panel and the (b) recall
+// panel).
+type Curve struct {
+	Method      string
+	Checkpoints []int
+	// BestMean/BestStd: best objective value found within the first
+	// checkpoint samples, averaged over repetitions.
+	BestMean, BestStd []float64
+	// RecallMean/RecallStd: eq. 11/12 recall at each checkpoint.
+	RecallMean, RecallStd []float64
+	// BestRaw/RecallRaw keep the per-repetition values per checkpoint
+	// (column-major: [checkpoint][repetition]) so callers can compute
+	// confidence intervals or run significance tests.
+	BestRaw, RecallRaw [][]float64
+}
+
+// BestCI returns a bootstrap confidence interval for the mean
+// best-found value at checkpoint index k.
+func (c *Curve) BestCI(k int, conf float64) (lo, hi float64) {
+	return stats.BootstrapCI(c.BestRaw[k], conf, 2000, 0x5b5b)
+}
+
+// RecallCI returns a bootstrap confidence interval for the mean recall
+// at checkpoint index k.
+func (c *Curve) RecallCI(k int, conf float64) (lo, hi float64) {
+	return stats.BootstrapCI(c.RecallRaw[k], conf, 2000, 0x5b5c)
+}
+
+// aggregate computes mean/std per checkpoint from per-rep sample
+// matrices shaped [rep][checkpoint].
+func aggregate(method string, checkpoints []int, bests, recalls [][]float64) *Curve {
+	c := &Curve{
+		Method:      method,
+		Checkpoints: append([]int(nil), checkpoints...),
+		BestMean:    make([]float64, len(checkpoints)),
+		BestStd:     make([]float64, len(checkpoints)),
+		RecallMean:  make([]float64, len(checkpoints)),
+		RecallStd:   make([]float64, len(checkpoints)),
+	}
+	for k := range checkpoints {
+		bcol := column(bests, k)
+		rcol := column(recalls, k)
+		c.BestMean[k], c.BestStd[k] = meanStd(bcol)
+		c.RecallMean[k], c.RecallStd[k] = meanStd(rcol)
+		c.BestRaw = append(c.BestRaw, bcol)
+		c.RecallRaw = append(c.RecallRaw, rcol)
+	}
+	return c
+}
+
+func column(rows [][]float64, k int) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r[k]
+	}
+	return out
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - mean
+			ss += d * d
+		}
+		std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return mean, std
+}
+
+// prefixMetrics extracts the best-so-far and recall values of a single
+// run at the given checkpoints.
+func prefixMetrics(tbl *dataset.Table, good *GoodSet, h *core.History, checkpoints []int) (bests, recalls []float64, err error) {
+	traj := h.BestTrajectory()
+	bests = make([]float64, len(checkpoints))
+	recalls = make([]float64, len(checkpoints))
+	for k, cp := range checkpoints {
+		if cp < 1 || cp > len(traj) {
+			return nil, nil, fmt.Errorf("harness: checkpoint %d outside run of length %d", cp, len(traj))
+		}
+		bests[k] = traj[cp-1]
+		recalls[k] = good.Recall(tbl, h, cp)
+	}
+	return bests, recalls, nil
+}

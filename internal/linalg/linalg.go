@@ -1,0 +1,272 @@
+// Package linalg provides the dense linear algebra needed by the
+// hand-rolled neural network baseline (PerfNet, paper §VII): row-major
+// matrices, cache-blocked and goroutine-parallel multiplication, and
+// the elementwise helpers used by backpropagation. No external BLAS —
+// the module is stdlib-only by design.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (all must share a length).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: FromRows with empty input")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("linalg: ragged row %d", i))
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice view (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets all elements.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// shapeCheck panics unless m is rows x cols.
+func (m *Matrix) shapeCheck(rows, cols int, op string) {
+	if m.Rows != rows || m.Cols != cols {
+		panic(fmt.Sprintf("linalg: %s shape mismatch: have %dx%d, want %dx%d",
+			op, m.Rows, m.Cols, rows, cols))
+	}
+}
+
+// MatMul computes dst = a * b. dst must be a.Rows x b.Cols and may not
+// alias a or b. The k-loop is kept innermost over contiguous memory
+// and rows are distributed over goroutines for large products.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: MatMul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	dst.shapeCheck(a.Rows, b.Cols, "MatMul dst")
+	if sameBacking(dst, a) || sameBacking(dst, b) {
+		panic("linalg: MatMul dst aliases an operand")
+	}
+	dst.Zero()
+	body := func(i int) {
+		drow := dst.Row(i)
+		arow := a.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, body)
+}
+
+// MatMulT computes dst = a * bᵀ (b stored untransposed). Common in
+// backprop; avoids materializing transposes.
+func MatMulT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: MatMulT inner dims %d vs %d", a.Cols, b.Cols))
+	}
+	dst.shapeCheck(a.Rows, b.Rows, "MatMulT dst")
+	if sameBacking(dst, a) || sameBacking(dst, b) {
+		panic("linalg: MatMulT dst aliases an operand")
+	}
+	body := func(i int) {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, body)
+}
+
+// TMatMul computes dst = aᵀ * b (a stored untransposed).
+func TMatMul(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("linalg: TMatMul inner dims %d vs %d", a.Rows, b.Rows))
+	}
+	dst.shapeCheck(a.Cols, b.Cols, "TMatMul dst")
+	if sameBacking(dst, a) || sameBacking(dst, b) {
+		panic("linalg: TMatMul dst aliases an operand")
+	}
+	dst.Zero()
+	// Accumulate over the shared dimension; parallelize over dst rows
+	// to avoid write races, at the cost of re-reading a.
+	body := func(i int) { // i indexes a's columns == dst rows
+		drow := dst.Row(i)
+		for r := 0; r < a.Rows; r++ {
+			av := a.At(r, i)
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(r)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, body)
+}
+
+// sameBacking reports whether two matrices share their first element —
+// the aliasing cases constructed in this codebase.
+func sameBacking(a, b *Matrix) bool {
+	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
+}
+
+// parallelRows distributes rows over goroutines when the work is big
+// enough to amortize the spawn cost.
+func parallelRows(rows int, flops int, body func(i int)) {
+	const parallelThreshold = 1 << 16
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelThreshold || workers <= 1 || rows < 2 {
+		for i := 0; i < rows; i++ {
+			body(i)
+		}
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// AddRowVector adds vector v to every row of m in place.
+func AddRowVector(m *Matrix, v []float64) {
+	if len(v) != m.Cols {
+		panic("linalg: AddRowVector length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// ColSums returns the per-column sums of m.
+func ColSums(m *Matrix) []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// Apply maps f over every element in place.
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// Hadamard computes dst = a ⊙ b elementwise (dst may alias a or b).
+func Hadamard(dst, a, b *Matrix) {
+	a.shapeCheck(b.Rows, b.Cols, "Hadamard")
+	dst.shapeCheck(a.Rows, a.Cols, "Hadamard dst")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AXPY computes y += alpha*x over the raw data (shapes must match).
+func AXPY(alpha float64, x, y *Matrix) {
+	x.shapeCheck(y.Rows, y.Cols, "AXPY")
+	for i := range y.Data {
+		y.Data[i] += alpha * x.Data[i]
+	}
+}
+
+// FrobeniusNorm returns sqrt(sum of squares).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var ss float64
+	for _, v := range m.Data {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// Dot returns the dot product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var sum float64
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}

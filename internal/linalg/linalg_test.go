@@ -1,0 +1,325 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	dst := NewMatrix(2, 2)
+	MatMul(dst, a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if dst.At(i, j) != want[i][j] {
+				t.Fatalf("MatMul = %v", dst.Data)
+			}
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := stats.NewRNG(1)
+	a := randomMatrix(r, 7, 7)
+	id := NewMatrix(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(i, i, 1)
+	}
+	dst := NewMatrix(7, 7)
+	MatMul(dst, a, id)
+	for i := range a.Data {
+		if math.Abs(dst.Data[i]-a.Data[i]) > 1e-12 {
+			t.Fatal("A*I != A")
+		}
+	}
+}
+
+func randomMatrix(r *stats.RNG, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+// naiveMul is the reference triple loop.
+func naiveMul(a, b *Matrix) *Matrix {
+	dst := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var sum float64
+			for k := 0; k < a.Cols; k++ {
+				sum += a.At(i, k) * b.At(k, j)
+			}
+			dst.Set(i, j, sum)
+		}
+	}
+	return dst
+}
+
+func TestMatMulMatchesNaiveRandom(t *testing.T) {
+	r := stats.NewRNG(3)
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + r.Intn(20)
+		k := 1 + r.Intn(20)
+		n := 1 + r.Intn(20)
+		a := randomMatrix(r, m, k)
+		b := randomMatrix(r, k, n)
+		want := naiveMul(a, b)
+		got := NewMatrix(m, n)
+		MatMul(got, a, b)
+		for i := range want.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+				t.Fatalf("trial %d mismatch", trial)
+			}
+		}
+	}
+}
+
+func TestMatMulLargeParallelMatchesNaive(t *testing.T) {
+	r := stats.NewRNG(5)
+	a := randomMatrix(r, 150, 80)
+	b := randomMatrix(r, 80, 120)
+	want := naiveMul(a, b)
+	got := NewMatrix(150, 120)
+	MatMul(got, a, b) // big enough to trigger the parallel path
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatal("parallel MatMul diverges from naive")
+		}
+	}
+}
+
+func TestMatMulT(t *testing.T) {
+	r := stats.NewRNG(7)
+	a := randomMatrix(r, 9, 5)
+	b := randomMatrix(r, 11, 5) // b^T is 5x11
+	bT := NewMatrix(5, 11)
+	for i := 0; i < 11; i++ {
+		for j := 0; j < 5; j++ {
+			bT.Set(j, i, b.At(i, j))
+		}
+	}
+	want := naiveMul(a, bT)
+	got := NewMatrix(9, 11)
+	MatMulT(got, a, b)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatal("MatMulT wrong")
+		}
+	}
+}
+
+func TestTMatMul(t *testing.T) {
+	r := stats.NewRNG(9)
+	a := randomMatrix(r, 6, 10) // a^T is 10x6
+	b := randomMatrix(r, 6, 4)
+	aT := NewMatrix(10, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 10; j++ {
+			aT.Set(j, i, a.At(i, j))
+		}
+	}
+	want := naiveMul(aT, b)
+	got := NewMatrix(10, 4)
+	TMatMul(got, a, b)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatal("TMatMul wrong")
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(4, 2) // inner mismatch
+	dst := NewMatrix(2, 2)
+	assertPanics(t, "inner", func() { MatMul(dst, a, b) })
+	b2 := NewMatrix(3, 2)
+	badDst := NewMatrix(3, 3)
+	assertPanics(t, "dst", func() { MatMul(badDst, a, b2) })
+	assertPanics(t, "alias", func() { MatMul(a, a, b2) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestAddRowVectorAndColSums(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	AddRowVector(m, []float64{10, 20})
+	if m.At(0, 0) != 11 || m.At(1, 1) != 24 {
+		t.Fatalf("AddRowVector = %v", m.Data)
+	}
+	sums := ColSums(m)
+	if sums[0] != 11+13 || sums[1] != 22+24 {
+		t.Fatalf("ColSums = %v", sums)
+	}
+}
+
+func TestApplyScaleAXPYHadamard(t *testing.T) {
+	m := FromRows([][]float64{{1, -2}, {-3, 4}})
+	m.Apply(math.Abs)
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("Apply wrong")
+	}
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Fatal("Scale wrong")
+	}
+	y := NewMatrix(2, 2)
+	AXPY(0.5, m, y)
+	if y.At(0, 0) != 1 {
+		t.Fatal("AXPY wrong")
+	}
+	h := NewMatrix(2, 2)
+	Hadamard(h, m, m)
+	if h.At(1, 1) != 64 {
+		t.Fatal("Hadamard wrong")
+	}
+}
+
+func TestFrobeniusNormAndDot(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}})
+	if m.FrobeniusNorm() != 5 {
+		t.Fatal("FrobeniusNorm wrong")
+	}
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	assertPanics(t, "dot len", func() { Dot([]float64{1}, []float64{1, 2}) })
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestFromRowsValidation(t *testing.T) {
+	assertPanics(t, "empty", func() { FromRows(nil) })
+	assertPanics(t, "ragged", func() { FromRows([][]float64{{1, 2}, {3}}) })
+}
+
+// Property: (A*B)*C == A*(B*C) within floating-point tolerance.
+func TestMatMulAssociativity(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		m, k, l, n := 2+r.Intn(6), 2+r.Intn(6), 2+r.Intn(6), 2+r.Intn(6)
+		a := randomMatrix(r, m, k)
+		b := randomMatrix(r, k, l)
+		c := randomMatrix(r, l, n)
+		ab := NewMatrix(m, l)
+		MatMul(ab, a, b)
+		abc1 := NewMatrix(m, n)
+		MatMul(abc1, ab, c)
+		bc := NewMatrix(k, n)
+		MatMul(bc, b, c)
+		abc2 := NewMatrix(m, n)
+		MatMul(abc2, a, bc)
+		for i := range abc1.Data {
+			if math.Abs(abc1.Data[i]-abc2.Data[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyFactorization(t *testing.T) {
+	// A = L L^T for a known SPD matrix.
+	a := FromRows([][]float64{
+		{4, 2, 0.6},
+		{2, 5, 1.2},
+		{0.6, 1.2, 3},
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct and compare.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var sum float64
+			for k := 0; k < 3; k++ {
+				sum += l.At(i, k) * l.At(j, k)
+			}
+			if math.Abs(sum-a.At(i, j)) > 1e-10 {
+				t.Fatalf("LL^T[%d][%d] = %v, want %v", i, j, sum, a.At(i, j))
+			}
+		}
+	}
+	// Strict upper triangle zero.
+	if l.At(0, 2) != 0 || l.At(0, 1) != 0 || l.At(1, 2) != 0 {
+		t.Fatal("factor not lower triangular")
+	}
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	r := stats.NewRNG(11)
+	const n = 12
+	// Random SPD: A = B B^T + n*I.
+	b := randomMatrix(r, n, n)
+	a := NewMatrix(n, n)
+	MatMulT(a, b, b)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rhs[i] = Dot(a.Row(i), xTrue)
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := CholeskySolve(l, rhs)
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("solve mismatch at %d: %v vs %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("indefinite matrix accepted")
+	}
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestCholeskyLogDet(t *testing.T) {
+	// det(diag(4, 9)) = 36 → log 36.
+	a := FromRows([][]float64{{4, 0}, {0, 9}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CholeskyLogDet(l); math.Abs(got-math.Log(36)) > 1e-12 {
+		t.Fatalf("logdet = %v, want log 36", got)
+	}
+}

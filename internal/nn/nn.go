@@ -1,0 +1,360 @@
+// Package nn implements a small feed-forward neural network with
+// backpropagation and the Adam optimizer, hand-rolled on
+// internal/linalg. It exists to reproduce PerfNet (Marathe et al.,
+// SC'17), the deep-transfer-learning baseline of the paper's §VII:
+// train a regressor on plentiful source-domain measurements, freeze
+// the early layers, and fine-tune the head on scarce target-domain
+// samples.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcautotune/hiperbot/internal/linalg"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+const (
+	// Identity is a linear layer (used for the regression output).
+	Identity Activation = iota
+	// ReLU is max(0, x).
+	ReLU
+	// Tanh is the hyperbolic tangent.
+	Tanh
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(z float64) float64 {
+	switch a {
+	case ReLU:
+		if z < 0 {
+			return 0
+		}
+		return z
+	case Tanh:
+		return math.Tanh(z)
+	default:
+		return z
+	}
+}
+
+// derivFromOutput returns f'(z) expressed through f(z) (both ReLU and
+// tanh allow this, which saves storing pre-activations).
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// Layer is one dense layer: y = act(x·Wᵀ + b).
+type Layer struct {
+	W      *linalg.Matrix // out × in
+	B      []float64      // out
+	Act    Activation
+	Frozen bool // frozen layers receive no updates during fine-tuning
+
+	// Adam moment estimates.
+	mW, vW *linalg.Matrix
+	mB, vB []float64
+}
+
+// Network is a multilayer perceptron.
+type Network struct {
+	layers []*Layer
+	// adamT counts optimizer steps for bias correction.
+	adamT int
+}
+
+// New constructs a network with the given layer sizes
+// (sizes[0] = input dim, sizes[len-1] = output dim) and one activation
+// per weight layer. Weights use He initialization driven by seed.
+func New(sizes []int, acts []Activation, seed uint64) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("nn: need at least input and output sizes")
+	}
+	if len(acts) != len(sizes)-1 {
+		return nil, fmt.Errorf("nn: %d activations for %d layers", len(acts), len(sizes)-1)
+	}
+	r := stats.NewRNG(seed)
+	n := &Network{}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		if in <= 0 || out <= 0 {
+			return nil, fmt.Errorf("nn: invalid layer size %d→%d", in, out)
+		}
+		layer := &Layer{
+			W:   linalg.NewMatrix(out, in),
+			B:   make([]float64, out),
+			Act: acts[l],
+			mW:  linalg.NewMatrix(out, in),
+			vW:  linalg.NewMatrix(out, in),
+			mB:  make([]float64, out),
+			vB:  make([]float64, out),
+		}
+		scale := math.Sqrt(2.0 / float64(in))
+		for i := range layer.W.Data {
+			layer.W.Data[i] = r.NormFloat64() * scale
+		}
+		n.layers = append(n.layers, layer)
+	}
+	return n, nil
+}
+
+// NumLayers returns the number of weight layers.
+func (n *Network) NumLayers() int { return len(n.layers) }
+
+// Freeze marks the first k layers as non-trainable (transfer
+// learning's "keep the representation, retrain the head").
+func (n *Network) Freeze(k int) {
+	for i, l := range n.layers {
+		l.Frozen = i < k
+	}
+}
+
+// Unfreeze makes every layer trainable again.
+func (n *Network) Unfreeze() {
+	for _, l := range n.layers {
+		l.Frozen = false
+	}
+}
+
+// Forward computes the network output for a batch X (n × in),
+// returning an n × out matrix.
+func (n *Network) Forward(x *linalg.Matrix) *linalg.Matrix {
+	a := x
+	for _, l := range n.layers {
+		z := linalg.NewMatrix(a.Rows, l.W.Rows)
+		linalg.MatMulT(z, a, l.W)
+		linalg.AddRowVector(z, l.B)
+		z.Apply(l.Act.apply)
+		a = z
+	}
+	return a
+}
+
+// Predict evaluates a single input vector.
+func (n *Network) Predict(x []float64) []float64 {
+	m := linalg.FromRows([][]float64{x})
+	out := n.Forward(m)
+	return append([]float64(nil), out.Row(0)...)
+}
+
+// Adam holds the optimizer hyperparameters.
+type Adam struct {
+	LR      float64 // learning rate (default 1e-3)
+	Beta1   float64 // first-moment decay (default 0.9)
+	Beta2   float64 // second-moment decay (default 0.999)
+	Epsilon float64 // numerical floor (default 1e-8)
+	// WeightDecay applies decoupled L2 regularization (AdamW-style):
+	// weights shrink by LR*WeightDecay per step. 0 disables it.
+	// Biases are never decayed.
+	WeightDecay float64
+}
+
+// DefaultAdam returns the standard Adam hyperparameters.
+func DefaultAdam() Adam {
+	return Adam{LR: 1e-3, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+func (a Adam) withDefaults() Adam {
+	if a.LR == 0 {
+		a.LR = 1e-3
+	}
+	if a.Beta1 == 0 {
+		a.Beta1 = 0.9
+	}
+	if a.Beta2 == 0 {
+		a.Beta2 = 0.999
+	}
+	if a.Epsilon == 0 {
+		a.Epsilon = 1e-8
+	}
+	return a
+}
+
+// TrainBatch performs one forward/backward pass on (X, Y) and applies
+// an Adam update, returning the mean-squared-error loss *before* the
+// update. Frozen layers still propagate gradients but are not updated.
+func (n *Network) TrainBatch(x, y *linalg.Matrix, opt Adam) float64 {
+	opt = opt.withDefaults()
+	if x.Rows != y.Rows {
+		panic(fmt.Sprintf("nn: batch size mismatch %d vs %d", x.Rows, y.Rows))
+	}
+	// Forward pass, keeping activations.
+	activations := make([]*linalg.Matrix, len(n.layers)+1)
+	activations[0] = x
+	for i, l := range n.layers {
+		z := linalg.NewMatrix(activations[i].Rows, l.W.Rows)
+		linalg.MatMulT(z, activations[i], l.W)
+		linalg.AddRowVector(z, l.B)
+		z.Apply(l.Act.apply)
+		activations[i+1] = z
+	}
+	pred := activations[len(n.layers)]
+	if pred.Cols != y.Cols {
+		panic(fmt.Sprintf("nn: output dim %d vs target %d", pred.Cols, y.Cols))
+	}
+
+	// MSE loss and its gradient dL/dpred = 2*(pred-y)/n.
+	nSamples := float64(x.Rows)
+	delta := linalg.NewMatrix(pred.Rows, pred.Cols)
+	var loss float64
+	for i := range pred.Data {
+		d := pred.Data[i] - y.Data[i]
+		loss += d * d
+		delta.Data[i] = 2 * d / nSamples
+	}
+	loss /= nSamples * float64(pred.Cols)
+
+	// Backward pass.
+	n.adamT++
+	for li := len(n.layers) - 1; li >= 0; li-- {
+		l := n.layers[li]
+		act := activations[li+1]
+		// delta ⊙ act'(z), using the output-expressed derivative.
+		for i := range delta.Data {
+			delta.Data[i] *= l.Act.derivFromOutput(act.Data[i])
+		}
+		// Gradients: dW = deltaᵀ · a_in ; dB = column sums of delta.
+		var dW *linalg.Matrix
+		var dB []float64
+		if !l.Frozen {
+			dW = linalg.NewMatrix(l.W.Rows, l.W.Cols)
+			linalg.TMatMul(dW, delta, activations[li])
+			dB = linalg.ColSums(delta)
+		}
+		// Propagate to the previous layer before updating weights.
+		if li > 0 {
+			prev := linalg.NewMatrix(delta.Rows, l.W.Cols)
+			linalg.MatMul(prev, delta, l.W)
+			delta = prev
+		}
+		if !l.Frozen {
+			adamUpdate(l.W, dW, l.mW, l.vW, opt, n.adamT)
+			adamUpdateVec(l.B, dB, l.mB, l.vB, opt, n.adamT)
+		}
+	}
+	return loss
+}
+
+func adamUpdate(w, g, m, v *linalg.Matrix, opt Adam, t int) {
+	c1 := 1 - math.Pow(opt.Beta1, float64(t))
+	c2 := 1 - math.Pow(opt.Beta2, float64(t))
+	for i := range w.Data {
+		m.Data[i] = opt.Beta1*m.Data[i] + (1-opt.Beta1)*g.Data[i]
+		v.Data[i] = opt.Beta2*v.Data[i] + (1-opt.Beta2)*g.Data[i]*g.Data[i]
+		mHat := m.Data[i] / c1
+		vHat := v.Data[i] / c2
+		w.Data[i] -= opt.LR * (mHat/(math.Sqrt(vHat)+opt.Epsilon) + opt.WeightDecay*w.Data[i])
+	}
+}
+
+func adamUpdateVec(w, g, m, v []float64, opt Adam, t int) {
+	c1 := 1 - math.Pow(opt.Beta1, float64(t))
+	c2 := 1 - math.Pow(opt.Beta2, float64(t))
+	for i := range w {
+		m[i] = opt.Beta1*m[i] + (1-opt.Beta1)*g[i]
+		v[i] = opt.Beta2*v[i] + (1-opt.Beta2)*g[i]*g[i]
+		mHat := m[i] / c1
+		vHat := v[i] / c2
+		w[i] -= opt.LR * mHat / (math.Sqrt(vHat) + opt.Epsilon)
+	}
+}
+
+// TrainConfig bundles the mini-batch training hyperparameters.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Adam      Adam
+	Seed      uint64
+	// Patience enables early stopping: training stops once the mean
+	// epoch loss has not improved by at least MinDelta for Patience
+	// consecutive epochs. 0 disables early stopping.
+	Patience int
+	// MinDelta is the improvement threshold for Patience (default 0).
+	MinDelta float64
+	// OnEpoch, when non-nil, observes the mean loss after each epoch.
+	OnEpoch func(epoch int, loss float64)
+}
+
+// Train runs mini-batch SGD over the dataset (X rows paired with Y
+// rows), shuffling each epoch, and returns the final epoch's mean loss.
+func (n *Network) Train(x, y *linalg.Matrix, cfg TrainConfig) float64 {
+	if x.Rows != y.Rows {
+		panic("nn: Train rows mismatch")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.BatchSize <= 0 || cfg.BatchSize > x.Rows {
+		cfg.BatchSize = x.Rows
+	}
+	r := stats.NewRNG(cfg.Seed)
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	var epochLoss float64
+	bestLoss := math.Inf(1)
+	stall := 0
+	for e := 0; e < cfg.Epochs; e++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss = 0
+		batches := 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			bx := linalg.NewMatrix(end-start, x.Cols)
+			by := linalg.NewMatrix(end-start, y.Cols)
+			for bi, src := range idx[start:end] {
+				copy(bx.Row(bi), x.Row(src))
+				copy(by.Row(bi), y.Row(src))
+			}
+			epochLoss += n.TrainBatch(bx, by, cfg.Adam)
+			batches++
+		}
+		epochLoss /= float64(batches)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(e, epochLoss)
+		}
+		if cfg.Patience > 0 {
+			if epochLoss < bestLoss-cfg.MinDelta {
+				bestLoss = epochLoss
+				stall = 0
+			} else {
+				stall++
+				if stall >= cfg.Patience {
+					break
+				}
+			}
+		}
+	}
+	return epochLoss
+}

@@ -1,0 +1,201 @@
+// Package perfnet reimplements the transfer-learning baseline the
+// paper evaluates against in §VII: PerfNet (Marathe et al., SC'17), a
+// deep-learning regressor that "combines observations at smaller scale
+// with limited observations collected at larger scale".
+//
+// The pipeline:
+//
+//  1. train an MLP on the *entire* source-domain dataset
+//     (one-hot/ordinal features → standardized log runtime);
+//  2. freeze the representation layers and fine-tune the head on a
+//     small random sample of target-domain measurements;
+//  3. predict the runtime of every target configuration and select the
+//     lowest-predicted configurations until the evaluation budget is
+//     spent.
+//
+// The selected set (random fine-tuning samples + predicted picks) is
+// what the Recall metric of eq. 12 is computed over, exactly as the
+// paper reuses PerfNet's published evaluation protocol.
+package perfnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/linalg"
+	"github.com/hpcautotune/hiperbot/internal/nn"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// Options configures the PerfNet baseline.
+type Options struct {
+	// Hidden lists the hidden-layer widths (default [64, 32]).
+	Hidden []int
+	// SourceEpochs trains the source model (default 30).
+	SourceEpochs int
+	// FineTuneEpochs adapts the head on target samples (default 60).
+	FineTuneEpochs int
+	// BatchSize for both phases (default 64).
+	BatchSize int
+	// LR is the source-phase learning rate (default 1e-3);
+	// FineTuneLR the adaptation rate (default 5e-4).
+	LR, FineTuneLR float64
+	// FineTuneSamples is the number of random target measurements used
+	// for adaptation (default 100, the "+100" of the paper's budget).
+	FineTuneSamples int
+	// FreezeLayers counts representation layers kept fixed during
+	// fine-tuning (default: all but the output layer).
+	FreezeLayers int
+	// Seed drives sampling and initialization.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Hidden == nil {
+		o.Hidden = []int{64, 32}
+	}
+	if o.SourceEpochs == 0 {
+		o.SourceEpochs = 30
+	}
+	if o.FineTuneEpochs == 0 {
+		o.FineTuneEpochs = 60
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 64
+	}
+	if o.LR == 0 {
+		o.LR = 1e-3
+	}
+	if o.FineTuneLR == 0 {
+		o.FineTuneLR = 5e-4
+	}
+	if o.FineTuneSamples == 0 {
+		o.FineTuneSamples = 100
+	}
+	if o.FreezeLayers == 0 {
+		o.FreezeLayers = len(o.Hidden) // freeze everything but the head
+	}
+	return o
+}
+
+// Select runs the PerfNet transfer pipeline and returns the history of
+// target-domain configurations it evaluated (budget total: the random
+// fine-tuning sample plus the predicted picks).
+func Select(src, tgt *dataset.Table, budget int, opts Options) (*core.History, error) {
+	opts = opts.withDefaults()
+	if budget <= 0 || budget > tgt.Len() {
+		return nil, fmt.Errorf("perfnet: budget %d outside (0,%d]", budget, tgt.Len())
+	}
+	if opts.FineTuneSamples >= budget {
+		return nil, fmt.Errorf("perfnet: fine-tune samples %d must be below budget %d",
+			opts.FineTuneSamples, budget)
+	}
+	if src.Space.NumParams() != tgt.Space.NumParams() ||
+		src.Space.OneHotLen() != tgt.Space.OneHotLen() {
+		return nil, fmt.Errorf("perfnet: source and target spaces incompatible")
+	}
+
+	featLen := src.Space.OneHotLen()
+	r := stats.NewRNG(opts.Seed)
+
+	// Phase 1: source training on standardized log runtimes.
+	srcX := encodeAll(src)
+	srcLogs := make([]float64, src.Len())
+	for i := range srcLogs {
+		srcLogs[i] = math.Log(src.Value(i))
+	}
+	srcMean := stats.Mean(srcLogs)
+	srcStd := stats.Std(srcLogs)
+	if srcStd == 0 {
+		srcStd = 1
+	}
+	srcY := linalg.NewMatrix(src.Len(), 1)
+	for i, v := range srcLogs {
+		srcY.Set(i, 0, (v-srcMean)/srcStd)
+	}
+
+	sizes := append([]int{featLen}, opts.Hidden...)
+	sizes = append(sizes, 1)
+	acts := make([]nn.Activation, len(sizes)-1)
+	for i := range acts {
+		acts[i] = nn.ReLU
+	}
+	acts[len(acts)-1] = nn.Identity
+	net, err := nn.New(sizes, acts, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	net.Train(srcX, srcY, nn.TrainConfig{
+		Epochs: opts.SourceEpochs, BatchSize: opts.BatchSize,
+		Adam: nn.Adam{LR: opts.LR}, Seed: opts.Seed + 1,
+	})
+
+	// Phase 2: random target measurements + head fine-tuning.
+	h := core.NewHistory(tgt.Space)
+	sampleIdx := r.SampleWithoutReplacement(tgt.Len(), opts.FineTuneSamples)
+	evaluated := make(map[int]bool, budget)
+	ftLogs := make([]float64, 0, len(sampleIdx))
+	for _, idx := range sampleIdx {
+		evaluated[idx] = true
+		if err := h.Add(tgt.Config(idx), tgt.Value(idx)); err != nil {
+			return nil, err
+		}
+		ftLogs = append(ftLogs, math.Log(tgt.Value(idx)))
+	}
+	// Standardize targets with the fine-tune sample's own statistics:
+	// the target domain's absolute scale is unknown a priori.
+	ftMean := stats.Mean(ftLogs)
+	ftStd := stats.Std(ftLogs)
+	if ftStd == 0 {
+		ftStd = 1
+	}
+	ftX := linalg.NewMatrix(len(sampleIdx), featLen)
+	ftY := linalg.NewMatrix(len(sampleIdx), 1)
+	for row, idx := range sampleIdx {
+		tgt.Space.EncodeOneHot(tgt.Config(idx), ftX.Row(row))
+		ftY.Set(row, 0, (math.Log(tgt.Value(idx))-ftMean)/ftStd)
+	}
+	net.Freeze(opts.FreezeLayers)
+	net.Train(ftX, ftY, nn.TrainConfig{
+		Epochs: opts.FineTuneEpochs, BatchSize: opts.BatchSize,
+		Adam: nn.Adam{LR: opts.FineTuneLR}, Seed: opts.Seed + 2,
+	})
+
+	// Phase 3: predict every target configuration, pick the lowest.
+	tgtX := encodeAll(tgt)
+	preds := net.Forward(tgtX)
+	order := make([]int, 0, tgt.Len())
+	for i := 0; i < tgt.Len(); i++ {
+		if !evaluated[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := preds.At(order[a], 0), preds.At(order[b], 0)
+		if pa != pb {
+			return pa < pb
+		}
+		return order[a] < order[b]
+	})
+	for _, idx := range order {
+		if h.Len() >= budget {
+			break
+		}
+		if err := h.Add(tgt.Config(idx), tgt.Value(idx)); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// encodeAll one-hot-encodes every row of a table.
+func encodeAll(tbl *dataset.Table) *linalg.Matrix {
+	x := linalg.NewMatrix(tbl.Len(), tbl.Space.OneHotLen())
+	for i := 0; i < tbl.Len(); i++ {
+		tbl.Space.EncodeOneHot(tbl.Config(i), x.Row(i))
+	}
+	return x
+}

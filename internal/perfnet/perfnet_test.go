@@ -1,0 +1,113 @@
+package perfnet
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// correlatedPair builds a source/target dataset pair over the same
+// space where target values are a scaled, slightly perturbed version
+// of source values — the transfer-learning regime.
+func correlatedPair(t *testing.T) (*dataset.Table, *dataset.Table) {
+	t.Helper()
+	sp := space.New(
+		space.DiscreteInts("a", 0, 1, 2, 3, 4, 5, 6, 7),
+		space.DiscreteInts("b", 0, 1, 2, 3, 4, 5, 6, 7),
+		space.DiscreteInts("c", 0, 1, 2, 3),
+	)
+	configs := sp.Enumerate()
+	srcVals := make([]float64, len(configs))
+	tgtVals := make([]float64, len(configs))
+	for i, c := range configs {
+		base := 1 + 0.3*absf(c[0]-5) + 0.2*absf(c[1]-2) + 0.1*absf(c[2]-1)
+		srcVals[i] = base * (1 + 0.02*stats.HashNorm(uint64(i), 1))
+		tgtVals[i] = 3 * base * (1 + 0.04*stats.HashNorm(uint64(i), 2))
+	}
+	src := dataset.MustNew("src", "t", sp, configs, srcVals)
+	tgt := dataset.MustNew("tgt", "t", sp, configs, tgtVals)
+	return src, tgt
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestSelectFindsGoodTargetConfigs(t *testing.T) {
+	src, tgt := correlatedPair(t)
+	h, err := Select(src, tgt, 60, Options{
+		FineTuneSamples: 20, SourceEpochs: 20, FineTuneEpochs: 40, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 60 {
+		t.Fatalf("history length %d, want 60", h.Len())
+	}
+	// Recall on the 10% tolerance good set must beat random's expected
+	// coverage (budget/len = 60/256 ≈ 0.23).
+	good := tgt.GoodSetTolerance(0.10)
+	found := 0
+	for _, idx := range good {
+		if h.Contains(tgt.Config(idx)) {
+			found++
+		}
+	}
+	recall := float64(found) / float64(len(good))
+	if recall < 0.5 {
+		t.Fatalf("recall = %v (found %d/%d), want >= 0.5", recall, found, len(good))
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	src, tgt := correlatedPair(t)
+	run := func() []float64 {
+		h, err := Select(src, tgt, 40, Options{FineTuneSamples: 15, SourceEpochs: 5, FineTuneEpochs: 10, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.Values()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d", i)
+		}
+	}
+}
+
+func TestSelectNoDuplicates(t *testing.T) {
+	src, tgt := correlatedPair(t)
+	h, err := Select(src, tgt, 50, Options{FineTuneSamples: 10, SourceEpochs: 3, FineTuneEpochs: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// History.Add rejects duplicates, so a full-length history proves it.
+	if h.Len() != 50 {
+		t.Fatalf("history length %d", h.Len())
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	src, tgt := correlatedPair(t)
+	if _, err := Select(src, tgt, 0, Options{}); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	if _, err := Select(src, tgt, tgt.Len()+1, Options{}); err == nil {
+		t.Error("budget beyond dataset accepted")
+	}
+	if _, err := Select(src, tgt, 50, Options{FineTuneSamples: 50}); err == nil {
+		t.Error("fine-tune samples >= budget accepted")
+	}
+	other := space.New(space.Discrete("z", "p", "q"))
+	otherTbl := dataset.MustNew("o", "t", other,
+		[]space.Config{{0}, {1}}, []float64{1, 2})
+	if _, err := Select(src, otherTbl, 1, Options{}); err == nil {
+		t.Error("incompatible spaces accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Package report renders experiment results as ASCII tables and
+// simple line charts, so cmd/experiments can print every figure and
+// table of the paper to a terminal or a log file.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table renders a titled, column-aligned table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddF appends a row formatted from values: strings pass through,
+// float64 format with %.4g, ints with %d.
+func (t *Table) AddF(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	var sep strings.Builder
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "| %-*s ", widths[i], c)
+		sep.WriteString("|")
+		sep.WriteString(strings.Repeat("-", widths[i]+2))
+	}
+	fmt.Fprintln(w, "|")
+	fmt.Fprintln(w, sep.String()+"|")
+	for _, row := range t.Rows {
+		for i := range t.Columns {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(w, "| %-*s ", widths[i], cell)
+		}
+		fmt.Fprintln(w, "|")
+	}
+}
+
+// Series is one line of a chart.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// Chart renders aligned numeric series as a compact ASCII line chart
+// plus the underlying numbers — enough to eyeball the "shape" of a
+// figure in a terminal.
+type Chart struct {
+	Title  string
+	XLabel string
+	XTicks []string
+	Series []Series
+	Height int // chart rows (default 12)
+}
+
+// Render writes the chart and its data table to w.
+func (c *Chart) Render(w io.Writer) {
+	if c.Height <= 0 {
+		c.Height = 12
+	}
+	if len(c.Series) == 0 || len(c.XTicks) == 0 {
+		fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.05
+	lo -= pad
+	hi += pad
+
+	fmt.Fprintf(w, "%s\n", c.Title)
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	cols := len(c.XTicks)
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*6))
+	}
+	for si, s := range c.Series {
+		mark := marks[si%len(marks)]
+		for xi, p := range s.Points {
+			if xi >= cols {
+				break
+			}
+			r := int((hi - p) / (hi - lo) * float64(c.Height-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= c.Height {
+				r = c.Height - 1
+			}
+			grid[r][xi*6+2] = mark
+		}
+	}
+	for r, line := range grid {
+		yval := hi - (hi-lo)*float64(r)/float64(c.Height-1)
+		fmt.Fprintf(w, "%10.4g |%s\n", yval, string(line))
+	}
+	fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", cols*6))
+	fmt.Fprintf(w, "%10s  ", "")
+	for _, tick := range c.XTicks {
+		fmt.Fprintf(w, "%-6s", tick)
+	}
+	fmt.Fprintln(w)
+	if c.XLabel != "" {
+		fmt.Fprintf(w, "%10s  %s\n", "", c.XLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(w, "  %c %-22s", marks[si%len(marks)], s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, " %8.4g", p)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Section prints a underlined heading.
+func Section(w io.Writer, format string, args ...any) {
+	s := fmt.Sprintf(format, args...)
+	fmt.Fprintf(w, "\n%s\n%s\n", s, strings.Repeat("=", len(s)))
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "Example",
+		Columns: []string{"name", "value"},
+	}
+	tbl.Add("alpha", "1")
+	tbl.AddF("beta", 2.5)
+	tbl.AddF("gamma", 42)
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Example", "name", "alpha", "2.5", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 3 rows
+	if len(lines) != 6 {
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+	// All data rows share the same width.
+	w := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != w {
+			t.Errorf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tbl := Table{Columns: []string{"a", "b", "c"}}
+	tbl.Add("only-one")
+	var buf bytes.Buffer
+	tbl.Render(&buf) // must not panic
+	if !strings.Contains(buf.String(), "only-one") {
+		t.Error("row lost")
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	ch := Chart{
+		Title:  "Fig X",
+		XLabel: "samples",
+		XTicks: []string{"32", "64", "96"},
+		Series: []Series{
+			{Name: "HiPerBOt", Points: []float64{10, 9, 8.4}},
+			{Name: "Random", Points: []float64{12, 11, 10.5}},
+		},
+	}
+	var buf bytes.Buffer
+	ch.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Fig X", "HiPerBOt", "Random", "samples", "8.4", "96"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("chart marks missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	(&Chart{Title: "empty"}).Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	ch := Chart{
+		XTicks: []string{"1", "2"},
+		Series: []Series{{Name: "flat", Points: []float64{5, 5}}},
+	}
+	var buf bytes.Buffer
+	ch.Render(&buf) // must not divide by zero
+	if !strings.Contains(buf.String(), "flat") {
+		t.Error("series missing")
+	}
+}
+
+func TestSection(t *testing.T) {
+	var buf bytes.Buffer
+	Section(&buf, "Figure %d", 2)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "========") {
+		t.Errorf("section wrong: %q", out)
+	}
+}

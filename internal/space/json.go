@@ -1,0 +1,101 @@
+package space
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization of parameter spaces, so tools can persist an
+// inferred or hand-written space next to its measurement data.
+// Constraint predicates are code, not data: they are NOT serialized,
+// and a deserialized space is unconstrained. Tables re-impose validity
+// implicitly (only measured rows exist), so this is the right behavior
+// for the CSV tooling.
+
+// paramJSON is the wire form of a Param.
+type paramJSON struct {
+	Name    string    `json:"name"`
+	Kind    string    `json:"kind"` // "discrete" | "continuous"
+	Levels  []string  `json:"levels,omitempty"`
+	Numeric []float64 `json:"numeric,omitempty"`
+	Lo      float64   `json:"lo,omitempty"`
+	Hi      float64   `json:"hi,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p Param) MarshalJSON() ([]byte, error) {
+	pj := paramJSON{Name: p.Name, Kind: p.Kind.String()}
+	switch p.Kind {
+	case DiscreteKind:
+		pj.Levels = p.Levels
+		pj.Numeric = p.Numeric
+	case ContinuousKind:
+		pj.Lo, pj.Hi = p.Lo, p.Hi
+	default:
+		return nil, fmt.Errorf("space: cannot marshal parameter kind %v", p.Kind)
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Param) UnmarshalJSON(data []byte) error {
+	var pj paramJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	if pj.Name == "" {
+		return fmt.Errorf("space: parameter without a name")
+	}
+	switch pj.Kind {
+	case "discrete":
+		if len(pj.Levels) == 0 {
+			return fmt.Errorf("space: discrete parameter %q without levels", pj.Name)
+		}
+		if pj.Numeric != nil && len(pj.Numeric) != len(pj.Levels) {
+			return fmt.Errorf("space: parameter %q has %d numeric values for %d levels",
+				pj.Name, len(pj.Numeric), len(pj.Levels))
+		}
+		seen := make(map[string]bool, len(pj.Levels))
+		for _, l := range pj.Levels {
+			if seen[l] {
+				return fmt.Errorf("space: parameter %q has duplicate level %q", pj.Name, l)
+			}
+			seen[l] = true
+		}
+		*p = Param{Name: pj.Name, Kind: DiscreteKind, Levels: pj.Levels, Numeric: pj.Numeric}
+	case "continuous":
+		if pj.Hi <= pj.Lo {
+			return fmt.Errorf("space: continuous parameter %q needs lo < hi", pj.Name)
+		}
+		*p = Param{Name: pj.Name, Kind: ContinuousKind, Lo: pj.Lo, Hi: pj.Hi}
+	default:
+		return fmt.Errorf("space: unknown parameter kind %q", pj.Kind)
+	}
+	return nil
+}
+
+// MarshalJSON serializes the space's parameter list. Constraints are
+// dropped (see the package comment above).
+func (s *Space) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.params)
+}
+
+// SpaceFromJSON reconstructs an (unconstrained) space from the output
+// of Space.MarshalJSON.
+func SpaceFromJSON(data []byte) (*Space, error) {
+	var params []Param
+	if err := json.Unmarshal(data, &params); err != nil {
+		return nil, fmt.Errorf("space: %w", err)
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("space: empty parameter list")
+	}
+	seen := make(map[string]bool, len(params))
+	for _, p := range params {
+		if seen[p.Name] {
+			return nil, fmt.Errorf("space: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return New(params...), nil
+}

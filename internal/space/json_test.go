@@ -1,0 +1,85 @@
+package space
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSpaceJSONRoundTrip(t *testing.T) {
+	orig := New(
+		Discrete("layout", "DGZ", "GDZ"),
+		DiscreteInts("omp", 1, 2, 4),
+		DiscreteFloats("cap", 50, 115),
+		Continuous("alpha", 0.1, 0.9),
+	)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := SpaceFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumParams() != orig.NumParams() {
+		t.Fatalf("params %d vs %d", back.NumParams(), orig.NumParams())
+	}
+	for i := 0; i < orig.NumParams(); i++ {
+		a, b := orig.Param(i), back.Param(i)
+		if a.Name != b.Name || a.Kind != b.Kind || a.Cardinality() != b.Cardinality() {
+			t.Fatalf("param %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for l := 0; l < a.Cardinality(); l++ {
+			if a.Level(l) != b.Level(l) || a.NumericValue(l) != b.NumericValue(l) {
+				t.Fatalf("param %d level %d mismatch", i, l)
+			}
+		}
+		if a.Kind == ContinuousKind && (a.Lo != b.Lo || a.Hi != b.Hi) {
+			t.Fatalf("bounds mismatch")
+		}
+	}
+	// Keys must be stable for configs over the two spaces.
+	c := Config{1, 2, 0, 0.5}
+	if orig.Key(c) != back.Key(c) {
+		t.Fatal("keys differ after round trip")
+	}
+}
+
+func TestSpaceFromJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty list":      `[]`,
+		"no name":         `[{"kind":"discrete","levels":["a"]}]`,
+		"no levels":       `[{"name":"p","kind":"discrete"}]`,
+		"dup levels":      `[{"name":"p","kind":"discrete","levels":["a","a"]}]`,
+		"numeric len":     `[{"name":"p","kind":"discrete","levels":["a","b"],"numeric":[1]}]`,
+		"bad kind":        `[{"name":"p","kind":"fancy"}]`,
+		"bad bounds":      `[{"name":"p","kind":"continuous","lo":2,"hi":1}]`,
+		"not json":        `{`,
+		"dup param names": `[{"name":"p","kind":"discrete","levels":["a"]},{"name":"p","kind":"discrete","levels":["b"]}]`,
+	}
+	for name, text := range cases {
+		name, text := name, text
+		t.Run(name, func(t *testing.T) {
+			defer func() { recover() }() // New panics on dup names; that also counts as rejection
+			if _, err := SpaceFromJSON([]byte(text)); err == nil {
+				t.Errorf("accepted %s", text)
+			}
+		})
+	}
+}
+
+func TestParamJSONShape(t *testing.T) {
+	data, err := json.Marshal(Discrete("solver", "cg", "mg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"name":"solver"`, `"kind":"discrete"`, `"cg"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("json %s missing %s", s, want)
+		}
+	}
+	if strings.Contains(s, `"lo"`) {
+		t.Error("discrete param serialized continuous bounds")
+	}
+}

@@ -1,0 +1,159 @@
+// Package space models configuration parameter spaces for HiPerBOt.
+//
+// A Space is an ordered list of named parameters. Parameters are either
+// discrete (a finite set of levels — compiler flags, solver choices,
+// thread counts, power caps...) or continuous (a bounded real interval).
+// A Config assigns a value to every parameter: for discrete parameters
+// the entry is the level index, for continuous parameters the real
+// value. The paper's evaluation spaces are all discrete and finite
+// (§VIII: "Configuration parameters for HPC applications are mostly
+// discrete and finite"), but HiPerBOt's Proposal strategy supports
+// continuous parameters too, so the space abstraction carries both.
+package space
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind distinguishes discrete and continuous parameters.
+type Kind int
+
+const (
+	// DiscreteKind parameters take one of a finite set of levels.
+	DiscreteKind Kind = iota
+	// ContinuousKind parameters take any value in [Lo, Hi].
+	ContinuousKind
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case DiscreteKind:
+		return "discrete"
+	case ContinuousKind:
+		return "continuous"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Param describes one tunable parameter.
+type Param struct {
+	// Name identifies the parameter ("Nesting", "OMP", "PKG_LIMIT"...).
+	Name string
+	// Kind selects the value domain.
+	Kind Kind
+	// Levels names each discrete level; empty for continuous params.
+	Levels []string
+	// Numeric holds an optional numeric value per level (thread counts,
+	// power caps in watts, ...). When nil, levels are purely categorical.
+	// Ordinal encodings (used by the NN baseline) require Numeric.
+	Numeric []float64
+	// Lo, Hi bound continuous parameters; unused for discrete ones.
+	Lo, Hi float64
+}
+
+// Discrete constructs a categorical parameter from level names.
+// It panics if no levels are given or names repeat.
+func Discrete(name string, levels ...string) Param {
+	if len(levels) == 0 {
+		panic("space: Discrete parameter needs at least one level")
+	}
+	seen := make(map[string]bool, len(levels))
+	for _, l := range levels {
+		if seen[l] {
+			panic(fmt.Sprintf("space: duplicate level %q in parameter %q", l, name))
+		}
+		seen[l] = true
+	}
+	return Param{Name: name, Kind: DiscreteKind, Levels: append([]string(nil), levels...)}
+}
+
+// DiscreteInts constructs an ordinal parameter whose levels are integers
+// (e.g. OpenMP thread counts 1,2,4,8). Level labels are the decimal
+// representations and Numeric carries the values.
+func DiscreteInts(name string, values ...int) Param {
+	if len(values) == 0 {
+		panic("space: DiscreteInts parameter needs at least one value")
+	}
+	p := Param{Name: name, Kind: DiscreteKind}
+	seen := make(map[int]bool, len(values))
+	for _, v := range values {
+		if seen[v] {
+			panic(fmt.Sprintf("space: duplicate value %d in parameter %q", v, name))
+		}
+		seen[v] = true
+		p.Levels = append(p.Levels, strconv.Itoa(v))
+		p.Numeric = append(p.Numeric, float64(v))
+	}
+	return p
+}
+
+// DiscreteFloats constructs an ordinal parameter with float levels
+// (e.g. power caps, over-decomposition ratios).
+func DiscreteFloats(name string, values ...float64) Param {
+	if len(values) == 0 {
+		panic("space: DiscreteFloats parameter needs at least one value")
+	}
+	p := Param{Name: name, Kind: DiscreteKind}
+	seen := make(map[float64]bool, len(values))
+	for _, v := range values {
+		if seen[v] {
+			panic(fmt.Sprintf("space: duplicate value %v in parameter %q", v, name))
+		}
+		seen[v] = true
+		p.Levels = append(p.Levels, strconv.FormatFloat(v, 'g', -1, 64))
+		p.Numeric = append(p.Numeric, v)
+	}
+	return p
+}
+
+// Continuous constructs a real-valued parameter on [lo, hi].
+// It panics unless lo < hi.
+func Continuous(name string, lo, hi float64) Param {
+	if hi <= lo {
+		panic(fmt.Sprintf("space: Continuous parameter %q needs lo < hi", name))
+	}
+	return Param{Name: name, Kind: ContinuousKind, Lo: lo, Hi: hi}
+}
+
+// Cardinality returns the number of levels of a discrete parameter,
+// or 0 for continuous parameters.
+func (p Param) Cardinality() int {
+	if p.Kind == ContinuousKind {
+		return 0
+	}
+	return len(p.Levels)
+}
+
+// Level returns the label of level i of a discrete parameter.
+func (p Param) Level(i int) string {
+	if p.Kind != DiscreteKind {
+		panic(fmt.Sprintf("space: Level on continuous parameter %q", p.Name))
+	}
+	return p.Levels[i]
+}
+
+// NumericValue returns the numeric value associated with level i, or
+// the level index itself when the parameter is purely categorical.
+func (p Param) NumericValue(i int) float64 {
+	if p.Kind != DiscreteKind {
+		panic(fmt.Sprintf("space: NumericValue on continuous parameter %q", p.Name))
+	}
+	if p.Numeric != nil {
+		return p.Numeric[i]
+	}
+	return float64(i)
+}
+
+// LevelIndex returns the index of the level with the given label, or
+// -1 when absent.
+func (p Param) LevelIndex(label string) int {
+	for i, l := range p.Levels {
+		if l == label {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,346 @@
+package space
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// Config assigns a value to every parameter of a Space, positionally.
+// For discrete parameters the entry is the level index (an integral
+// float); for continuous parameters it is the real value.
+type Config []float64
+
+// Clone returns a deep copy of the configuration.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether two configurations are identical.
+func (c Config) Equal(d Config) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Space is an ordered set of parameters plus an optional validity
+// constraint. Real HPC spaces are rarely full cross products — e.g.
+// Kripke requires ranks×threads to equal the core count — which is why
+// the published dataset sizes (1609, 4589, ...) are not products of
+// level cardinalities. The constraint reproduces that.
+type Space struct {
+	params     []Param
+	constraint func(Config) bool // nil means everything is valid
+	byName     map[string]int
+}
+
+// New builds a Space from the given parameters. Parameter names must
+// be unique and non-empty.
+func New(params ...Param) *Space {
+	if len(params) == 0 {
+		panic("space: New with no parameters")
+	}
+	s := &Space{params: append([]Param(nil), params...), byName: make(map[string]int, len(params))}
+	for i, p := range params {
+		if p.Name == "" {
+			panic(fmt.Sprintf("space: parameter %d has empty name", i))
+		}
+		if _, dup := s.byName[p.Name]; dup {
+			panic(fmt.Sprintf("space: duplicate parameter name %q", p.Name))
+		}
+		s.byName[p.Name] = i
+	}
+	return s
+}
+
+// WithConstraint returns a copy of the space restricted by valid. The
+// predicate must be pure and deterministic.
+func (s *Space) WithConstraint(valid func(Config) bool) *Space {
+	out := &Space{params: s.params, constraint: valid, byName: s.byName}
+	return out
+}
+
+// NumParams returns the number of parameters.
+func (s *Space) NumParams() int { return len(s.params) }
+
+// Param returns the i-th parameter.
+func (s *Space) Param(i int) Param { return s.params[i] }
+
+// Params returns the parameter list (shared; callers must not mutate).
+func (s *Space) Params() []Param { return s.params }
+
+// IndexOf returns the position of the named parameter, or -1.
+func (s *Space) IndexOf(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// AllDiscrete reports whether every parameter is discrete, i.e. the
+// space is finite and the Ranking selection strategy applies.
+func (s *Space) AllDiscrete() bool {
+	for _, p := range s.params {
+		if p.Kind != DiscreteKind {
+			return false
+		}
+	}
+	return true
+}
+
+// GridSize returns the size of the unconstrained cross product of all
+// discrete levels. It panics when the space has continuous parameters.
+func (s *Space) GridSize() int {
+	if !s.AllDiscrete() {
+		panic("space: GridSize on a space with continuous parameters")
+	}
+	size := 1
+	for _, p := range s.params {
+		size *= p.Cardinality()
+		if size < 0 {
+			panic("space: grid size overflow")
+		}
+	}
+	return size
+}
+
+// Valid reports whether c satisfies domain bounds and the constraint.
+func (s *Space) Valid(c Config) bool {
+	if err := s.Check(c); err != nil {
+		return false
+	}
+	if s.constraint != nil && !s.constraint(c) {
+		return false
+	}
+	return true
+}
+
+// Check verifies structural validity (arity, level ranges, bounds)
+// without applying the constraint predicate.
+func (s *Space) Check(c Config) error {
+	if len(c) != len(s.params) {
+		return fmt.Errorf("space: config has %d entries, space has %d parameters", len(c), len(s.params))
+	}
+	for i, p := range s.params {
+		v := c[i]
+		switch p.Kind {
+		case DiscreteKind:
+			idx := int(v)
+			if float64(idx) != v || idx < 0 || idx >= p.Cardinality() {
+				return fmt.Errorf("space: parameter %q: level %v outside [0,%d)", p.Name, v, p.Cardinality())
+			}
+		case ContinuousKind:
+			if math.IsNaN(v) || v < p.Lo || v > p.Hi {
+				return fmt.Errorf("space: parameter %q: value %v outside [%v,%v]", p.Name, v, p.Lo, p.Hi)
+			}
+		}
+	}
+	return nil
+}
+
+// Enumerate returns every valid configuration of a fully discrete
+// space, in mixed-radix order (last parameter varies fastest). It
+// panics on spaces with continuous parameters.
+func (s *Space) Enumerate() []Config {
+	if !s.AllDiscrete() {
+		panic("space: Enumerate on a space with continuous parameters")
+	}
+	total := s.GridSize()
+	out := make([]Config, 0, total)
+	c := make(Config, len(s.params))
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == len(s.params) {
+			if s.constraint == nil || s.constraint(c) {
+				out = append(out, c.Clone())
+			}
+			return
+		}
+		for l := 0; l < s.params[dim].Cardinality(); l++ {
+			c[dim] = float64(l)
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// GridIndex maps a fully discrete configuration to its mixed-radix
+// index in the unconstrained grid (the inverse of FromGridIndex).
+func (s *Space) GridIndex(c Config) int {
+	if err := s.Check(c); err != nil {
+		panic(err)
+	}
+	idx := 0
+	for i, p := range s.params {
+		if p.Kind != DiscreteKind {
+			panic("space: GridIndex with continuous parameter")
+		}
+		idx = idx*p.Cardinality() + int(c[i])
+	}
+	return idx
+}
+
+// FromGridIndex decodes a mixed-radix grid index into a configuration.
+func (s *Space) FromGridIndex(idx int) Config {
+	if idx < 0 || idx >= s.GridSize() {
+		panic(fmt.Sprintf("space: grid index %d outside [0,%d)", idx, s.GridSize()))
+	}
+	c := make(Config, len(s.params))
+	for i := len(s.params) - 1; i >= 0; i-- {
+		k := s.params[i].Cardinality()
+		c[i] = float64(idx % k)
+		idx /= k
+	}
+	return c
+}
+
+// Sample draws a uniformly random valid configuration. For constrained
+// spaces it uses rejection sampling; it panics after too many
+// consecutive rejections (a sign the constraint leaves almost nothing).
+func (s *Space) Sample(r *stats.RNG) Config {
+	const maxTries = 1_000_000
+	for try := 0; try < maxTries; try++ {
+		c := make(Config, len(s.params))
+		for i, p := range s.params {
+			switch p.Kind {
+			case DiscreteKind:
+				c[i] = float64(r.Intn(p.Cardinality()))
+			case ContinuousKind:
+				c[i] = p.Lo + r.Float64()*(p.Hi-p.Lo)
+			}
+		}
+		if s.constraint == nil || s.constraint(c) {
+			return c
+		}
+	}
+	panic("space: Sample rejected 1e6 candidates; constraint too restrictive")
+}
+
+// Neighbors returns all valid configurations at Hamming distance one
+// from c (changing exactly one discrete parameter to another level).
+// Continuous parameters are skipped. GEIST's parameter-space graph is
+// built from this relation.
+func (s *Space) Neighbors(c Config) []Config {
+	var out []Config
+	for i, p := range s.params {
+		if p.Kind != DiscreteKind {
+			continue
+		}
+		for l := 0; l < p.Cardinality(); l++ {
+			if float64(l) == c[i] {
+				continue
+			}
+			n := c.Clone()
+			n[i] = float64(l)
+			if s.constraint == nil || s.constraint(n) {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Key renders a configuration as a canonical, hashable string.
+func (s *Space) Key(c Config) string {
+	var b strings.Builder
+	for i, v := range c {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		if s.params[i].Kind == DiscreteKind {
+			b.WriteString(strconv.Itoa(int(v)))
+		} else {
+			b.WriteString(strconv.FormatFloat(v, 'g', 17, 64))
+		}
+	}
+	return b.String()
+}
+
+// Describe renders a configuration with parameter names and level
+// labels, for reports and logs.
+func (s *Space) Describe(c Config) string {
+	var b strings.Builder
+	for i, p := range s.params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Name)
+		b.WriteByte('=')
+		if p.Kind == DiscreteKind {
+			b.WriteString(p.Level(int(c[i])))
+		} else {
+			b.WriteString(strconv.FormatFloat(c[i], 'g', 6, 64))
+		}
+	}
+	return b.String()
+}
+
+// OneHotLen returns the length of the one-hot/normalized feature
+// encoding used by the NN baseline: one slot per level of every
+// categorical parameter, one normalized slot per ordinal or continuous
+// parameter.
+func (s *Space) OneHotLen() int {
+	n := 0
+	for _, p := range s.params {
+		switch {
+		case p.Kind == ContinuousKind:
+			n++
+		case p.Numeric != nil:
+			n++ // ordinal: single normalized slot
+		default:
+			n += p.Cardinality()
+		}
+	}
+	return n
+}
+
+// EncodeOneHot writes the feature encoding of c into dst, which must
+// have length OneHotLen. Ordinal and continuous parameters are
+// min-max normalized to [0,1]; categorical parameters are one-hot.
+func (s *Space) EncodeOneHot(c Config, dst []float64) {
+	if len(dst) != s.OneHotLen() {
+		panic("space: EncodeOneHot with wrong destination length")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	pos := 0
+	for i, p := range s.params {
+		switch {
+		case p.Kind == ContinuousKind:
+			dst[pos] = (c[i] - p.Lo) / (p.Hi - p.Lo)
+			pos++
+		case p.Numeric != nil:
+			lo, hi := p.Numeric[0], p.Numeric[0]
+			for _, v := range p.Numeric {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi == lo {
+				dst[pos] = 0
+			} else {
+				dst[pos] = (p.Numeric[int(c[i])] - lo) / (hi - lo)
+			}
+			pos++
+		default:
+			dst[pos+int(c[i])] = 1
+			pos += p.Cardinality()
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package space
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+func testSpace() *Space {
+	return New(
+		Discrete("layout", "DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD"),
+		DiscreteInts("omp", 1, 2, 4, 8),
+		Continuous("alpha", 0, 1),
+	)
+}
+
+func discreteSpace() *Space {
+	return New(
+		Discrete("a", "x", "y", "z"),
+		DiscreteInts("b", 1, 2),
+		DiscreteFloats("c", 0.5, 1.0, 2.0, 4.0),
+	)
+}
+
+func TestParamConstructors(t *testing.T) {
+	p := Discrete("solver", "pcg", "gmres")
+	if p.Cardinality() != 2 || p.Level(1) != "gmres" {
+		t.Fatalf("Discrete wrong: %+v", p)
+	}
+	pi := DiscreteInts("omp", 1, 2, 4)
+	if pi.NumericValue(2) != 4 || pi.Level(2) != "4" {
+		t.Fatalf("DiscreteInts wrong: %+v", pi)
+	}
+	pf := DiscreteFloats("cap", 50, 65)
+	if pf.NumericValue(1) != 65 {
+		t.Fatalf("DiscreteFloats wrong: %+v", pf)
+	}
+	pc := Continuous("x", -1, 1)
+	if pc.Kind != ContinuousKind || pc.Lo != -1 {
+		t.Fatalf("Continuous wrong: %+v", pc)
+	}
+}
+
+func TestParamPanics(t *testing.T) {
+	cases := map[string]func(){
+		"empty discrete":   func() { Discrete("p") },
+		"duplicate levels": func() { Discrete("p", "a", "a") },
+		"duplicate ints":   func() { DiscreteInts("p", 1, 1) },
+		"bad bounds":       func() { Continuous("p", 1, 1) },
+		"dup names":        func() { New(Discrete("p", "a"), Discrete("p", "b")) },
+		"no params":        func() { New() },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLevelIndex(t *testing.T) {
+	p := Discrete("s", "a", "b", "c")
+	if p.LevelIndex("b") != 1 || p.LevelIndex("zzz") != -1 {
+		t.Fatal("LevelIndex wrong")
+	}
+}
+
+func TestGridSizeAndEnumerate(t *testing.T) {
+	s := discreteSpace()
+	if s.GridSize() != 3*2*4 {
+		t.Fatalf("GridSize = %d", s.GridSize())
+	}
+	all := s.Enumerate()
+	if len(all) != 24 {
+		t.Fatalf("Enumerate returned %d configs, want 24", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, c := range all {
+		if !s.Valid(c) {
+			t.Fatalf("enumerated invalid config %v", c)
+		}
+		k := s.Key(c)
+		if seen[k] {
+			t.Fatalf("duplicate config %v", c)
+		}
+		seen[k] = true
+	}
+}
+
+func TestEnumerateWithConstraint(t *testing.T) {
+	s := discreteSpace().WithConstraint(func(c Config) bool {
+		return int(c[0]) != 0 // forbid a=x
+	})
+	all := s.Enumerate()
+	if len(all) != 16 {
+		t.Fatalf("constrained Enumerate returned %d, want 16", len(all))
+	}
+	for _, c := range all {
+		if int(c[0]) == 0 {
+			t.Fatalf("constraint violated by %v", c)
+		}
+	}
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	s := discreteSpace()
+	for i := 0; i < s.GridSize(); i++ {
+		c := s.FromGridIndex(i)
+		if s.GridIndex(c) != i {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+// Property: grid index round trip for random radices.
+func TestGridIndexRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(r1, r2, r3 uint8, pick uint16) bool {
+		k1 := int(r1%5) + 1
+		k2 := int(r2%5) + 1
+		k3 := int(r3%5) + 1
+		params := []Param{
+			DiscreteInts("a", seqInts(k1)...),
+			DiscreteInts("b", seqInts(k2)...),
+			DiscreteInts("c", seqInts(k3)...),
+		}
+		s := New(params...)
+		idx := int(pick) % s.GridSize()
+		return s.GridIndex(s.FromGridIndex(idx)) == idx
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestCheckRejectsBadConfigs(t *testing.T) {
+	s := testSpace()
+	cases := []Config{
+		{0, 0},        // wrong arity
+		{-1, 0, 0.5},  // negative level
+		{6, 0, 0.5},   // level too large
+		{0.5, 0, 0.5}, // fractional level
+		{0, 0, 1.5},   // continuous out of bounds
+		{0, 0, -0.1},  // continuous below lo
+	}
+	for _, c := range cases {
+		if err := s.Check(c); err == nil {
+			t.Errorf("Check accepted bad config %v", c)
+		}
+	}
+	if err := s.Check(Config{2, 1, 0.7}); err != nil {
+		t.Errorf("Check rejected good config: %v", err)
+	}
+}
+
+func TestSampleValidAndCoversSpace(t *testing.T) {
+	s := discreteSpace()
+	r := stats.NewRNG(33)
+	seen := make(map[string]bool)
+	for i := 0; i < 2000; i++ {
+		c := s.Sample(r)
+		if !s.Valid(c) {
+			t.Fatalf("sampled invalid config %v", c)
+		}
+		seen[s.Key(c)] = true
+	}
+	if len(seen) != 24 {
+		t.Fatalf("2000 samples covered %d/24 configs", len(seen))
+	}
+}
+
+func TestSampleContinuousInBounds(t *testing.T) {
+	s := testSpace()
+	r := stats.NewRNG(5)
+	for i := 0; i < 500; i++ {
+		c := s.Sample(r)
+		if c[2] < 0 || c[2] > 1 {
+			t.Fatalf("continuous sample out of bounds: %v", c[2])
+		}
+	}
+}
+
+func TestSampleRespectsConstraint(t *testing.T) {
+	s := discreteSpace().WithConstraint(func(c Config) bool { return int(c[1]) == 1 })
+	r := stats.NewRNG(8)
+	for i := 0; i < 200; i++ {
+		if int(s.Sample(r)[1]) != 1 {
+			t.Fatal("constraint violated by Sample")
+		}
+	}
+}
+
+func TestNeighborsHammingOne(t *testing.T) {
+	s := discreteSpace()
+	c := Config{0, 0, 0}
+	ns := s.Neighbors(c)
+	// (3-1) + (2-1) + (4-1) = 6 neighbors
+	if len(ns) != 6 {
+		t.Fatalf("got %d neighbors, want 6", len(ns))
+	}
+	for _, n := range ns {
+		diff := 0
+		for i := range n {
+			if n[i] != c[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("neighbor %v differs in %d coordinates", n, diff)
+		}
+	}
+}
+
+func TestNeighborsRespectConstraint(t *testing.T) {
+	s := discreteSpace().WithConstraint(func(c Config) bool { return int(c[0]) != 2 })
+	ns := s.Neighbors(Config{0, 0, 0})
+	for _, n := range ns {
+		if int(n[0]) == 2 {
+			t.Fatalf("constrained neighbor %v invalid", n)
+		}
+	}
+	if len(ns) != 5 {
+		t.Fatalf("got %d neighbors, want 5", len(ns))
+	}
+}
+
+func TestNeighborsSkipContinuous(t *testing.T) {
+	s := testSpace()
+	ns := s.Neighbors(Config{0, 0, 0.5})
+	for _, n := range ns {
+		if n[2] != 0.5 {
+			t.Fatal("neighbor changed a continuous parameter")
+		}
+	}
+	if len(ns) != (6-1)+(4-1) {
+		t.Fatalf("got %d neighbors, want 8", len(ns))
+	}
+}
+
+func TestKeyUniqueAndStable(t *testing.T) {
+	s := discreteSpace()
+	all := s.Enumerate()
+	keys := make(map[string]bool)
+	for _, c := range all {
+		k := s.Key(c)
+		if keys[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		keys[k] = true
+		if s.Key(c.Clone()) != k {
+			t.Fatal("Key not stable under Clone")
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := testSpace()
+	d := s.Describe(Config{2, 3, 0.25})
+	want := "layout=GDZ, omp=8, alpha=0.25"
+	if d != want {
+		t.Fatalf("Describe = %q, want %q", d, want)
+	}
+}
+
+func TestConfigCloneEqual(t *testing.T) {
+	c := Config{1, 2, 3}
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Fatal("clone not equal")
+	}
+	d[0] = 9
+	if c.Equal(d) || c[0] == 9 {
+		t.Fatal("clone aliases original")
+	}
+	if c.Equal(Config{1, 2}) {
+		t.Fatal("Equal ignored length")
+	}
+}
+
+func TestOneHotEncoding(t *testing.T) {
+	s := New(
+		Discrete("cat", "a", "b", "c"), // categorical: 3 slots
+		DiscreteInts("ord", 2, 4, 8),   // ordinal: 1 slot
+		Continuous("x", 10, 20),        // continuous: 1 slot
+	)
+	if s.OneHotLen() != 5 {
+		t.Fatalf("OneHotLen = %d, want 5", s.OneHotLen())
+	}
+	dst := make([]float64, 5)
+	s.EncodeOneHot(Config{1, 2, 15}, dst)
+	want := []float64{0, 1, 0, 1, 0.5} // cat=b one-hot; ord=8 → (8-2)/6=1; x → 0.5
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("EncodeOneHot = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestEncodeOneHotPanicsOnWrongLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	testSpace().EncodeOneHot(Config{0, 0, 0.5}, make([]float64, 3))
+}
+
+func TestIndexOf(t *testing.T) {
+	s := testSpace()
+	if s.IndexOf("omp") != 1 || s.IndexOf("nope") != -1 {
+		t.Fatal("IndexOf wrong")
+	}
+}
+
+func TestAllDiscrete(t *testing.T) {
+	if testSpace().AllDiscrete() {
+		t.Fatal("space with continuous param reported AllDiscrete")
+	}
+	if !discreteSpace().AllDiscrete() {
+		t.Fatal("discrete space not AllDiscrete")
+	}
+}
+
+func TestGridSizePanicsOnContinuous(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	testSpace().GridSize()
+}

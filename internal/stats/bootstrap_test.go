@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestBootstrapCIContainsMean(t *testing.T) {
+	r := NewRNG(3)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 5 + r.NormFloat64()
+	}
+	lo, hi := BootstrapCI(xs, 0.95, 2000, 7)
+	m := Mean(xs)
+	if m < lo || m > hi {
+		t.Fatalf("sample mean %v outside CI [%v,%v]", m, lo, hi)
+	}
+	// A 95% CI for 100 N(5,1) samples is roughly mean ± 0.2.
+	if hi-lo > 0.8 || hi-lo <= 0 {
+		t.Fatalf("CI width %v implausible", hi-lo)
+	}
+}
+
+func TestBootstrapCIWiderForHigherConfidence(t *testing.T) {
+	r := NewRNG(5)
+	xs := make([]float64, 40)
+	for i := range xs {
+		xs[i] = r.NormFloat64() * 3
+	}
+	lo90, hi90 := BootstrapCI(xs, 0.90, 2000, 1)
+	lo99, hi99 := BootstrapCI(xs, 0.99, 2000, 1)
+	if hi99-lo99 <= hi90-lo90 {
+		t.Fatalf("99%% CI (%v) not wider than 90%% CI (%v)", hi99-lo99, hi90-lo90)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	lo1, hi1 := BootstrapCI(xs, 0.95, 500, 42)
+	lo2, hi2 := BootstrapCI(xs, 0.95, 500, 42)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("not deterministic for a fixed seed")
+	}
+}
+
+func TestBootstrapCIEdgeCases(t *testing.T) {
+	lo, hi := BootstrapCI([]float64{7}, 0.95, 100, 1)
+	if lo != 7 || hi != 7 {
+		t.Fatalf("single-sample CI [%v,%v]", lo, hi)
+	}
+	assertPanic(t, func() { BootstrapCI(nil, 0.95, 100, 1) })
+	assertPanic(t, func() { BootstrapCI([]float64{1, 2}, 0, 100, 1) })
+	assertPanic(t, func() { BootstrapCI([]float64{1, 2}, 1, 100, 1) })
+}
+
+func assertPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestBootstrapCIConstantSample(t *testing.T) {
+	xs := []float64{4, 4, 4, 4}
+	lo, hi := BootstrapCI(xs, 0.95, 200, 1)
+	if lo != 4 || hi != 4 {
+		t.Fatalf("constant sample CI [%v,%v]", lo, hi)
+	}
+}

@@ -1,0 +1,74 @@
+package stats
+
+import "math"
+
+// This file implements the distribution divergences used by the
+// parameter-importance analysis (paper §VI): the Kullback-Leibler
+// divergence and the Jensen-Shannon divergence (eqs. 13-14). The JS
+// divergence between pg,xi and pb,xi measures how differently a
+// parameter's values are distributed between good and bad
+// configurations; a large value marks an important parameter.
+
+// KLDivergence returns D_KL(P || Q) = sum_i P(i) * log(P(i)/Q(i)) in
+// nats. Both arguments must be probability vectors of the same length.
+// Terms with P(i) == 0 contribute zero (the 0*log 0 convention); if
+// some P(i) > 0 has Q(i) == 0 the divergence is +Inf.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: KLDivergence with mismatched lengths")
+	}
+	var d float64
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1)
+		}
+		d += p[i] * math.Log(p[i]/q[i])
+	}
+	if d < 0 {
+		// Tiny negative values can appear from floating-point error on
+		// nearly identical distributions; clamp to the theoretical bound.
+		return 0
+	}
+	return d
+}
+
+// JSDivergence returns the Jensen-Shannon divergence between P and Q
+// in nats: DJS(P,Q) = (DKL(P,M) + DKL(Q,M))/2 with M = (P+Q)/2.
+// It is symmetric, finite, and bounded by ln 2.
+func JSDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: JSDivergence with mismatched lengths")
+	}
+	m := make([]float64, len(p))
+	for i := range p {
+		m[i] = 0.5 * (p[i] + q[i])
+	}
+	d := 0.5*KLDivergence(p, m) + 0.5*KLDivergence(q, m)
+	if d > math.Ln2 {
+		// Floating-point overshoot of the theoretical upper bound.
+		return math.Ln2
+	}
+	return d
+}
+
+// Normalize scales xs so it sums to one, in place, and returns it.
+// It panics if the sum is non-positive or not finite.
+func Normalize(xs []float64) []float64 {
+	var sum float64
+	for _, x := range xs {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			panic("stats: Normalize with negative or non-finite mass")
+		}
+		sum += x
+	}
+	if sum <= 0 {
+		panic("stats: Normalize with zero total mass")
+	}
+	for i := range xs {
+		xs[i] /= sum
+	}
+	return xs
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKLDivergenceIdentical(t *testing.T) {
+	p := []float64{0.2, 0.3, 0.5}
+	if d := KLDivergence(p, p); d != 0 {
+		t.Fatalf("KL(p,p) = %v, want 0", d)
+	}
+}
+
+func TestKLDivergenceKnownValue(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0.5, 0.5}
+	// KL = 1*log(1/0.5) = log 2
+	if d := KLDivergence(p, q); !almostEqual(d, math.Ln2, 1e-12) {
+		t.Fatalf("KL = %v, want ln2", d)
+	}
+}
+
+func TestKLDivergenceInfiniteOnDisjointSupport(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if d := KLDivergence(p, q); !math.IsInf(d, 1) {
+		t.Fatalf("KL on disjoint support = %v, want +Inf", d)
+	}
+}
+
+func TestJSDivergenceMaximal(t *testing.T) {
+	// Disjoint distributions achieve the maximum ln2.
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if d := JSDivergence(p, q); !almostEqual(d, math.Ln2, 1e-12) {
+		t.Fatalf("JS on disjoint support = %v, want ln2", d)
+	}
+}
+
+func TestJSDivergenceZeroOnIdentical(t *testing.T) {
+	p := []float64{0.1, 0.2, 0.7}
+	if d := JSDivergence(p, p); !almostEqual(d, 0, 1e-12) {
+		t.Fatalf("JS(p,p) = %v, want 0", d)
+	}
+}
+
+// Properties from the paper (§VI): symmetric, >= 0, bounded by ln 2.
+func TestJSDivergenceProperties(t *testing.T) {
+	gen := func(raw []uint8) []float64 {
+		if len(raw) == 0 {
+			return nil
+		}
+		p := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			p[i] = float64(v) + 0.001
+			sum += p[i]
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		return p
+	}
+	err := quick.Check(func(rawP, rawQ []uint8) bool {
+		n := len(rawP)
+		if len(rawQ) < n {
+			n = len(rawQ)
+		}
+		if n == 0 {
+			return true
+		}
+		p := gen(rawP[:n])
+		q := gen(rawQ[:n])
+		d1 := JSDivergence(p, q)
+		d2 := JSDivergence(q, p)
+		if !almostEqual(d1, d2, 1e-9) {
+			return false // symmetry
+		}
+		return d1 >= 0 && d1 <= math.Ln2+1e-9
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivergencePanicsOnLengthMismatch(t *testing.T) {
+	for name, f := range map[string]func(){
+		"KL": func() { KLDivergence([]float64{1}, []float64{0.5, 0.5}) },
+		"JS": func() { JSDivergence([]float64{1}, []float64{0.5, 0.5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{2, 3, 5}
+	Normalize(xs)
+	if !almostEqual(xs[0]+xs[1]+xs[2], 1, 1e-12) {
+		t.Fatalf("Normalize sum = %v", xs[0]+xs[1]+xs[2])
+	}
+	if !almostEqual(xs[2], 0.5, 1e-12) {
+		t.Fatalf("Normalize proportion wrong: %v", xs)
+	}
+}
+
+func TestNormalizePanicsOnZeroMass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero total mass")
+		}
+	}()
+	Normalize([]float64{0, 0})
+}
+
+// JS divergence between nearby histograms should be small — the
+// importance analysis relies on small divergences marking unimportant
+// parameters.
+func TestJSDivergenceContinuity(t *testing.T) {
+	p := []float64{0.25, 0.25, 0.25, 0.25}
+	q := []float64{0.26, 0.24, 0.25, 0.25}
+	if d := JSDivergence(p, q); d > 0.001 {
+		t.Fatalf("JS between near-identical distributions = %v, want tiny", d)
+	}
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Categorical is a smoothed discrete probability distribution over K
+// categories indexed 0..K-1. It is the density estimator HiPerBOt uses
+// for discrete parameters (paper §III-B.1): for each parameter, the
+// values observed in the good (resp. bad) partition of the history are
+// histogrammed and Laplace-smoothed so every category keeps non-zero
+// mass — required because the surrogate divides pg by pb.
+type Categorical struct {
+	weights []float64 // unnormalized, includes smoothing mass
+	total   float64
+}
+
+// NewCategorical creates a uniform distribution over k categories.
+// It panics if k <= 0.
+func NewCategorical(k int) *Categorical {
+	if k <= 0 {
+		panic("stats: NewCategorical with k <= 0")
+	}
+	c := &Categorical{weights: make([]float64, k)}
+	for i := range c.weights {
+		c.weights[i] = 1
+	}
+	c.total = float64(k)
+	return c
+}
+
+// CategoricalFromCounts builds a smoothed distribution from observed
+// counts. smoothing is the pseudo-count added to every category
+// (Laplace smoothing); it must be > 0 so the density never vanishes.
+func CategoricalFromCounts(counts []float64, smoothing float64) *Categorical {
+	if len(counts) == 0 {
+		panic("stats: CategoricalFromCounts with no categories")
+	}
+	if smoothing <= 0 {
+		panic("stats: CategoricalFromCounts requires smoothing > 0")
+	}
+	c := &Categorical{weights: make([]float64, len(counts))}
+	for i, w := range counts {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("stats: negative or NaN count %v at category %d", w, i))
+		}
+		c.weights[i] = w + smoothing
+		c.total += c.weights[i]
+	}
+	return c
+}
+
+// CategoricalFromObservations histograms integer observations into k
+// categories with Laplace smoothing. Observations outside [0, k) panic:
+// they indicate a space/encoding bug, not a statistical edge case.
+func CategoricalFromObservations(obs []int, k int, smoothing float64) *Categorical {
+	counts := make([]float64, k)
+	for _, o := range obs {
+		if o < 0 || o >= k {
+			panic(fmt.Sprintf("stats: observation %d outside [0,%d)", o, k))
+		}
+		counts[o]++
+	}
+	return CategoricalFromCounts(counts, smoothing)
+}
+
+// WeightedCategorical builds a smoothed distribution from observations
+// with per-observation weights (used by the transfer-learning prior,
+// paper eqs. 9-10, where source-domain observations enter with weight w).
+func WeightedCategorical(obs []int, weights []float64, k int, smoothing float64) *Categorical {
+	if len(obs) != len(weights) {
+		panic("stats: WeightedCategorical length mismatch")
+	}
+	counts := make([]float64, k)
+	for i, o := range obs {
+		if o < 0 || o >= k {
+			panic(fmt.Sprintf("stats: observation %d outside [0,%d)", o, k))
+		}
+		if weights[i] < 0 {
+			panic("stats: negative observation weight")
+		}
+		counts[o] += weights[i]
+	}
+	return CategoricalFromCounts(counts, smoothing)
+}
+
+// K returns the number of categories.
+func (c *Categorical) K() int { return len(c.weights) }
+
+// Prob returns the probability mass of category i.
+func (c *Categorical) Prob(i int) float64 {
+	return c.weights[i] / c.total
+}
+
+// Probs returns the full probability vector (a fresh slice).
+func (c *Categorical) Probs() []float64 {
+	out := make([]float64, len(c.weights))
+	for i, w := range c.weights {
+		out[i] = w / c.total
+	}
+	return out
+}
+
+// Sample draws a category index proportionally to the masses.
+func (c *Categorical) Sample(r *RNG) int {
+	u := r.Float64() * c.total
+	var acc float64
+	for i, w := range c.weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(c.weights) - 1 // floating-point edge
+}
+
+// Mix returns the normalized mixture w1*c + w2*d treating both operands
+// as probability distributions (i.e. the weights apply to normalized
+// masses). This implements the transfer prior combination
+// p(x) = w*pSrc(x) + pTrgt(x) up to normalization.
+func Mix(c *Categorical, w1 float64, d *Categorical, w2 float64) *Categorical {
+	if c.K() != d.K() {
+		panic("stats: Mix with mismatched category counts")
+	}
+	if w1 < 0 || w2 < 0 || w1+w2 == 0 {
+		panic("stats: Mix with invalid weights")
+	}
+	out := &Categorical{weights: make([]float64, c.K())}
+	for i := range out.weights {
+		out.weights[i] = w1*c.Prob(i) + w2*d.Prob(i)
+		out.total += out.weights[i]
+	}
+	return out
+}

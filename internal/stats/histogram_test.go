@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCategoricalUniform(t *testing.T) {
+	c := NewCategorical(4)
+	for i := 0; i < 4; i++ {
+		if !almostEqual(c.Prob(i), 0.25, 1e-15) {
+			t.Fatalf("Prob(%d) = %v, want 0.25", i, c.Prob(i))
+		}
+	}
+}
+
+func TestCategoricalFromObservations(t *testing.T) {
+	// obs: category 0 twice, category 2 once, smoothing 1 over 3 cats
+	c := CategoricalFromObservations([]int{0, 0, 2}, 3, 1)
+	// weights: [3, 1, 2], total 6
+	want := []float64{0.5, 1.0 / 6, 1.0 / 3}
+	for i, w := range want {
+		if !almostEqual(c.Prob(i), w, 1e-12) {
+			t.Errorf("Prob(%d) = %v, want %v", i, c.Prob(i), w)
+		}
+	}
+}
+
+func TestCategoricalSmoothingKeepsMassPositive(t *testing.T) {
+	c := CategoricalFromObservations([]int{1, 1, 1, 1}, 5, 0.5)
+	for i := 0; i < 5; i++ {
+		if c.Prob(i) <= 0 {
+			t.Fatalf("category %d has non-positive mass", i)
+		}
+	}
+}
+
+func TestCategoricalPanicsOnOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range observation")
+		}
+	}()
+	CategoricalFromObservations([]int{3}, 3, 1)
+}
+
+func TestCategoricalPanicsOnZeroSmoothing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero smoothing")
+		}
+	}()
+	CategoricalFromCounts([]float64{1, 2}, 0)
+}
+
+// Property: probabilities always sum to 1 and are all positive.
+func TestCategoricalProbsSumToOne(t *testing.T) {
+	err := quick.Check(func(rawCounts []uint8, rawSmooth uint8) bool {
+		if len(rawCounts) == 0 {
+			return true
+		}
+		counts := make([]float64, len(rawCounts))
+		for i, c := range rawCounts {
+			counts[i] = float64(c)
+		}
+		smoothing := float64(rawSmooth)/64 + 0.01
+		c := CategoricalFromCounts(counts, smoothing)
+		var sum float64
+		for i := 0; i < c.K(); i++ {
+			p := c.Prob(i)
+			if p <= 0 {
+				return false
+			}
+			sum += p
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoricalSampleMatchesDistribution(t *testing.T) {
+	c := CategoricalFromCounts([]float64{10, 30, 60}, 0.001)
+	r := NewRNG(17)
+	const n = 100000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		counts[c.Sample(r)]++
+	}
+	for i := 0; i < 3; i++ {
+		got := float64(counts[i]) / n
+		if math.Abs(got-c.Prob(i)) > 0.01 {
+			t.Errorf("category %d empirical freq %v, want %v", i, got, c.Prob(i))
+		}
+	}
+}
+
+func TestWeightedCategorical(t *testing.T) {
+	// Two observations of category 0 with weight 0.5 each should equal
+	// one observation with weight 1.
+	a := WeightedCategorical([]int{0, 0}, []float64{0.5, 0.5}, 2, 1)
+	b := WeightedCategorical([]int{0}, []float64{1}, 2, 1)
+	for i := 0; i < 2; i++ {
+		if !almostEqual(a.Prob(i), b.Prob(i), 1e-12) {
+			t.Fatalf("weighted counts mismatch at %d: %v vs %v", i, a.Prob(i), b.Prob(i))
+		}
+	}
+}
+
+func TestMixCategoricals(t *testing.T) {
+	a := CategoricalFromCounts([]float64{1, 0}, 0.001) // ~all mass on 0
+	b := CategoricalFromCounts([]float64{0, 1}, 0.001) // ~all mass on 1
+	m := Mix(a, 1, b, 1)
+	if !almostEqual(m.Prob(0), 0.5, 0.01) || !almostEqual(m.Prob(1), 0.5, 0.01) {
+		t.Fatalf("equal mix should be ~uniform: %v", m.Probs())
+	}
+	// Heavier weight on a shifts mass toward category 0.
+	m2 := Mix(a, 3, b, 1)
+	if m2.Prob(0) <= m.Prob(0) {
+		t.Fatalf("weighting a more should increase Prob(0): %v vs %v", m2.Prob(0), m.Prob(0))
+	}
+}
+
+func TestMixPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched K")
+		}
+	}()
+	Mix(NewCategorical(2), 1, NewCategorical(3), 1)
+}
+
+// Property: mixing a distribution with itself is the identity.
+func TestMixSelfIdentity(t *testing.T) {
+	err := quick.Check(func(rawCounts []uint8) bool {
+		if len(rawCounts) == 0 {
+			return true
+		}
+		counts := make([]float64, len(rawCounts))
+		for i, c := range rawCounts {
+			counts[i] = float64(c)
+		}
+		c := CategoricalFromCounts(counts, 0.5)
+		m := Mix(c, 1, c, 1)
+		for i := 0; i < c.K(); i++ {
+			if !almostEqual(m.Prob(i), c.Prob(i), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

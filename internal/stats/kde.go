@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KDE is a one-dimensional Gaussian kernel density estimator, the
+// density HiPerBOt uses for continuous parameters (paper §III-B.2:
+// "we use gaussian kernels with a fixed bandwidth"). Observations can
+// carry weights so source-domain transfer priors (eqs. 9-10) fold in
+// directly.
+type KDE struct {
+	points    []float64
+	weights   []float64
+	bandwidth float64
+	wTotal    float64
+	lo, hi    float64 // support bounds for truncation + sampling clamp
+	bounded   bool
+}
+
+const invSqrt2Pi = 0.3989422804014327 // 1/sqrt(2*pi)
+
+// NewKDE builds an estimator over points with the given bandwidth.
+// If bandwidth <= 0, Scott's rule is applied: h = 1.06 * sigma * n^(-1/5),
+// with a floor to keep the density proper when all points coincide.
+func NewKDE(points []float64, bandwidth float64) *KDE {
+	w := make([]float64, len(points))
+	for i := range w {
+		w[i] = 1
+	}
+	return NewWeightedKDE(points, w, bandwidth)
+}
+
+// NewWeightedKDE builds an estimator with per-point weights. Weights
+// must be non-negative and not all zero. It panics on empty input.
+func NewWeightedKDE(points, weights []float64, bandwidth float64) *KDE {
+	if len(points) == 0 {
+		panic("stats: KDE with no points")
+	}
+	if len(points) != len(weights) {
+		panic("stats: KDE points/weights length mismatch")
+	}
+	k := &KDE{
+		points:  append([]float64(nil), points...),
+		weights: append([]float64(nil), weights...),
+	}
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("stats: KDE with negative or NaN weight")
+		}
+		k.wTotal += w
+	}
+	if k.wTotal == 0 {
+		panic("stats: KDE with all-zero weights")
+	}
+	if bandwidth > 0 {
+		k.bandwidth = bandwidth
+	} else {
+		k.bandwidth = scottBandwidth(points)
+	}
+	return k
+}
+
+// scottBandwidth implements Scott's rule with a relative floor so a
+// degenerate sample (all points equal) still yields a proper density.
+func scottBandwidth(points []float64) float64 {
+	sd := Std(points)
+	span := Max(points) - Min(points)
+	h := 1.06 * sd * math.Pow(float64(len(points)), -0.2)
+	if h <= 0 {
+		h = 0.01 * span
+	}
+	if h <= 0 {
+		h = 1e-3 // fully degenerate sample: arbitrary small positive width
+	}
+	return h
+}
+
+// SetBounds truncates the density to [lo, hi] (renormalizing) and
+// clamps samples into the interval. Parameter domains in HiPerBOt are
+// bounded, so probability mass must not leak outside.
+func (k *KDE) SetBounds(lo, hi float64) {
+	if hi <= lo {
+		panic("stats: KDE bounds with hi <= lo")
+	}
+	k.lo, k.hi = lo, hi
+	k.bounded = true
+}
+
+// Bandwidth returns the kernel bandwidth in use.
+func (k *KDE) Bandwidth() float64 { return k.bandwidth }
+
+// Density evaluates the (possibly truncated) density at x.
+func (k *KDE) Density(x float64) float64 {
+	if k.bounded && (x < k.lo || x > k.hi) {
+		return 0
+	}
+	var sum float64
+	inv := 1 / k.bandwidth
+	for i, p := range k.points {
+		z := (x - p) * inv
+		sum += k.weights[i] * math.Exp(-0.5*z*z)
+	}
+	d := sum * invSqrt2Pi * inv / k.wTotal
+	if k.bounded {
+		d /= k.massInBounds()
+	}
+	return d
+}
+
+// massInBounds returns the untruncated mass lying inside [lo, hi].
+func (k *KDE) massInBounds() float64 {
+	var mass float64
+	for i, p := range k.points {
+		a := normCDF((k.hi - p) / k.bandwidth)
+		b := normCDF((k.lo - p) / k.bandwidth)
+		mass += k.weights[i] * (a - b)
+	}
+	mass /= k.wTotal
+	if mass < 1e-12 {
+		return 1e-12
+	}
+	return mass
+}
+
+// Sample draws from the mixture: pick a kernel proportional to its
+// weight, then add Gaussian noise; clamp to bounds when set. This is
+// the Proposal selection strategy's candidate generator (paper §III-D).
+func (k *KDE) Sample(r *RNG) float64 {
+	u := r.Float64() * k.wTotal
+	var acc float64
+	idx := len(k.points) - 1
+	for i, w := range k.weights {
+		acc += w
+		if u < acc {
+			idx = i
+			break
+		}
+	}
+	x := k.points[idx] + r.NormFloat64()*k.bandwidth
+	if k.bounded {
+		x = Clamp(x, k.lo, k.hi)
+	}
+	return x
+}
+
+// normCDF is the standard normal cumulative distribution function.
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// DiscretizedProbs integrates the density over nbins equal-width bins
+// spanning [lo, hi]. The importance analysis (paper §VI) needs discrete
+// distributions for the JS divergence; continuous parameters are
+// discretized this way.
+func (k *KDE) DiscretizedProbs(lo, hi float64, nbins int) []float64 {
+	if nbins <= 0 || hi <= lo {
+		panic("stats: DiscretizedProbs with invalid bins or range")
+	}
+	probs := make([]float64, nbins)
+	width := (hi - lo) / float64(nbins)
+	var total float64
+	for b := 0; b < nbins; b++ {
+		blo := lo + float64(b)*width
+		bhi := blo + width
+		var mass float64
+		for i, p := range k.points {
+			mass += k.weights[i] * (normCDF((bhi-p)/k.bandwidth) - normCDF((blo-p)/k.bandwidth))
+		}
+		probs[b] = mass / k.wTotal
+		total += probs[b]
+	}
+	if total <= 0 {
+		// All mass outside the range: fall back to uniform.
+		for b := range probs {
+			probs[b] = 1 / float64(nbins)
+		}
+		return probs
+	}
+	for b := range probs {
+		probs[b] /= total
+	}
+	return probs
+}
+
+// MergeKDE forms the weighted union of two estimators, scaling the
+// first operand's total mass to w1 and the second's to w2. The merged
+// bandwidth is the mass-weighted average; bounds are inherited when
+// both agree.
+func MergeKDE(a *KDE, w1 float64, b *KDE, w2 float64) *KDE {
+	if w1 < 0 || w2 < 0 || w1+w2 == 0 {
+		panic("stats: MergeKDE with invalid weights")
+	}
+	points := make([]float64, 0, len(a.points)+len(b.points))
+	weights := make([]float64, 0, len(a.weights)+len(b.weights))
+	for i, p := range a.points {
+		points = append(points, p)
+		weights = append(weights, w1*a.weights[i]/a.wTotal)
+	}
+	for i, p := range b.points {
+		points = append(points, p)
+		weights = append(weights, w2*b.weights[i]/b.wTotal)
+	}
+	bw := (w1*a.bandwidth + w2*b.bandwidth) / (w1 + w2)
+	m := NewWeightedKDE(points, weights, bw)
+	if a.bounded && b.bounded && a.lo == b.lo && a.hi == b.hi {
+		m.SetBounds(a.lo, a.hi)
+	}
+	return m
+}
+
+// UniformKDE returns a diffuse estimator approximating a uniform
+// density on [lo, hi]; it is the prior used when a partition of the
+// history is empty (e.g. no "bad" points yet).
+func UniformKDE(lo, hi float64) *KDE {
+	const n = 8
+	points := make([]float64, n)
+	for i := range points {
+		points[i] = lo + (float64(i)+0.5)*(hi-lo)/n
+	}
+	k := NewKDE(points, (hi-lo)/n)
+	k.SetBounds(lo, hi)
+	return k
+}
+
+// sortedCopy returns a sorted copy of xs; used by tests and the
+// empirical CDF helper below.
+func sortedCopy(xs []float64) []float64 {
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return c
+}
+
+// EmpiricalCDF returns P(X <= x) under the sample xs.
+func EmpiricalCDF(xs []float64, x float64) float64 {
+	s := sortedCopy(xs)
+	i := sort.SearchFloat64s(s, x)
+	for i < len(s) && s[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(s))
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKDEDensityIntegratesToOne(t *testing.T) {
+	k := NewKDE([]float64{0, 1, 2, 5}, 0.5)
+	// Numerical integration over a wide range.
+	var integral float64
+	const dx = 0.01
+	for x := -10.0; x <= 15.0; x += dx {
+		integral += k.Density(x) * dx
+	}
+	if !almostEqual(integral, 1, 1e-3) {
+		t.Fatalf("density integrates to %v, want 1", integral)
+	}
+}
+
+func TestKDEBoundedIntegratesToOne(t *testing.T) {
+	k := NewKDE([]float64{0.1, 0.9}, 0.3)
+	k.SetBounds(0, 1)
+	var integral float64
+	const dx = 0.0005
+	for x := 0.0; x <= 1.0; x += dx {
+		integral += k.Density(x) * dx
+	}
+	if !almostEqual(integral, 1, 1e-2) {
+		t.Fatalf("truncated density integrates to %v, want 1", integral)
+	}
+	if k.Density(-0.5) != 0 || k.Density(1.5) != 0 {
+		t.Fatal("density must be zero outside bounds")
+	}
+}
+
+func TestKDEDensityPeaksAtData(t *testing.T) {
+	k := NewKDE([]float64{3, 3, 3, 3}, 0.2)
+	if k.Density(3) <= k.Density(4) {
+		t.Fatal("density should peak at the data")
+	}
+}
+
+func TestKDEScottBandwidthPositive(t *testing.T) {
+	k := NewKDE([]float64{1, 2, 3, 4, 5}, 0) // auto bandwidth
+	if k.Bandwidth() <= 0 {
+		t.Fatalf("auto bandwidth = %v, want > 0", k.Bandwidth())
+	}
+	// Degenerate sample must still give a proper (finite) density.
+	kd := NewKDE([]float64{2, 2, 2}, 0)
+	if kd.Bandwidth() <= 0 || math.IsInf(kd.Density(2), 0) {
+		t.Fatal("degenerate sample must yield a finite density")
+	}
+}
+
+func TestKDESampleWithinBounds(t *testing.T) {
+	k := NewKDE([]float64{0.5}, 5) // huge bandwidth forces clamping
+	k.SetBounds(0, 1)
+	r := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		x := k.Sample(r)
+		if x < 0 || x > 1 {
+			t.Fatalf("sample %v outside bounds", x)
+		}
+	}
+}
+
+func TestKDESampleDistribution(t *testing.T) {
+	// Two tight clusters; samples should land near them equally often.
+	k := NewKDE([]float64{0, 0, 10, 10}, 0.1)
+	r := NewRNG(9)
+	near0, near10 := 0, 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		x := k.Sample(r)
+		switch {
+		case math.Abs(x) < 1:
+			near0++
+		case math.Abs(x-10) < 1:
+			near10++
+		default:
+			t.Fatalf("sample %v far from both clusters", x)
+		}
+	}
+	if math.Abs(float64(near0)/n-0.5) > 0.03 {
+		t.Fatalf("cluster balance %v, want ~0.5", float64(near0)/n)
+	}
+}
+
+func TestWeightedKDEWeightsMatter(t *testing.T) {
+	// Weight 9:1 toward the x=0 cluster.
+	k := NewWeightedKDE([]float64{0, 10}, []float64{9, 1}, 0.5)
+	if k.Density(0) <= 5*k.Density(10) {
+		t.Fatalf("weighted density ratio wrong: d(0)=%v d(10)=%v", k.Density(0), k.Density(10))
+	}
+}
+
+func TestKDEDiscretizedProbs(t *testing.T) {
+	k := NewKDE([]float64{0.25, 0.25, 0.75}, 0.05)
+	probs := k.DiscretizedProbs(0, 1, 2)
+	if len(probs) != 2 {
+		t.Fatalf("got %d bins", len(probs))
+	}
+	var sum float64
+	for _, p := range probs {
+		if p < 0 {
+			t.Fatalf("negative bin probability %v", p)
+		}
+		sum += p
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Fatalf("bins sum to %v", sum)
+	}
+	if probs[0] <= probs[1] {
+		t.Fatalf("bin with 2/3 of the mass should dominate: %v", probs)
+	}
+}
+
+func TestMergeKDE(t *testing.T) {
+	a := NewKDE([]float64{0}, 0.5)
+	b := NewKDE([]float64{10}, 0.5)
+	m := MergeKDE(a, 1, b, 1)
+	// Equal weights: density roughly symmetric between the clusters.
+	if !almostEqual(m.Density(0), m.Density(10), 1e-9) {
+		t.Fatalf("equal-weight merge not symmetric: %v vs %v", m.Density(0), m.Density(10))
+	}
+	m2 := MergeKDE(a, 4, b, 1)
+	if m2.Density(0) <= m2.Density(10) {
+		t.Fatal("source-weighted merge should favor the heavier operand")
+	}
+}
+
+func TestMergeKDEInheritsBounds(t *testing.T) {
+	a := NewKDE([]float64{0.2}, 0.1)
+	a.SetBounds(0, 1)
+	b := NewKDE([]float64{0.8}, 0.1)
+	b.SetBounds(0, 1)
+	m := MergeKDE(a, 1, b, 1)
+	if m.Density(2) != 0 {
+		t.Fatal("merged KDE should inherit shared bounds")
+	}
+}
+
+func TestUniformKDEIsRoughlyFlat(t *testing.T) {
+	k := UniformKDE(0, 1)
+	d1 := k.Density(0.3)
+	d2 := k.Density(0.7)
+	if math.Abs(d1-d2)/d1 > 0.1 {
+		t.Fatalf("uniform KDE not flat: %v vs %v", d1, d2)
+	}
+}
+
+func TestKDEPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty KDE")
+		}
+	}()
+	NewKDE(nil, 1)
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {5, 1},
+	}
+	for _, c := range cases {
+		if got := EmpiricalCDF(xs, c.x); got != c.want {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}

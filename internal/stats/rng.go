@@ -1,0 +1,203 @@
+// Package stats provides the statistical substrate for HiPerBOt: a
+// deterministic, splittable random number generator, summary statistics,
+// smoothed categorical histograms, Gaussian kernel density estimation,
+// quantiles, and probability-distribution divergences.
+//
+// Everything in this package is hand-rolled on top of the standard
+// library only. Determinism is a hard requirement: every experiment in
+// the paper is repeated 50 times with different seeds and the harness
+// must be able to reproduce any individual repetition exactly.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xoshiro256** seeded via splitmix64). It is intentionally not
+// math/rand so that streams are stable across Go releases, cheaply
+// splittable, and safe to embed by value.
+//
+// RNG is not safe for concurrent use; use Split to derive independent
+// streams for parallel workers.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-initializes the generator state from seed using splitmix64,
+// which guarantees a well-mixed non-zero state for any input.
+func (r *RNG) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives a new generator whose stream is statistically
+// independent of the parent's subsequent output. It consumes four
+// values from the parent stream.
+func (r *RNG) Split() *RNG {
+	child := &RNG{}
+	for i := range child.s {
+		child.s[i] = r.Uint64()
+	}
+	// Guard against an (astronomically unlikely) all-zero state.
+	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
+		child.Seed(0xdeadbeef)
+	}
+	return child
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	un := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// Box-Muller method (stateless variant: discards the second value to
+// keep the struct small and the stream reproducible under Split).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly
+// from [0, n). It panics if k > n or k < 0.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: SampleWithoutReplacement with k out of range")
+	}
+	// Floyd's algorithm: O(k) expected work, no O(n) allocation.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	// Shuffle so the order is also uniform.
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Hash64 deterministically mixes a sequence of integers into a 64-bit
+// value. The app performance models use it to derive reproducible
+// "measurement noise" from configuration coordinates, so that the same
+// configuration always yields the same metric without storing tables.
+func Hash64(parts ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// HashUnit maps a hash to a uniform float in [0, 1).
+func HashUnit(parts ...uint64) float64 {
+	return float64(Hash64(parts...)>>11) * (1.0 / (1 << 53))
+}
+
+// HashNorm maps a hash to an approximately standard-normal value using
+// the sum of four uniforms (Irwin-Hall, variance 4/12) rescaled. It is
+// deterministic in its inputs and cheap; the tails are truncated at
+// about ±3.46σ which is fine for bounded "noise" terms.
+func HashNorm(parts ...uint64) float64 {
+	h := Hash64(parts...)
+	u1 := float64(h>>48) / 65536.0
+	u2 := float64((h>>32)&0xffff) / 65536.0
+	u3 := float64((h>>16)&0xffff) / 65536.0
+	u4 := float64(h&0xffff) / 65536.0
+	return (u1 + u2 + u3 + u4 - 2) * math.Sqrt(3)
+}

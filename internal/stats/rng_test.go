@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values out of 100", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Uniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n = 100000
+	var sum float64
+	bins := make([]int, 10)
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		bins[int(f*10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+	for b, c := range bins {
+		if math.Abs(float64(c)-n/10) > n/10*0.1 {
+			t.Errorf("bin %d count %d deviates >10%% from expected %d", b, c, n/10)
+		}
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGIntnCoversAllValues(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(5)] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Intn(5) covered only %d values", len(seen))
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(99)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and child streams collided %d/100 times", same)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(8)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := NewRNG(4)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(30)
+		k := r.Intn(n + 1)
+		s := r.SampleWithoutReplacement(n, k)
+		if len(s) != k {
+			t.Fatalf("got %d samples, want %d", len(s), k)
+		}
+		seen := make(map[int]bool)
+		for _, v := range s {
+			if v < 0 || v >= n {
+				t.Fatalf("sample %d out of range [0,%d)", v, n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate sample %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementFull(t *testing.T) {
+	r := NewRNG(6)
+	s := r.SampleWithoutReplacement(10, 10)
+	seen := make(map[int]bool)
+	for _, v := range s {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("full sample did not cover all indices: %v", s)
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	NewRNG(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 2, 3) != Hash64(1, 2, 3) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1, 2, 3) == Hash64(3, 2, 1) {
+		t.Fatal("Hash64 ignores order")
+	}
+	if Hash64(1) == Hash64(1, 0) {
+		t.Fatal("Hash64 ignores length")
+	}
+}
+
+func TestHashUnitRange(t *testing.T) {
+	err := quick.Check(func(a, b uint64) bool {
+		u := HashUnit(a, b)
+		return u >= 0 && u < 1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashNormBounded(t *testing.T) {
+	err := quick.Check(func(a, b uint64) bool {
+		z := HashNorm(a, b)
+		return z > -4 && z < 4 && !math.IsNaN(z)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashNormMoments(t *testing.T) {
+	var sum, sumsq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		z := HashNorm(uint64(i), 777)
+		sum += z
+		sumsq += z * z
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("HashNorm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("HashNorm variance = %v, want ~1", variance)
+	}
+}

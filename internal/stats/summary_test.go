@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if !almostEqual(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("std = %v, want sqrt(2.5)", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.Min != 7 || s.Max != 7 || s.Median != 7 {
+		t.Fatalf("unexpected single-element summary: %+v", s)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Std([]float64{5}) != 0 {
+		t.Error("Std of one element != 0")
+	}
+	if !almostEqual(Mean([]float64{2, 4}), 3, 1e-15) {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestArgMinArgMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if ArgMin(xs) != 1 {
+		t.Errorf("ArgMin = %d, want 1 (first tie)", ArgMin(xs))
+	}
+	if ArgMax(xs) != 4 {
+		t.Errorf("ArgMax = %d, want 4", ArgMax(xs))
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Min":    func() { Min(nil) },
+		"Max":    func() { Max(nil) },
+		"ArgMin": func() { ArgMin(nil) },
+		"ArgMax": func() { ArgMax(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {1.0 / 3, 2},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	func() {
+		defer func() { recover() }()
+		Quantile(nil, 0.5)
+		t.Error("Quantile(nil) did not panic")
+	}()
+	func() {
+		defer func() { recover() }()
+		Quantile([]float64{1}, 1.5)
+		t.Error("Quantile(q=1.5) did not panic")
+	}()
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileProperties(t *testing.T) {
+	r := NewRNG(21)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		q1 := r.Float64()
+		q2 := r.Float64()
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		v1 := Quantile(xs, q1)
+		v2 := Quantile(xs, q2)
+		if v1 > v2 {
+			t.Fatalf("quantile not monotone: Q(%v)=%v > Q(%v)=%v", q1, v1, q2, v2)
+		}
+		if v1 < Min(xs) || v2 > Max(xs) {
+			t.Fatalf("quantile outside [min,max]")
+		}
+	}
+}
+
+func TestQuantileSortedAgreesWithQuantile(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		for _, q := range []float64{0, 0.2, 0.5, 0.8, 1} {
+			if Quantile(xs, q) != QuantileSorted(s, q) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp wrong")
+	}
+}

@@ -1,0 +1,334 @@
+// Package amg implements a geometric-multigrid V-cycle solver for the
+// 2-D Poisson problem — the live-measurement counterpart of the HYPRE
+// new_ij model. The tunable parameters mirror the paper's HYPRE study:
+// smoother choice, pre/post-smoothing sweeps, cycle shape (MU), and
+// the goroutine worker count; each genuinely changes the measured
+// time-to-solution, so a hiperbot.Objective can wrap Solve directly.
+//
+// The solver is deterministic for a fixed configuration: smoothing is
+// Jacobi-style (old/new array pairs), so results are bitwise
+// independent of the worker count.
+package amg
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Smoother selects the relaxation scheme.
+type Smoother int
+
+// Available smoothers.
+const (
+	// Jacobi is damped point Jacobi (ω = 0.8).
+	Jacobi Smoother = iota
+	// RedBlackGS is red-black Gauss-Seidel: twice the convergence rate
+	// per sweep at slightly more synchronization.
+	RedBlackGS
+)
+
+// String implements fmt.Stringer.
+func (s Smoother) String() string {
+	switch s {
+	case Jacobi:
+		return "jacobi"
+	case RedBlackGS:
+		return "redblack-gs"
+	default:
+		return fmt.Sprintf("Smoother(%d)", int(s))
+	}
+}
+
+// Config sizes one solve.
+type Config struct {
+	// N is the fine-grid dimension (N×N interior points). Vertex-
+	// centered coarsening requires N+1 divisible by 2^(Levels-1)
+	// (e.g. N = 2^k - 1: 31, 63, 127), so the level boundaries align.
+	N int
+	// Levels is the multigrid hierarchy depth (>= 1; 1 = smoothing only).
+	Levels int
+	// PreSweeps and PostSweeps count smoother applications per level.
+	PreSweeps, PostSweeps int
+	// Smoother selects the relaxation scheme.
+	Smoother Smoother
+	// MU is the cycle shape: 1 = V-cycle, 2 = W-cycle.
+	MU int
+	// Tol is the residual-reduction target (default 1e-8).
+	Tol float64
+	// MaxCycles bounds the outer iteration (default 60).
+	MaxCycles int
+	// Workers is the goroutine pool size (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns a medium-size V-cycle setup.
+func DefaultConfig() Config {
+	return Config{N: 127, Levels: 5, PreSweeps: 2, PostSweeps: 1, Smoother: RedBlackGS, MU: 1}
+}
+
+// Validate checks structural constraints.
+func (c Config) Validate() error {
+	if c.N < 4 {
+		return fmt.Errorf("amg: N %d too small", c.N)
+	}
+	if c.Levels < 1 {
+		return fmt.Errorf("amg: Levels %d < 1", c.Levels)
+	}
+	if (c.N+1)%(1<<(c.Levels-1)) != 0 || (c.N+1)>>(c.Levels-1) < 2 {
+		return fmt.Errorf("amg: N %d does not support %d levels (need N+1 divisible by 2^(Levels-1))", c.N, c.Levels)
+	}
+	if c.PreSweeps < 0 || c.PostSweeps < 0 || c.PreSweeps+c.PostSweeps == 0 {
+		return fmt.Errorf("amg: need at least one smoothing sweep")
+	}
+	if c.MU < 1 || c.MU > 2 {
+		return fmt.Errorf("amg: MU %d outside {1,2}", c.MU)
+	}
+	if c.Smoother != Jacobi && c.Smoother != RedBlackGS {
+		return fmt.Errorf("amg: unknown smoother %d", int(c.Smoother))
+	}
+	return nil
+}
+
+// Result reports one solve.
+type Result struct {
+	// Cycles is the number of multigrid cycles executed.
+	Cycles int
+	// ResidualReduction is ||r_final|| / ||r_0||.
+	ResidualReduction float64
+	// Converged reports whether Tol was reached within MaxCycles.
+	Converged bool
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration
+}
+
+// grid is one level of the hierarchy: n×n interior points with a
+// zero boundary halo, stored as (n+2)×(n+2).
+type grid struct {
+	n            int
+	u, f, r, tmp []float64
+	h2           float64 // mesh width squared
+}
+
+func newGrid(n int, h2 float64) *grid {
+	size := (n + 2) * (n + 2)
+	return &grid{n: n, u: make([]float64, size), f: make([]float64, size),
+		r: make([]float64, size), tmp: make([]float64, size), h2: h2}
+}
+
+func (g *grid) idx(i, j int) int { return i*(g.n+2) + j }
+
+// Solve runs multigrid cycles until the residual drops by Tol.
+func Solve(c Config) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-8
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 60
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Build the hierarchy.
+	grids := make([]*grid, c.Levels)
+	n := c.N
+	h := 1.0 / float64(c.N+1)
+	for l := 0; l < c.Levels; l++ {
+		grids[l] = newGrid(n, h*h)
+		n = (n - 1) / 2 // vertex-centered: n_f = 2*n_c + 1
+		h *= 2
+	}
+	fine := grids[0]
+	// Right-hand side: a smooth source plus a point load.
+	for i := 1; i <= fine.n; i++ {
+		for j := 1; j <= fine.n; j++ {
+			x := float64(i) / float64(fine.n+1)
+			y := float64(j) / float64(fine.n+1)
+			fine.f[fine.idx(i, j)] = math.Sin(math.Pi*x) * math.Sin(2*math.Pi*y)
+		}
+	}
+	fine.f[fine.idx(fine.n/2, fine.n/2)] += 10
+
+	start := time.Now()
+	r0 := residualNorm(fine, workers)
+	if r0 == 0 {
+		return Result{Converged: true, ResidualReduction: 0, Elapsed: time.Since(start)}, nil
+	}
+	res := Result{}
+	for res.Cycles = 1; res.Cycles <= c.MaxCycles; res.Cycles++ {
+		cycle(grids, 0, c, workers)
+		rn := residualNorm(fine, workers)
+		res.ResidualReduction = rn / r0
+		if res.ResidualReduction <= c.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// cycle runs one MU-cycle starting at level l.
+func cycle(grids []*grid, l int, c Config, workers int) {
+	g := grids[l]
+	if l == len(grids)-1 {
+		// Coarsest level: smooth hard instead of a direct solve.
+		for s := 0; s < 20; s++ {
+			smooth(g, c.Smoother, workers)
+		}
+		return
+	}
+	for s := 0; s < c.PreSweeps; s++ {
+		smooth(g, c.Smoother, workers)
+	}
+	computeResidual(g, workers)
+	coarse := grids[l+1]
+	restrict(g, coarse, workers)
+	for mu := 0; mu < c.MU; mu++ {
+		cycle(grids, l+1, c, workers)
+	}
+	prolongAdd(coarse, g, workers)
+	for s := 0; s < c.PostSweeps; s++ {
+		smooth(g, c.Smoother, workers)
+	}
+}
+
+// parallelRows runs body(i) for interior rows i in [1, n] over workers.
+func parallelRows(n, workers int, body func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 1; i <= n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := 1 + w*chunk
+		hi := lo + chunk - 1
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i <= hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// smooth applies one relaxation sweep.
+func smooth(g *grid, s Smoother, workers int) {
+	switch s {
+	case Jacobi:
+		const omega = 0.8
+		parallelRows(g.n, workers, func(i int) {
+			for j := 1; j <= g.n; j++ {
+				k := g.idx(i, j)
+				g.tmp[k] = (1-omega)*g.u[k] + omega*0.25*(g.u[k-1]+g.u[k+1]+g.u[k-(g.n+2)]+g.u[k+(g.n+2)]+g.h2*g.f[k])
+			}
+		})
+		g.u, g.tmp = g.tmp, g.u
+	case RedBlackGS:
+		for color := 0; color < 2; color++ {
+			parallelRows(g.n, workers, func(i int) {
+				jStart := 1 + (i+color)%2
+				for j := jStart; j <= g.n; j += 2 {
+					k := g.idx(i, j)
+					g.u[k] = 0.25 * (g.u[k-1] + g.u[k+1] + g.u[k-(g.n+2)] + g.u[k+(g.n+2)] + g.h2*g.f[k])
+				}
+			})
+		}
+	}
+}
+
+// computeResidual fills g.r = f - A u.
+func computeResidual(g *grid, workers int) {
+	parallelRows(g.n, workers, func(i int) {
+		for j := 1; j <= g.n; j++ {
+			k := g.idx(i, j)
+			au := (4*g.u[k] - g.u[k-1] - g.u[k+1] - g.u[k-(g.n+2)] - g.u[k+(g.n+2)]) / g.h2
+			g.r[k] = g.f[k] - au
+		}
+	})
+}
+
+// residualNorm returns ||f - A u||_2 with a deterministic reduction.
+func residualNorm(g *grid, workers int) float64 {
+	computeResidual(g, workers)
+	var sum float64
+	for i := 1; i <= g.n; i++ {
+		for j := 1; j <= g.n; j++ {
+			v := g.r[g.idx(i, j)]
+			sum += v * v
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// restrict full-weights the fine residual onto the coarse RHS and
+// zeros the coarse solution.
+func restrict(fine, coarse *grid, workers int) {
+	parallelRows(coarse.n, workers, func(I int) {
+		i := 2 * I
+		for J := 1; J <= coarse.n; J++ {
+			j := 2 * J
+			k := fine.idx(i, j)
+			w := fine.r[k]*0.25 +
+				(fine.r[k-1]+fine.r[k+1]+fine.r[k-(fine.n+2)]+fine.r[k+(fine.n+2)])*0.125 +
+				(fine.r[k-(fine.n+2)-1]+fine.r[k-(fine.n+2)+1]+fine.r[k+(fine.n+2)-1]+fine.r[k+(fine.n+2)+1])*0.0625
+			ck := coarse.idx(I, J)
+			coarse.f[ck] = w
+			coarse.u[ck] = 0
+		}
+	})
+}
+
+// prolongAdd bilinearly interpolates the coarse correction and adds it
+// to the fine solution. Each worker owns disjoint fine rows: for fine
+// row i, the stencil reads coarse rows only, so there are no write
+// races.
+func prolongAdd(coarse, fine *grid, workers int) {
+	parallelRows(fine.n, workers, func(i int) {
+		for j := 1; j <= fine.n; j++ {
+			// Bilinear interpolation from the coarse grid.
+			ci := i / 2
+			cj := j / 2
+			fi := float64(i)/2 - float64(ci)
+			fj := float64(j)/2 - float64(cj)
+			v := lerp2(coarse, ci, cj, fi, fj)
+			fine.u[fine.idx(i, j)] += v
+		}
+	})
+}
+
+// lerp2 bilinearly samples the coarse solution with clamped indices.
+func lerp2(g *grid, i, j int, fi, fj float64) float64 {
+	get := func(a, b int) float64 {
+		if a < 0 || b < 0 || a > g.n+1 || b > g.n+1 {
+			return 0
+		}
+		return g.u[g.idx(a, b)]
+	}
+	v00 := get(i, j)
+	v10 := get(i+1, j)
+	v01 := get(i, j+1)
+	v11 := get(i+1, j+1)
+	return v00*(1-fi)*(1-fj) + v10*fi*(1-fj) + v01*(1-fi)*fj + v11*fi*fj
+}

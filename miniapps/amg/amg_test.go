@@ -1,0 +1,148 @@
+package amg
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSolveConverges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 63
+	cfg.Levels = 4
+	res, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: reduction %.3g after %d cycles", res.ResidualReduction, res.Cycles)
+	}
+	if res.Cycles > 30 {
+		t.Errorf("multigrid needed %d cycles; expected fast convergence", res.Cycles)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+}
+
+func TestJacobiAlsoConvergesButSlower(t *testing.T) {
+	base := Config{N: 63, Levels: 4, PreSweeps: 2, PostSweeps: 1, MU: 1, Tol: 1e-6}
+	gs := base
+	gs.Smoother = RedBlackGS
+	ja := base
+	ja.Smoother = Jacobi
+	resGS, err := Solve(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resJA, err := Solve(ja)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resGS.Converged || !resJA.Converged {
+		t.Fatalf("convergence: GS=%v JA=%v", resGS.Converged, resJA.Converged)
+	}
+	if resJA.Cycles < resGS.Cycles {
+		t.Errorf("Jacobi (%d cycles) should not beat red-black GS (%d)", resJA.Cycles, resGS.Cycles)
+	}
+}
+
+func TestWorkerCountIndependence(t *testing.T) {
+	cfg := Config{N: 31, Levels: 3, PreSweeps: 1, PostSweeps: 1, Smoother: RedBlackGS, MU: 1, Tol: 1e-6}
+	var want float64
+	var wantCycles int
+	for i, w := range []int{1, 2, 5, 8} {
+		cfg.Workers = w
+		res, err := Solve(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want, wantCycles = res.ResidualReduction, res.Cycles
+			continue
+		}
+		if res.ResidualReduction != want || res.Cycles != wantCycles {
+			t.Fatalf("workers=%d: reduction %v/%d cycles, want %v/%d (bitwise)",
+				w, res.ResidualReduction, res.Cycles, want, wantCycles)
+		}
+	}
+}
+
+func TestWCycleConvergesFasterPerCycle(t *testing.T) {
+	v := Config{N: 63, Levels: 4, PreSweeps: 1, PostSweeps: 1, Smoother: Jacobi, MU: 1, Tol: 1e-7}
+	w := v
+	w.MU = 2
+	resV, err := Solve(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resW, err := Solve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resW.Cycles > resV.Cycles {
+		t.Errorf("W-cycle (%d cycles) should need no more cycles than V-cycle (%d)", resW.Cycles, resV.Cycles)
+	}
+}
+
+func TestMoreLevelsHelp(t *testing.T) {
+	shallow := Config{N: 63, Levels: 1, PreSweeps: 2, PostSweeps: 1, Smoother: RedBlackGS, MU: 1, Tol: 1e-6, MaxCycles: 40}
+	deep := shallow
+	deep.Levels = 4
+	resS, err := Solve(shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resD, err := Solve(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resD.Converged {
+		t.Fatal("deep hierarchy did not converge")
+	}
+	// Pure smoothing on a 64x64 Poisson problem cannot reach 1e-6 in
+	// 40 cycles; the hierarchy is what makes it fast.
+	if resS.Converged && resS.Cycles <= resD.Cycles {
+		t.Errorf("smoothing-only (%d cycles) should not match multigrid (%d)", resS.Cycles, resD.Cycles)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{N: 2, Levels: 1, PreSweeps: 1, MU: 1},
+		{N: 63, Levels: 0, PreSweeps: 1, MU: 1},
+		{N: 64, Levels: 4, PreSweeps: 1, MU: 1}, // 65 not divisible by 8
+		{N: 63, Levels: 4, PreSweeps: 0, PostSweeps: 0, MU: 1},
+		{N: 63, Levels: 4, PreSweeps: 1, MU: 3},
+		{N: 63, Levels: 4, PreSweeps: 1, MU: 1, Smoother: Smoother(5)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSolveRespectsMaxCycles(t *testing.T) {
+	cfg := Config{N: 31, Levels: 1, PreSweeps: 1, PostSweeps: 0, Smoother: Jacobi, MU: 1,
+		Tol: 1e-14, MaxCycles: 3}
+	start := time.Now()
+	res, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("cannot converge to 1e-14 in 3 smoothing cycles")
+	}
+	if res.Cycles > 4 {
+		t.Errorf("ran %d cycles, budget 3", res.Cycles)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("MaxCycles did not bound the run")
+	}
+}
+
+func TestSmootherString(t *testing.T) {
+	if Jacobi.String() != "jacobi" || RedBlackGS.String() != "redblack-gs" {
+		t.Fatal("String wrong")
+	}
+}

@@ -1,0 +1,75 @@
+package amg
+
+import "testing"
+
+func TestSolvePCGConverges(t *testing.T) {
+	cfg := Config{N: 63, Levels: 4, PreSweeps: 1, PostSweeps: 1, Smoother: RedBlackGS, MU: 1, Tol: 1e-8}
+	res, err := SolvePCG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("PCG did not converge: %.3g after %d iterations", res.ResidualReduction, res.Iterations)
+	}
+	if res.Iterations > 20 {
+		t.Errorf("AMG-PCG needed %d iterations; expected < 20", res.Iterations)
+	}
+}
+
+// The HYPRE study's premise: AMG-preconditioned CG needs no more
+// cycles than plain V-cycle iteration at the same tolerance.
+func TestPCGNoWorseThanPlainMultigrid(t *testing.T) {
+	cfg := Config{N: 63, Levels: 4, PreSweeps: 1, PostSweeps: 1, Smoother: Jacobi, MU: 1, Tol: 1e-8}
+	plain, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcg, err := SolvePCG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Converged || !pcg.Converged {
+		t.Fatalf("convergence: plain=%v pcg=%v", plain.Converged, pcg.Converged)
+	}
+	if pcg.Iterations > plain.Cycles {
+		t.Errorf("PCG (%d its) worse than plain V-cycles (%d)", pcg.Iterations, plain.Cycles)
+	}
+}
+
+func TestPCGWorkerCountIndependence(t *testing.T) {
+	cfg := Config{N: 31, Levels: 3, PreSweeps: 1, PostSweeps: 1, Smoother: RedBlackGS, MU: 1, Tol: 1e-7}
+	var want float64
+	var wantIts int
+	for i, w := range []int{1, 2, 4} {
+		cfg.Workers = w
+		res, err := SolvePCG(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want, wantIts = res.ResidualReduction, res.Iterations
+			continue
+		}
+		if res.ResidualReduction != want || res.Iterations != wantIts {
+			t.Fatalf("workers=%d: %v/%d, want %v/%d (bitwise)", w, res.ResidualReduction, res.Iterations, want, wantIts)
+		}
+	}
+}
+
+func TestPCGRespectsIterationCap(t *testing.T) {
+	cfg := Config{N: 31, Levels: 1, PreSweeps: 1, PostSweeps: 0, Smoother: Jacobi, MU: 1,
+		Tol: 1e-14, MaxCycles: 3}
+	res, err := SolvePCG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 4 {
+		t.Fatalf("ran %d iterations, cap 3", res.Iterations)
+	}
+}
+
+func TestPCGValidation(t *testing.T) {
+	if _, err := SolvePCG(Config{N: 2, Levels: 1, PreSweeps: 1, MU: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

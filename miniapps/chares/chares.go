@@ -1,0 +1,213 @@
+// Package chares simulates Charm++-style over-decomposition, the
+// mechanism OpenAtom's performance hinges on (paper §IV-A): a
+// computation is split into many more "chares" (migratable tasks) than
+// workers, so a work-stealing scheduler can balance an imbalanced
+// load — at the cost of per-chare scheduling overhead. Picking the
+// grain size is exactly the sgrain tuning problem of the paper's
+// OpenAtom study, and Run's wall time responds to it for real.
+//
+// The computed result (a fixed-order reduction over per-chare values)
+// is deterministic and independent of the worker count and of the
+// stealing schedule.
+package chares
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config describes one execution.
+type Config struct {
+	// TotalWork is the number of abstract work units.
+	TotalWork int
+	// Grain is the work units per chare: chares = TotalWork / Grain.
+	// Small grains balance better but pay scheduling overhead.
+	Grain int
+	// Imbalance skews the per-chare cost: 0 = uniform, 1 = the last
+	// chares cost ~3x the first ones (a typical density-tail skew).
+	Imbalance float64
+	// OverheadNs models the constant per-chare scheduling cost in
+	// artificial work-units (default 40).
+	Overhead int
+	// Workers is the goroutine pool size (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns a measurable default.
+func DefaultConfig() Config {
+	return Config{TotalWork: 1 << 20, Grain: 1 << 12, Imbalance: 0.7}
+}
+
+// Validate checks structural constraints.
+func (c Config) Validate() error {
+	if c.TotalWork < 1 {
+		return fmt.Errorf("chares: TotalWork %d < 1", c.TotalWork)
+	}
+	if c.Grain < 1 || c.Grain > c.TotalWork {
+		return fmt.Errorf("chares: Grain %d outside [1, %d]", c.Grain, c.TotalWork)
+	}
+	if c.Imbalance < 0 || c.Imbalance > 1 {
+		return fmt.Errorf("chares: Imbalance %v outside [0,1]", c.Imbalance)
+	}
+	if c.Overhead < 0 {
+		return fmt.Errorf("chares: negative Overhead")
+	}
+	return nil
+}
+
+// Result reports one execution.
+type Result struct {
+	// Chares is the number of tasks created.
+	Chares int
+	// Value is the deterministic reduction over all chare results.
+	Value float64
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration
+	// LoadImbalance is max worker busy-work / mean busy-work (1.0 =
+	// perfectly balanced), measured in abstract work units.
+	LoadImbalance float64
+}
+
+// Run executes the decomposed computation on a work-stealing pool.
+func Run(c Config) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if c.Overhead == 0 {
+		c.Overhead = 40
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nChares := (c.TotalWork + c.Grain - 1) / c.Grain
+
+	// Per-chare work: a skewed profile. The actual numeric result is a
+	// function only of the chare index, so any schedule yields the
+	// same values.
+	values := make([]float64, nChares)
+	busy := make([]int64, workers)
+
+	start := time.Now()
+	var next int64
+	var mu sync.Mutex
+	takeChare := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(nChares) {
+			return -1
+		}
+		id := int(next)
+		next++
+		return id
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				id := takeChare()
+				if id < 0 {
+					return
+				}
+				units := chareUnits(id, nChares, c)
+				values[id] = burn(id, units)
+				busy[w] += int64(units)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Deterministic fixed-order reduction.
+	var value float64
+	for _, v := range values {
+		value += v
+	}
+	var maxBusy, sumBusy int64
+	for _, b := range busy {
+		sumBusy += b
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	imb := 1.0
+	if sumBusy > 0 {
+		imb = float64(maxBusy) * float64(workers) / float64(sumBusy)
+	}
+	return Result{
+		Chares:        nChares,
+		Value:         value,
+		Elapsed:       time.Since(start),
+		LoadImbalance: imb,
+	}, nil
+}
+
+// SimulateImbalance deterministically list-schedules the chare costs
+// onto Workers (each chare goes to the currently least-loaded worker,
+// ties to the lowest index) and returns max load / mean load. Unlike
+// Result.LoadImbalance — which reflects the actual goroutine schedule
+// and therefore the machine — this is a pure function of the
+// configuration, suitable for tests and for reasoning about grain
+// sizes on any hardware.
+func SimulateImbalance(c Config) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if c.Overhead == 0 {
+		c.Overhead = 40
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nChares := (c.TotalWork + c.Grain - 1) / c.Grain
+	load := make([]int64, workers)
+	for id := 0; id < nChares; id++ {
+		least := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[least] {
+				least = w
+			}
+		}
+		load[least] += int64(chareUnits(id, nChares, c))
+	}
+	var max, sum int64
+	for _, l := range load {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 1, nil
+	}
+	return float64(max) * float64(workers) / float64(sum), nil
+}
+
+// chareUnits returns the work units of chare id: the base grain plus a
+// skewed tail, plus the constant scheduling overhead.
+func chareUnits(id, nChares int, c Config) int {
+	base := c.Grain
+	if id == nChares-1 && c.TotalWork%c.Grain != 0 {
+		base = c.TotalWork % c.Grain
+	}
+	// Imbalance: later chares carry up to 2*Imbalance extra weight.
+	frac := float64(id) / float64(nChares)
+	skew := 1 + 2*c.Imbalance*frac*frac
+	return int(float64(base)*skew) + c.Overhead
+}
+
+// burn performs `units` of deterministic floating-point work whose
+// result depends only on (id, units).
+func burn(id, units int) float64 {
+	x := 1.0 + float64(id%97)/97
+	for i := 0; i < units; i++ {
+		x = x + 1.0/(x+float64(i%13))
+	}
+	return math.Mod(x, 1000)
+}

@@ -1,0 +1,118 @@
+package chares
+
+import (
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chares != (1<<20)/(1<<12) {
+		t.Fatalf("chares = %d", res.Chares)
+	}
+	if res.Value == 0 {
+		t.Fatal("zero reduction value")
+	}
+	if res.LoadImbalance < 1 {
+		t.Fatalf("imbalance %v < 1", res.LoadImbalance)
+	}
+}
+
+func TestWorkerAndScheduleIndependence(t *testing.T) {
+	cfg := Config{TotalWork: 1 << 16, Grain: 1 << 9, Imbalance: 0.5}
+	var want float64
+	for i, w := range []int{1, 2, 4, 8} {
+		cfg.Workers = w
+		// Two runs per worker count: stealing order varies, the value
+		// must not.
+		for rep := 0; rep < 2; rep++ {
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 && rep == 0 {
+				want = res.Value
+				continue
+			}
+			if res.Value != want {
+				t.Fatalf("workers=%d rep=%d: value %v != %v", w, rep, res.Value, want)
+			}
+		}
+	}
+}
+
+// Finer grains must improve the schedulable load balance when the
+// per-chare cost is skewed — verified against the deterministic
+// list-scheduling simulation (the measured LoadImbalance depends on
+// the machine's real parallelism).
+func TestFinerGrainBalancesBetter(t *testing.T) {
+	coarse := Config{TotalWork: 1 << 18, Grain: 1 << 16, Imbalance: 1, Workers: 4}
+	fine := coarse
+	fine.Grain = 1 << 10
+	ic, err := SimulateImbalance(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := SimulateImbalance(fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarse: 4 chares over 4 workers with 3x skew — max/mean well
+	// above 1. Fine: 256 chares — near 1.
+	if fi >= ic {
+		t.Errorf("fine grain imbalance %.3f not below coarse %.3f", fi, ic)
+	}
+	if fi > 1.1 {
+		t.Errorf("fine grain imbalance %.3f, want near 1", fi)
+	}
+	if ic < 1.2 {
+		t.Errorf("coarse grain imbalance %.3f, want clearly above 1", ic)
+	}
+}
+
+// Tiny grains pay a visible overhead tax: the simulated total work
+// (including per-chare overhead) grows as the grain shrinks — the
+// other side of the sgrain trade-off.
+func TestSmallGrainOverheadGrows(t *testing.T) {
+	total := func(grain int) int64 {
+		c := Config{TotalWork: 1 << 16, Grain: grain, Imbalance: 0, Overhead: 40}
+		n := (c.TotalWork + c.Grain - 1) / c.Grain
+		var sum int64
+		for id := 0; id < n; id++ {
+			sum += int64(chareUnits(id, n, c))
+		}
+		return sum
+	}
+	if total(1<<6) <= total(1<<12) {
+		t.Error("finer grain should carry more total overhead")
+	}
+}
+
+func TestChareCountAndRemainder(t *testing.T) {
+	cfg := Config{TotalWork: 1000, Grain: 300, Imbalance: 0}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chares != 4 { // 300+300+300+100
+		t.Fatalf("chares = %d, want 4", res.Chares)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{TotalWork: 0, Grain: 1},
+		{TotalWork: 10, Grain: 0},
+		{TotalWork: 10, Grain: 11},
+		{TotalWork: 10, Grain: 2, Imbalance: -0.1},
+		{TotalWork: 10, Grain: 2, Imbalance: 1.1},
+		{TotalWork: 10, Grain: 2, Overhead: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package chares
+
+import (
+	"sync"
+	"time"
+)
+
+// Work-stealing execution: instead of the central queue Run uses, each
+// worker owns a deque of chares (dealt round-robin); owners pop from
+// the tail, and an idle worker steals from the head of the most-loaded
+// victim. This is the Charm++-like scheduling the package models, and
+// it exposes the same grain-size trade-off: coarse grains leave
+// nothing to steal, tiny grains pay constant overhead per task.
+//
+// The computed Value is identical to Run's for the same Config —
+// chare results depend only on (id, units), never on the schedule.
+
+// deque is a mutex-guarded double-ended work queue of chare ids.
+type deque struct {
+	mu    sync.Mutex
+	items []int
+}
+
+// popTail removes from the owner's end.
+func (d *deque) popTail() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return 0, false
+	}
+	id := d.items[n-1]
+	d.items = d.items[:n-1]
+	return id, true
+}
+
+// stealHead removes from the opposite end.
+func (d *deque) stealHead() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	id := d.items[0]
+	d.items = d.items[1:]
+	return id, true
+}
+
+// size reports the current length.
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+// RunStealing executes the decomposed computation with per-worker
+// deques and work stealing.
+func RunStealing(c Config) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if c.Overhead == 0 {
+		c.Overhead = 40
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	nChares := (c.TotalWork + c.Grain - 1) / c.Grain
+
+	// Deal chares round-robin, mirroring a static initial placement.
+	deques := make([]*deque, workers)
+	for w := range deques {
+		deques[w] = &deque{}
+	}
+	for id := 0; id < nChares; id++ {
+		d := deques[id%workers]
+		d.items = append(d.items, id)
+	}
+
+	values := make([]float64, nChares)
+	busy := make([]int64, workers)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			my := deques[w]
+			for {
+				id, ok := my.popTail()
+				if !ok {
+					id, ok = stealFromVictim(deques, w)
+					if !ok {
+						return
+					}
+				}
+				units := chareUnits(id, nChares, c)
+				values[id] = burn(id, units)
+				busy[w] += int64(units)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var value float64
+	for _, v := range values {
+		value += v
+	}
+	var maxBusy, sumBusy int64
+	for _, b := range busy {
+		sumBusy += b
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	imb := 1.0
+	if sumBusy > 0 {
+		imb = float64(maxBusy) * float64(workers) / float64(sumBusy)
+	}
+	return Result{
+		Chares:        nChares,
+		Value:         value,
+		Elapsed:       time.Since(start),
+		LoadImbalance: imb,
+	}, nil
+}
+
+// stealFromVictim takes one chare from the head of the most-loaded
+// other deque, or reports failure when everything is drained.
+func stealFromVictim(deques []*deque, self int) (int, bool) {
+	for {
+		victim, maxSize := -1, 0
+		for i, d := range deques {
+			if i == self {
+				continue
+			}
+			if s := d.size(); s > maxSize {
+				victim, maxSize = i, s
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		if id, ok := deques[victim].stealHead(); ok {
+			return id, true
+		}
+		// The victim drained between size check and steal; rescan.
+	}
+}

@@ -1,0 +1,76 @@
+package chares
+
+import "testing"
+
+func TestStealingMatchesCentralValue(t *testing.T) {
+	cfg := Config{TotalWork: 1 << 16, Grain: 1 << 9, Imbalance: 0.6, Workers: 4}
+	central, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stealing, err := RunStealing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if central.Value != stealing.Value {
+		t.Fatalf("schedulers disagree: %v vs %v", central.Value, stealing.Value)
+	}
+	if central.Chares != stealing.Chares {
+		t.Fatalf("chare counts differ")
+	}
+}
+
+func TestStealingDeterministicValue(t *testing.T) {
+	cfg := Config{TotalWork: 1 << 15, Grain: 1 << 8, Imbalance: 1, Workers: 8}
+	var want float64
+	for rep := 0; rep < 3; rep++ {
+		res, err := RunStealing(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == 0 {
+			want = res.Value
+			continue
+		}
+		if res.Value != want {
+			t.Fatalf("rep %d: value %v != %v", rep, res.Value, want)
+		}
+	}
+}
+
+func TestStealingSingleWorker(t *testing.T) {
+	cfg := Config{TotalWork: 1000, Grain: 100, Imbalance: 0.5, Workers: 1}
+	res, err := RunStealing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chares != 10 || res.LoadImbalance != 1 {
+		t.Fatalf("single worker: %+v", res)
+	}
+}
+
+func TestStealingValidation(t *testing.T) {
+	if _, err := RunStealing(Config{TotalWork: 0, Grain: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDequeOperations(t *testing.T) {
+	d := &deque{items: []int{1, 2, 3}}
+	if id, ok := d.popTail(); !ok || id != 3 {
+		t.Fatalf("popTail = %d,%v", id, ok)
+	}
+	if id, ok := d.stealHead(); !ok || id != 1 {
+		t.Fatalf("stealHead = %d,%v", id, ok)
+	}
+	if d.size() != 1 {
+		t.Fatalf("size = %d", d.size())
+	}
+	d.popTail()
+	if _, ok := d.popTail(); ok {
+		t.Fatal("popTail on empty succeeded")
+	}
+	if _, ok := d.stealHead(); ok {
+		t.Fatal("stealHead on empty succeeded")
+	}
+}

@@ -1,0 +1,28 @@
+// Package miniapps gathers runnable, genuinely parallel mini-kernels
+// that serve as live objectives for the hiperbot tuner — the
+// counterparts of the four applications the paper evaluates on:
+//
+//   - sweep: a KBA wavefront transport sweep (Kripke), in 2-D (Run)
+//     and full 3-D with eight angular octants (Run3D); tunables are
+//     the data-layout nesting order, group/direction set blocking, and
+//     worker count.
+//   - amg: a geometric-multigrid Poisson solver (HYPRE), as plain
+//     V/W-cycles (Solve) and as multigrid-preconditioned conjugate
+//     gradients (SolvePCG, the "AMG-PCG" the HYPRE study ranks best);
+//     tunables are the smoother, sweeps, hierarchy depth, cycle shape,
+//     and worker count.
+//   - hydro: a LULESH-flavored explicit shock-hydro step loop;
+//     tunables are loop tiling, manual unrolling variant, allocation
+//     strategy, and worker count.
+//   - chares: a Charm++-style over-decomposition scheduler (OpenAtom)
+//     with both a central queue (Run) and per-worker work-stealing
+//     deques (RunStealing); the tunable grain size trades load balance
+//     against per-task overhead, and SimulateImbalance exposes the
+//     trade-off as a deterministic function for tests.
+//
+// Every kernel guarantees that its numerical result is independent of
+// the worker count (bitwise, enforced by tests), so tuning the
+// parallelism never changes correctness — only the measured wall time.
+// cmd/livetune tunes each kernel from the command line;
+// examples/live_sweep shows the same loop through the public API.
+package miniapps

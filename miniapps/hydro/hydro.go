@@ -1,0 +1,315 @@
+// Package hydro implements a LULESH-flavored explicit shock-
+// hydrodynamics time-step loop on a 2-D staggered mesh: a Lagrangian
+// predictor (nodal velocity/position update from pressure gradients)
+// and an element update (volume, artificial viscosity, equation of
+// state). The tunable parameters mirror the spirit of the paper's
+// LULESH study — loop tiling, manual unrolling variant, allocation
+// strategy — plus the goroutine worker count; all genuinely change the
+// measured wall time.
+//
+// The result is deterministic and independent of the worker count:
+// phases are bulk-synchronous and each index is written by exactly one
+// worker.
+package hydro
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Alloc selects the allocation strategy for scratch arrays.
+type Alloc int
+
+// Allocation strategies.
+const (
+	// AllocPerStep allocates scratch arrays every time step — the
+	// "default allocator pressure" the paper's malloc flag addresses.
+	AllocPerStep Alloc = iota
+	// AllocPooled reuses preallocated scratch arrays.
+	AllocPooled
+)
+
+// String implements fmt.Stringer.
+func (a Alloc) String() string {
+	switch a {
+	case AllocPerStep:
+		return "per-step"
+	case AllocPooled:
+		return "pooled"
+	default:
+		return fmt.Sprintf("Alloc(%d)", int(a))
+	}
+}
+
+// Config sizes one run.
+type Config struct {
+	// NX, NY are element-grid dimensions.
+	NX, NY int
+	// Steps is the number of explicit time steps.
+	Steps int
+	// Tile is the row-block size for the element phase (0 = no tiling).
+	Tile int
+	// Unroll selects the manually unrolled inner-loop variant (1, 2, 4).
+	Unroll int
+	// Alloc selects the scratch allocation strategy.
+	Alloc Alloc
+	// Workers is the goroutine pool size (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns a small but measurable problem.
+func DefaultConfig() Config {
+	return Config{NX: 96, NY: 96, Steps: 20, Tile: 16, Unroll: 2, Alloc: AllocPooled}
+}
+
+// Validate checks structural constraints.
+func (c Config) Validate() error {
+	if c.NX < 4 || c.NY < 4 {
+		return fmt.Errorf("hydro: grid %dx%d too small", c.NX, c.NY)
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("hydro: Steps %d < 1", c.Steps)
+	}
+	if c.Tile < 0 {
+		return fmt.Errorf("hydro: negative Tile")
+	}
+	switch c.Unroll {
+	case 1, 2, 4:
+	default:
+		return fmt.Errorf("hydro: Unroll %d not in {1,2,4}", c.Unroll)
+	}
+	if c.Alloc != AllocPerStep && c.Alloc != AllocPooled {
+		return fmt.Errorf("hydro: unknown alloc %d", int(c.Alloc))
+	}
+	return nil
+}
+
+// Result reports one run.
+type Result struct {
+	// EnergyTotal is the final total internal energy (deterministic).
+	EnergyTotal float64
+	// MaxPressure is the final maximum element pressure.
+	MaxPressure float64
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration
+}
+
+// state holds the mesh fields.
+type state struct {
+	nx, ny       int
+	e, p, q, vol []float64 // element-centered
+	vx, vy       []float64 // node-centered, (nx+1)x(ny+1)
+}
+
+// Run advances the hydro state for Steps time steps.
+func Run(c Config) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ne := c.NX * c.NY
+	nn := (c.NX + 1) * (c.NY + 1)
+	s := &state{
+		nx: c.NX, ny: c.NY,
+		e: make([]float64, ne), p: make([]float64, ne),
+		q: make([]float64, ne), vol: make([]float64, ne),
+		vx: make([]float64, nn), vy: make([]float64, nn),
+	}
+	// Sedov-like initial condition: a hot corner region.
+	for y := 0; y < c.NY/8+1; y++ {
+		for x := 0; x < c.NX/8+1; x++ {
+			s.e[y*c.NX+x] = 3.0
+		}
+	}
+	for i := range s.vol {
+		s.vol[i] = 1.0
+	}
+
+	var pool *scratch
+	if c.Alloc == AllocPooled {
+		pool = newScratch(ne)
+	}
+
+	start := time.Now()
+	const dt = 1e-3
+	for step := 0; step < c.Steps; step++ {
+		scr := pool
+		if scr == nil {
+			scr = newScratch(ne) // per-step allocation pressure
+		}
+		eosPhase(s, c, workers)
+		nodalPhase(s, dt, workers)
+		elementPhase(s, scr, dt, c, workers)
+	}
+	var total, maxP float64
+	for i := range s.e {
+		total += s.e[i] * s.vol[i]
+		if s.p[i] > maxP {
+			maxP = s.p[i]
+		}
+	}
+	return Result{EnergyTotal: total, MaxPressure: maxP, Elapsed: time.Since(start)}, nil
+}
+
+// scratch holds per-step temporary fields.
+type scratch struct {
+	divv, enew []float64
+}
+
+func newScratch(ne int) *scratch {
+	return &scratch{divv: make([]float64, ne), enew: make([]float64, ne)}
+}
+
+// parallelBlocks distributes row blocks [lo, hi) over workers.
+func parallelBlocks(rows, tile, workers int, body func(rlo, rhi int)) {
+	if tile <= 0 || tile > rows {
+		tile = rows
+	}
+	nblocks := (rows + tile - 1) / tile
+	if workers > nblocks {
+		workers = nblocks
+	}
+	if workers <= 1 {
+		for b := 0; b < nblocks; b++ {
+			lo := b * tile
+			hi := lo + tile
+			if hi > rows {
+				hi = rows
+			}
+			body(lo, hi)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, nblocks)
+	for b := 0; b < nblocks; b++ {
+		next <- b
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range next {
+				lo := b * tile
+				hi := lo + tile
+				if hi > rows {
+					hi = rows
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// eosPhase computes pressure from energy: p = (γ-1) ρ e with an
+// artificial-viscosity term, using the selected unroll variant.
+func eosPhase(s *state, c Config, workers int) {
+	const gamma = 1.4
+	parallelBlocks(s.ny, c.Tile, workers, func(rlo, rhi int) {
+		for y := rlo; y < rhi; y++ {
+			row := y * s.nx
+			switch c.Unroll {
+			case 1:
+				for x := 0; x < s.nx; x++ {
+					i := row + x
+					s.p[i] = (gamma - 1) * s.e[i] / s.vol[i]
+				}
+			case 2:
+				x := 0
+				for ; x+1 < s.nx; x += 2 {
+					i := row + x
+					s.p[i] = (gamma - 1) * s.e[i] / s.vol[i]
+					s.p[i+1] = (gamma - 1) * s.e[i+1] / s.vol[i+1]
+				}
+				for ; x < s.nx; x++ {
+					i := row + x
+					s.p[i] = (gamma - 1) * s.e[i] / s.vol[i]
+				}
+			case 4:
+				x := 0
+				for ; x+3 < s.nx; x += 4 {
+					i := row + x
+					s.p[i] = (gamma - 1) * s.e[i] / s.vol[i]
+					s.p[i+1] = (gamma - 1) * s.e[i+1] / s.vol[i+1]
+					s.p[i+2] = (gamma - 1) * s.e[i+2] / s.vol[i+2]
+					s.p[i+3] = (gamma - 1) * s.e[i+3] / s.vol[i+3]
+				}
+				for ; x < s.nx; x++ {
+					i := row + x
+					s.p[i] = (gamma - 1) * s.e[i] / s.vol[i]
+				}
+			}
+		}
+	})
+}
+
+// nodalPhase accelerates nodes by the pressure gradient of adjacent
+// elements. Interior nodes only; each node is owned by one worker.
+func nodalPhase(s *state, dt float64, workers int) {
+	nxn := s.nx + 1
+	parallelBlocks(s.ny-1, 0, workers, func(rlo, rhi int) {
+		for yy := rlo; yy < rhi; yy++ {
+			y := yy + 1 // interior node rows 1..ny-1
+			for x := 1; x < s.nx; x++ {
+				n := y*nxn + x
+				// Pressure of the four elements around node (x, y).
+				p00 := s.p[(y-1)*s.nx+(x-1)]
+				p10 := s.p[(y-1)*s.nx+x]
+				p01 := s.p[y*s.nx+(x-1)]
+				p11 := s.p[y*s.nx+x]
+				gx := (p10 + p11 - p00 - p01) * 0.5
+				gy := (p01 + p11 - p00 - p10) * 0.5
+				s.vx[n] -= dt * gx
+				s.vy[n] -= dt * gy
+			}
+		}
+	})
+}
+
+// elementPhase updates volumes and energies from nodal velocities
+// (divergence) with an artificial viscosity on compression.
+func elementPhase(s *state, scr *scratch, dt float64, c Config, workers int) {
+	nxn := s.nx + 1
+	parallelBlocks(s.ny, c.Tile, workers, func(rlo, rhi int) {
+		for y := rlo; y < rhi; y++ {
+			for x := 0; x < s.nx; x++ {
+				i := y*s.nx + x
+				n00 := y*nxn + x
+				n10 := n00 + 1
+				n01 := n00 + nxn
+				n11 := n01 + 1
+				div := (s.vx[n10] + s.vx[n11] - s.vx[n00] - s.vx[n01]) * 0.5
+				div += (s.vy[n01] + s.vy[n11] - s.vy[n00] - s.vy[n10]) * 0.5
+				scr.divv[i] = div
+				q := 0.0
+				if div < 0 {
+					q = 1.5 * div * div // quadratic artificial viscosity
+				}
+				s.q[i] = q
+				work := (s.p[i] + q) * div * dt
+				scr.enew[i] = math.Max(0, s.e[i]-work)
+			}
+		}
+	})
+	parallelBlocks(s.ny, c.Tile, workers, func(rlo, rhi int) {
+		for y := rlo; y < rhi; y++ {
+			for x := 0; x < s.nx; x++ {
+				i := y*s.nx + x
+				s.e[i] = scr.enew[i]
+				v := s.vol[i] * (1 + scr.divv[i]*dt)
+				if v < 0.1 {
+					v = 0.1
+				}
+				s.vol[i] = v
+			}
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Run3D executes a full three-dimensional KBA sweep — the structure of
+// the real Kripke. The angular directions split into eight octants by
+// their sign pattern (±x, ±y, ±z); each octant sweeps the zone grid
+// from its own corner, with upwind dependencies along all three axes.
+// Zones on a wavefront plane i+j+k = const (in octant-local
+// coordinates) are independent and are distributed over the worker
+// pool.
+//
+// As in Run, the computed checksum is bitwise independent of the
+// worker count: plane membership fixes the dependency order and the
+// reduction order is deterministic.
+
+// Config3D sizes a three-dimensional sweep.
+type Config3D struct {
+	// NX, NY, NZ are the zone-grid dimensions.
+	NX, NY, NZ int
+	// Groups and Directions are the totals; Directions must be
+	// divisible by 8 (one batch per octant).
+	Groups, Directions int
+	// Gset blocks the groups (must divide Groups).
+	Gset int
+	// Nesting picks the inner loop order (as in Run).
+	Nesting Nesting
+	// Workers is the goroutine pool size (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig3D returns a small but non-trivial 3-D sweep.
+func DefaultConfig3D() Config3D {
+	return Config3D{NX: 16, NY: 16, NZ: 16, Groups: 8, Directions: 24, Gset: 2, Nesting: NestingGDZ}
+}
+
+// Validate checks structural constraints.
+func (c Config3D) Validate() error {
+	if c.NX <= 0 || c.NY <= 0 || c.NZ <= 0 || c.Groups <= 0 || c.Directions <= 0 {
+		return fmt.Errorf("sweep: non-positive dimensions %+v", c)
+	}
+	if c.Directions%8 != 0 {
+		return fmt.Errorf("sweep: Directions %d must be divisible by 8 octants", c.Directions)
+	}
+	if c.Gset <= 0 || c.Groups%c.Gset != 0 {
+		return fmt.Errorf("sweep: Gset %d must divide Groups %d", c.Gset, c.Groups)
+	}
+	if c.Nesting < NestingGDZ || c.Nesting > NestingZGD {
+		return fmt.Errorf("sweep: unknown nesting %d", int(c.Nesting))
+	}
+	return nil
+}
+
+// Result3D reports one 3-D sweep execution.
+type Result3D struct {
+	// Checksum is deterministic in the configuration (not Workers).
+	Checksum float64
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration
+	// ZoneUpdates counts zone×octant×gset updates performed.
+	ZoneUpdates int
+}
+
+// octant describes one of the eight sweep directions.
+type octant struct {
+	sx, sy, sz int // +1 or -1 per axis
+}
+
+var octants = [8]octant{
+	{+1, +1, +1}, {-1, +1, +1}, {+1, -1, +1}, {-1, -1, +1},
+	{+1, +1, -1}, {-1, +1, -1}, {+1, -1, -1}, {-1, -1, -1},
+}
+
+// Run3D executes the sweep and returns the measurement.
+func Run3D(c Config3D) (Result3D, error) {
+	if err := c.Validate(); err != nil {
+		return Result3D{}, err
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	groupsPer := c.Groups / c.Gset
+	dirsPerOct := c.Directions / 8
+
+	n := c.NX * c.NY * c.NZ
+	psi := make([]float64, n)
+	sigma := make([]float64, n)
+	for i := range sigma {
+		sigma[i] = 0.5 + 0.001*float64(i%89)
+	}
+
+	start := time.Now()
+	var checksum float64
+	updates := 0
+	for gs := 0; gs < c.Gset; gs++ {
+		for oi, oct := range octants {
+			src := 1.0 + 0.01*float64(gs) + 0.005*float64(oi)
+			sweepOctant(psi, sigma, c, oct, groupsPer, dirsPerOct, src, workers)
+			// Deterministic fixed-order reduction per subsweep.
+			for _, v := range psi {
+				checksum += v
+			}
+			updates += n
+		}
+	}
+	return Result3D{Checksum: checksum, Elapsed: time.Since(start), ZoneUpdates: updates}, nil
+}
+
+// sweepOctant walks wavefront planes d = i'+j'+k' in octant-local
+// coordinates, parallelizing each plane over workers.
+func sweepOctant(psi, sigma []float64, c Config3D, oct octant, groups, dirs int, src float64, workers int) {
+	nx, ny, nz := c.NX, c.NY, c.NZ
+	maxD := nx + ny + nz - 3
+	for d := 0; d <= maxD; d++ {
+		// Enumerate plane cells (i', j', k') with i'+j'+k' = d.
+		type cell struct{ i, j, k int }
+		var plane []cell
+		iLo := 0
+		if d-(ny-1)-(nz-1) > 0 {
+			iLo = d - (ny - 1) - (nz - 1)
+		}
+		iHi := d
+		if iHi > nx-1 {
+			iHi = nx - 1
+		}
+		for ip := iLo; ip <= iHi; ip++ {
+			rem := d - ip
+			jLo := 0
+			if rem-(nz-1) > 0 {
+				jLo = rem - (nz - 1)
+			}
+			jHi := rem
+			if jHi > ny-1 {
+				jHi = ny - 1
+			}
+			for jp := jLo; jp <= jHi; jp++ {
+				plane = append(plane, cell{ip, jp, rem - jp})
+			}
+		}
+		if len(plane) == 0 {
+			continue
+		}
+		w := workers
+		if w > len(plane) {
+			w = len(plane)
+		}
+		body := func(pc cell) {
+			// Octant-local → global coordinates.
+			x, y, z := pc.i, pc.j, pc.k
+			if oct.sx < 0 {
+				x = nx - 1 - x
+			}
+			if oct.sy < 0 {
+				y = ny - 1 - y
+			}
+			if oct.sz < 0 {
+				z = nz - 1 - z
+			}
+			updateZone3D(psi, sigma, c, oct, x, y, z, groups, dirs, src)
+		}
+		if w <= 1 {
+			for _, pc := range plane {
+				body(pc)
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		chunk := (len(plane) + w - 1) / w
+		for k := 0; k < w; k++ {
+			lo := k * chunk
+			hi := lo + chunk
+			if hi > len(plane) {
+				hi = len(plane)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(cells []cell) {
+				defer wg.Done()
+				for _, pc := range cells {
+					body(pc)
+				}
+			}(plane[lo:hi])
+		}
+		wg.Wait()
+	}
+}
+
+// updateZone3D performs the per-zone work with three upwind inflows.
+func updateZone3D(psi, sigma []float64, c Config3D, oct octant, x, y, z, groups, dirs int, src float64) {
+	nx, ny := c.NX, c.NY
+	idx := (z*ny+y)*nx + x
+	var inX, inY, inZ float64
+	if ux := x - oct.sx; ux >= 0 && ux < nx {
+		inX = psi[(z*ny+y)*nx+ux]
+	}
+	if uy := y - oct.sy; uy >= 0 && uy < ny {
+		inY = psi[(z*ny+uy)*nx+x]
+	}
+	if uz := z - oct.sz; uz >= 0 && uz < c.NZ {
+		inZ = psi[(uz*ny+y)*nx+x]
+	}
+	sig := sigma[idx]
+	inflow := inX + inY + inZ
+
+	var acc float64
+	switch c.Nesting {
+	case NestingGDZ:
+		for g := 0; g < groups; g++ {
+			wg := 1.0 + 0.01*float64(g)
+			for dd := 0; dd < dirs; dd++ {
+				mu := 0.25 + 0.5*float64(dd)/float64(dirs)
+				acc += (src + mu*inflow) / (sig + mu*wg)
+			}
+		}
+	case NestingDGZ:
+		for dd := 0; dd < dirs; dd++ {
+			mu := 0.25 + 0.5*float64(dd)/float64(dirs)
+			for g := 0; g < groups; g++ {
+				wg := 1.0 + 0.01*float64(g)
+				acc += (src + mu*inflow) / (sig + mu*wg)
+			}
+		}
+	case NestingZGD:
+		total := groups * dirs
+		stride := dirs + 1
+		for gcd(stride, total) != 1 {
+			stride++
+		}
+		for k, i := 0, 0; k < total; k, i = k+1, (i+stride)%total {
+			g := i / dirs
+			dd := i % dirs
+			wg := 1.0 + 0.01*float64(g)
+			mu := 0.25 + 0.5*float64(dd)/float64(dirs)
+			acc += (src + mu*inflow) / (sig + mu*wg)
+		}
+	}
+	psi[idx] = acc / float64(groups*dirs)
+}

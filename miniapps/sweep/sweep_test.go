@@ -1,0 +1,133 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Zones != 48*48*4*4 {
+		t.Fatalf("zones = %d", res.Zones)
+	}
+	if res.Checksum == 0 || math.IsNaN(res.Checksum) {
+		t.Fatalf("checksum = %v", res.Checksum)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time recorded")
+	}
+}
+
+// The headline invariant: the numerical result must not depend on the
+// worker count — anti-diagonal zones are independent and the reduction
+// order is fixed.
+func TestWorkerCountIndependence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NX, cfg.NY = 24, 20
+	var want float64
+	for i, w := range []int{1, 2, 3, 7, 16} {
+		cfg.Workers = w
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res.Checksum
+			continue
+		}
+		if res.Checksum != want {
+			t.Fatalf("workers=%d checksum %v != %v (bitwise)", w, res.Checksum, want)
+		}
+	}
+}
+
+// All nesting orders compute the same sum up to floating-point
+// reassociation: the traversal changes, the arithmetic does not.
+func TestNestingOrdersAgree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NX, cfg.NY = 16, 16
+	var ref float64
+	for i, n := range []Nesting{NestingGDZ, NestingDGZ, NestingZGD} {
+		cfg.Nesting = n
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res.Checksum
+			continue
+		}
+		if rel := math.Abs(res.Checksum-ref) / math.Abs(ref); rel > 1e-9 {
+			t.Fatalf("nesting %v checksum deviates by %v", n, rel)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Fatal("repeated runs disagree")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{NX: 0, NY: 4, Groups: 4, Directions: 4, Gset: 1, Dset: 1},
+		{NX: 4, NY: 4, Groups: 4, Directions: 4, Gset: 3, Dset: 1}, // 3 does not divide 4
+		{NX: 4, NY: 4, Groups: 4, Directions: 4, Gset: 1, Dset: 3},
+		{NX: 4, NY: 4, Groups: 4, Directions: 4, Gset: 1, Dset: 1, Nesting: Nesting(9)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestNestingString(t *testing.T) {
+	if NestingGDZ.String() != "GDZ" || NestingZGD.String() != "ZGD" {
+		t.Fatal("String wrong")
+	}
+}
+
+// Property: set blocking must not change the total zone-update count.
+func TestZoneCountInvariant(t *testing.T) {
+	err := quick.Check(func(g8, d8 uint8) bool {
+		gset := 1 << (g8 % 3) // 1, 2, 4
+		dset := 1 << (d8 % 3)
+		cfg := Config{NX: 8, NY: 8, Groups: 8, Directions: 8, Gset: gset, Dset: dset}
+		res, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		return res.Zones == 8*8*gset*dset
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := [][3]int{{12, 8, 4}, {7, 5, 1}, {9, 3, 3}, {5, 0, 5}}
+	for _, c := range cases {
+		if gcd(c[0], c[1]) != c[2] {
+			t.Fatalf("gcd(%d,%d) != %d", c[0], c[1], c[2])
+		}
+	}
+}
