@@ -1,0 +1,324 @@
+// Package client is the typed Go client for hiperbotd, the HiPerBOt
+// tuning daemon (internal/server). It wraps the JSON API in Go
+// methods, retries transient failures (network errors, 429, 5xx)
+// with capped exponential backoff, and offers Tune, a one-call remote
+// ask/tell loop.
+//
+//	cl, _ := client.New("http://localhost:8080")
+//	id, _ := cl.CreateSessionFromSpace(ctx, "my-run", sp, client.SessionOptions{Seed: 1})
+//	info, _ := cl.Tune(ctx, id, objective, 48, 4, time.Minute)
+//	fmt.Println(info.Best.Config, info.Best.Value)
+//
+// Observe is idempotent server-side, and suggested candidates are
+// leased with deadlines, so a worker that retries — or crashes and
+// never reports — cannot corrupt or strand a session.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+)
+
+// Wire types, re-exported so callers need only this package.
+type (
+	// SessionOptions configures a session (zero = paper defaults).
+	SessionOptions = httpapi.SessionOptions
+	// Result pairs a configuration (name→label map) with its value.
+	Result = httpapi.Result
+	// SessionInfo reports a session's progress.
+	SessionInfo = httpapi.SessionInfo
+	// SuggestResponse returns leased candidates.
+	SuggestResponse = httpapi.SuggestResponse
+	// ObserveResponse acknowledges reported results.
+	ObserveResponse = httpapi.ObserveResponse
+	// MetricsResponse is the daemon's /metrics payload.
+	MetricsResponse = httpapi.MetricsResponse
+	// HealthResponse is the daemon's /healthz payload.
+	HealthResponse = httpapi.HealthResponse
+)
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("hiperbotd: HTTP %d: %s", e.Status, e.Message)
+}
+
+// IsNotFound reports whether err is a 404 APIError.
+func IsNotFound(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
+}
+
+// Client talks to one hiperbotd instance.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int
+	backoff    time.Duration
+	maxBackoff time.Duration
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (default: 30 s timeout).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a transient failure is retried
+// (default 4; 0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the initial and maximum retry backoff
+// (default 100 ms doubling up to 3 s).
+func WithBackoff(initial, max time.Duration) Option {
+	return func(c *Client) { c.backoff, c.maxBackoff = initial, max }
+}
+
+// New builds a client for the daemon at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid base URL %q", baseURL)
+	}
+	c := &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		hc:         &http.Client{Timeout: 30 * time.Second},
+		maxRetries: 4,
+		backoff:    100 * time.Millisecond,
+		maxBackoff: 3 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// CreateSession creates a session from already-serialized Space JSON.
+// name == "" lets the daemon pick an id.
+func (c *Client) CreateSession(ctx context.Context, name string, spaceJSON []byte, opts SessionOptions) (string, error) {
+	req := httpapi.CreateSessionRequest{Name: name, Space: spaceJSON, Options: opts}
+	var resp httpapi.CreateSessionResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// CreateSessionFromSpace is CreateSession for a json.Marshaler space
+// (e.g. *hiperbot.Space). Remember that constraint predicates do not
+// serialize: the daemon tunes the unconstrained space.
+func (c *Client) CreateSessionFromSpace(ctx context.Context, name string, sp json.Marshaler, opts SessionOptions) (string, error) {
+	data, err := sp.MarshalJSON()
+	if err != nil {
+		return "", fmt.Errorf("client: marshaling space: %w", err)
+	}
+	return c.CreateSession(ctx, name, data, opts)
+}
+
+// Suggest leases up to count candidates. lease bounds how long they
+// stay reserved (0 uses the server default).
+func (c *Client) Suggest(ctx context.Context, id string, count int, lease time.Duration) (*SuggestResponse, error) {
+	req := httpapi.SuggestRequest{Count: count, LeaseSeconds: lease.Seconds()}
+	var resp SuggestResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/suggest", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Observe reports evaluated results; duplicates are idempotent.
+func (c *Client) Observe(ctx context.Context, id string, results []Result) (*ObserveResponse, error) {
+	var resp ObserveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/observe",
+		httpapi.ObserveRequest{Results: results}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Status fetches a session's progress.
+func (c *Client) Status(ctx context.Context, id string) (*SessionInfo, error) {
+	var resp SessionInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sessions lists every live session.
+func (c *Client) Sessions(ctx context.Context) ([]SessionInfo, error) {
+	var resp httpapi.SessionListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Sessions, nil
+}
+
+// DeleteSession drops a session and its journal.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Health checks daemon liveness.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var resp HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the daemon's request counters and latency
+// summaries.
+func (c *Client) Metrics(ctx context.Context) (*MetricsResponse, error) {
+	var resp MetricsResponse
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Objective evaluates one suggested configuration (a name→label map;
+// parse it with Space.FromLabels when the space is known locally).
+// Lower values are better.
+type Objective func(config map[string]string) (float64, error)
+
+// Tune drives the whole remote ask/tell loop: lease up to batch
+// candidates, evaluate them with obj, report the results, and repeat
+// until the session holds budget evaluations or the space is
+// exhausted. It returns the final session status.
+func (c *Client) Tune(ctx context.Context, id string, obj Objective, budget, batch int, lease time.Duration) (*SessionInfo, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	for {
+		info, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if info.Evaluations >= budget {
+			return info, nil
+		}
+		want := batch
+		if rem := budget - info.Evaluations; want > rem {
+			want = rem
+		}
+		sug, err := c.Suggest(ctx, id, want, lease)
+		if err != nil {
+			return nil, err
+		}
+		if len(sug.Candidates) == 0 {
+			return c.Status(ctx, id) // pool exhausted
+		}
+		results := make([]Result, 0, len(sug.Candidates))
+		for _, cfg := range sug.Candidates {
+			v, err := obj(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("client: objective: %w", err)
+			}
+			results = append(results, Result{Config: cfg, Value: v})
+		}
+		if _, err := c.Observe(ctx, id, results); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// do runs one JSON round-trip with retry on transient failures.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	delay := c.backoff
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt >= c.maxRetries || !transient(err) {
+			return lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+		delay *= 2
+		if delay > c.maxBackoff {
+			delay = c.maxBackoff
+		}
+	}
+}
+
+// once performs a single HTTP exchange.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr httpapi.ErrorResponse
+		msg := http.StatusText(resp.StatusCode)
+		if data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10)); err == nil {
+			if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+				msg = apiErr.Error
+			}
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// transient reports whether err is worth retrying: network-level
+// failures and 429/5xx responses.
+func transient(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusTooManyRequests || ae.Status >= 500
+	}
+	// Anything that never produced an HTTP status is a transport
+	// failure (refused connection, reset, timeout) — retryable.
+	return true
+}

@@ -1,0 +1,161 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hpcautotune/hiperbot"
+	"github.com/hpcautotune/hiperbot/internal/server"
+)
+
+func newDaemon(t *testing.T) (*httptest.Server, *server.Store) {
+	t.Helper()
+	store, err := server.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(store, nil))
+	t.Cleanup(func() { ts.Close(); store.Close() })
+	return ts, store
+}
+
+func testSpace() *hiperbot.Space {
+	return hiperbot.NewSpace(
+		hiperbot.DiscreteInts("x", 0, 1, 2, 3),
+		hiperbot.DiscreteInts("y", 0, 1, 2, 3),
+	)
+}
+
+func TestClientEndToEndTune(t *testing.T) {
+	ts, _ := newDaemon(t)
+	cl, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	sp := testSpace()
+	id, err := cl.CreateSessionFromSpace(ctx, "e2e", sp, SessionOptions{Seed: 1, InitialSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "e2e" {
+		t.Fatalf("id = %q", id)
+	}
+
+	evals := 0
+	info, err := cl.Tune(ctx, id, func(cfg map[string]string) (float64, error) {
+		c, err := sp.FromLabels(cfg)
+		if err != nil {
+			return 0, err
+		}
+		evals++
+		return (c[0] - 2) * (c[0] - 2) * ((c[1] - 1) * (c[1] - 1)), nil
+	}, 12, 3, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Evaluations != 12 || evals != 12 {
+		t.Fatalf("evaluations = %d (objective ran %d times), want 12", info.Evaluations, evals)
+	}
+	if info.Best == nil || info.Best.Value != 0 {
+		t.Fatalf("best = %+v, want 0", info.Best)
+	}
+
+	sessions, err := cl.Sessions(ctx)
+	if err != nil || len(sessions) != 1 {
+		t.Fatalf("sessions = %v, %v", sessions, err)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Endpoints["suggest"].Requests == 0 || m.Endpoints["observe"].Requests == 0 {
+		t.Fatalf("metrics = %+v", m.Endpoints)
+	}
+	if err := cl.DeleteSession(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Status(ctx, id); !IsNotFound(err) {
+		t.Fatalf("status after delete: %v, want 404", err)
+	}
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "temporarily overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"status": "ok", "sessions": 0})
+	}))
+	defer ts.Close()
+
+	cl, err := New(ts.URL, WithBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health after transient 503s: %v", err)
+	}
+	if h.Status != "ok" || calls.Load() != 3 {
+		t.Fatalf("status=%q calls=%d, want ok after 3 calls", h.Status, calls.Load())
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no such session"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	cl, err := New(ts.URL, WithBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Status(context.Background(), "ghost")
+	if !IsNotFound(err) {
+		t.Fatalf("err = %v, want 404 APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 was retried %d times", calls.Load())
+	}
+}
+
+func TestClientRetryRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	cl, err := New(ts.URL, WithRetries(100), WithBackoff(50*time.Millisecond, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := cl.Health(ctx); err == nil {
+		t.Fatal("Health succeeded against a dead server")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("retry loop ignored context cancellation (%v)", time.Since(start))
+	}
+}
+
+func TestClientRejectsBadBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "localhost:8080"} {
+		if _, err := New(bad); err == nil {
+			t.Fatalf("New(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command hiperbotd serves HiPerBOt tuning sessions over HTTP — the
+// ask/tell loop as a service, so cluster jobs and CI pipelines can
+// ask "which configuration next?" over the network instead of
+// linking the tuner in-process.
+//
+//	hiperbotd -addr :8080 -data ./hiperbotd-data
+//
+// Sessions are journaled to one JSONL file each under -data; killing
+// and restarting the daemon resumes every session with its full
+// history. SIGINT/SIGTERM drain in-flight requests and flush the
+// journals before exiting. See the README's "Running as a service"
+// section for curl examples of every endpoint.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		data     = flag.String("data", "./hiperbotd-data", "session journal directory (empty = in-memory only)")
+		lease    = flag.Duration("lease", 10*time.Minute, "default candidate lease duration")
+		maxBatch = flag.Int("max-batch", 256, "largest candidate count per suggest call")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	store, err := server.OpenStore(*data)
+	if err != nil {
+		logger.Fatalf("hiperbotd: %v", err)
+	}
+	if n := store.Len(); n > 0 {
+		logger.Printf("hiperbotd: resumed %d session(s) from %s", n, *data)
+	}
+
+	srv := server.New(store, logger)
+	srv.DefaultLease = *lease
+	srv.MaxBatch = *maxBatch
+	expvar.Publish("hiperbotd", expvar.Func(func() any { return srv.MetricsSnapshot() }))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("hiperbotd: listening on %s (data: %s)", *addr, dataDesc(*data))
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatalf("hiperbotd: %v", err)
+		}
+	case <-ctx.Done():
+		logger.Printf("hiperbotd: shutting down (draining up to %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("hiperbotd: drain: %v", err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		logger.Fatalf("hiperbotd: closing journals: %v", err)
+	}
+	logger.Printf("hiperbotd: journals flushed, bye")
+}
+
+func dataDesc(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return fmt.Sprintf("%q", dir)
+}

@@ -7,16 +7,26 @@
 //	livetune -kernel hydro -budget 40
 //	livetune -kernel chares -budget 40
 //
+// With -server the ask/tell loop runs through a hiperbotd daemon
+// instead of an in-process Tuner: livetune becomes a worker that
+// leases candidates over HTTP, measures them locally, and reports
+// the results back — the daemon owns the session state and journal.
+//
+//	hiperbotd -addr :8080 &
+//	livetune -kernel sweep -budget 48 -server http://localhost:8080
+//
 // Measurements are medians over -reps runs to tame wall-clock noise.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"time"
 
+	"github.com/hpcautotune/hiperbot/client"
 	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/report"
 	"github.com/hpcautotune/hiperbot/internal/space"
@@ -142,6 +152,8 @@ func main() {
 		reps      = flag.Int("reps", 3, "measurements per configuration (median taken)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		marginals = flag.Bool("marginals", false, "print the surrogate's per-parameter beliefs")
+		serverURL = flag.String("server", "", "hiperbotd base URL; tune through the daemon instead of in-process")
+		batch     = flag.Int("batch", 4, "candidates leased per suggest call (with -server)")
 	)
 	flag.Parse()
 
@@ -167,6 +179,11 @@ func main() {
 		return times[len(times)/2]
 	}
 
+	if *serverURL != "" {
+		tuneRemote(*serverURL, *name, k, objective, *budget, *batch, *seed, &evals)
+		return
+	}
+
 	start := time.Now()
 	tn, err := core.NewTuner(k.space, objective, core.Options{Seed: *seed})
 	if err != nil {
@@ -188,6 +205,48 @@ func main() {
 		if s := tn.Surrogate(); s != nil {
 			fmt.Println("\nsurrogate beliefs:")
 			fmt.Print(core.RenderMarginals(s.Marginals()))
+		}
+	}
+}
+
+// tuneRemote drives the same measured objective through a hiperbotd
+// daemon: candidates arrive as wire configs, are parsed against the
+// locally known space, measured, and reported back.
+func tuneRemote(baseURL, kernelName string, k kernel, objective func(space.Config) float64, budget, batch int, seed uint64, evals *int) {
+	ctx := context.Background()
+	cl, err := client.New(baseURL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livetune:", err)
+		os.Exit(1)
+	}
+	id, err := cl.CreateSessionFromSpace(ctx, "", k.space, client.SessionOptions{Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livetune:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tuning %s through %s (session %s)\n", kernelName, baseURL, id)
+
+	start := time.Now()
+	info, err := cl.Tune(ctx, id, func(cfg map[string]string) (float64, error) {
+		c, err := k.space.FromLabels(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return objective(c), nil
+	}, budget, batch, 10*time.Minute)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livetune:", err)
+		os.Exit(1)
+	}
+
+	report.Section(os.Stdout, "Tuned %s kernel remotely by measured wall time", kernelName)
+	fmt.Printf("measured %d configurations in %v (session %s on %s)\n",
+		*evals, time.Since(start).Round(time.Millisecond), id, baseURL)
+	fmt.Printf("fastest: %v → %.3f ms\n", info.Best.Config, info.Best.Value*1e3)
+	if len(info.Importance) > 0 {
+		fmt.Println("parameter importance (JS divergence):")
+		for _, e := range info.Importance {
+			fmt.Printf("  %-12s %.4f\n", e.Param, e.Score)
 		}
 	}
 }

@@ -1,0 +1,133 @@
+// Remote tuning end-to-end: a hiperbotd daemon, a typed client, and
+// a real measured objective — the miniapps/chares load-balancing
+// kernel — all in one process. The worker leases candidate
+// configurations over HTTP, measures them by wall time, and reports
+// the results back; the daemon journals every evaluation and serves
+// live progress and request metrics.
+//
+//	go run ./examples/remote_tune
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/hpcautotune/hiperbot"
+	"github.com/hpcautotune/hiperbot/client"
+	"github.com/hpcautotune/hiperbot/internal/server"
+	"github.com/hpcautotune/hiperbot/miniapps/chares"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "remote_tune:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- Daemon side: journaled store + HTTP server on loopback. ---
+	dataDir, err := os.MkdirTemp("", "hiperbotd-example-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	store, err := server.OpenStore(dataDir)
+	if err != nil {
+		return err
+	}
+	srv := server.New(store, log.New(os.Stderr, "", 0))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("daemon listening on %s, journals in %s\n\n", base, dataDir)
+
+	// --- Worker side: everything below talks HTTP only. ---
+	ctx := context.Background()
+	cl, err := client.New(base)
+	if err != nil {
+		return err
+	}
+
+	grains := []int{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16}
+	workers := []int{1, 2, 4, 8}
+	sp := hiperbot.NewSpace(
+		hiperbot.DiscreteInts("grain", grains...),
+		hiperbot.DiscreteInts("workers", workers...),
+	)
+	id, err := cl.CreateSessionFromSpace(ctx, "chares-demo", sp, client.SessionOptions{
+		Seed:           1,
+		InitialSamples: 6,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("created session %q over %d configurations\n", id, sp.GridSize())
+
+	// The objective receives wire configs (name→label maps); since
+	// the worker knows the space, it parses them back to Configs.
+	const reps = 3
+	objective := func(cfg map[string]string) (float64, error) {
+		c, err := sp.FromLabels(cfg)
+		if err != nil {
+			return 0, err
+		}
+		times := make([]float64, 0, reps)
+		for i := 0; i < reps; i++ {
+			res, err := chares.Run(chares.Config{
+				TotalWork: 1 << 19,
+				Grain:     grains[int(c[0])],
+				Imbalance: 0.7,
+				Workers:   workers[int(c[1])],
+			})
+			if err != nil {
+				return 0, err
+			}
+			times = append(times, res.Elapsed.Seconds())
+		}
+		sort.Float64s(times)
+		return times[len(times)/2], nil
+	}
+
+	start := time.Now()
+	info, err := cl.Tune(ctx, id, objective, 16, 4, time.Minute)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntuned %d configurations in %v\n", info.Evaluations, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("best: %v → %.3f ms\n", info.Best.Config, info.Best.Value*1e3)
+	fmt.Println("parameter importance (JS divergence):")
+	for _, e := range info.Importance {
+		fmt.Printf("  %-8s %.4f\n", e.Param, e.Score)
+	}
+
+	metrics, err := cl.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ndaemon metrics:")
+	for _, name := range []string{"suggest", "observe", "status"} {
+		if em, ok := metrics.Endpoints[name]; ok && em.LatencyMS != nil {
+			fmt.Printf("  %-8s %3d requests, p50 %.2f ms, p99 %.2f ms\n",
+				name, em.Requests, em.LatencyMS.P50, em.LatencyMS.P99)
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	return store.Close()
+}

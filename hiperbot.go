@@ -45,6 +45,7 @@ package hiperbot
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/dataset"
@@ -172,21 +173,18 @@ func Importance(h *History, cfg SurrogateConfig) (names []string, scores []float
 	}
 	raw := s.Importance()
 	sp := h.Space()
-	names = make([]string, sp.NumParams())
-	for i := range names {
-		names[i] = sp.Param(i).Name
+	// Stable sort over an index permutation: ties keep parameter
+	// declaration order, so the ranking is deterministic.
+	order := make([]int, len(raw))
+	for i := range order {
+		order[i] = i
 	}
-	// Selection sort by descending score (tiny n).
-	scores = append([]float64(nil), raw...)
-	for i := range scores {
-		best := i
-		for j := i + 1; j < len(scores); j++ {
-			if scores[j] > scores[best] {
-				best = j
-			}
-		}
-		scores[i], scores[best] = scores[best], scores[i]
-		names[i], names[best] = names[best], names[i]
+	sort.SliceStable(order, func(a, b int) bool { return raw[order[a]] > raw[order[b]] })
+	names = make([]string, len(order))
+	scores = make([]float64, len(order))
+	for rank, i := range order {
+		names[rank] = sp.Param(i).Name
+		scores[rank] = raw[i]
 	}
 	return names, scores, nil
 }
@@ -213,7 +211,17 @@ func LoadHistory(sp *Space, r io.Reader) (*History, error) {
 }
 
 // LoadSpace reconstructs a Space from the JSON written by
-// Space.MarshalJSON (constraints are not serialized).
+// Space.MarshalJSON.
+//
+// Constraint predicates are code, not data: they are NOT serialized,
+// so the returned Space is always unconstrained even when the
+// original was built with WithConstraint. Callers that need the
+// constraint must re-impose it with WithConstraint after loading;
+// otherwise the tuner may propose configurations the real application
+// cannot run. The hiperbotd server makes this limitation explicit by
+// rejecting observed configurations that fail validity checks with a
+// 400 response (and documents that embedders with constrained spaces
+// should create sessions programmatically, not over the wire).
 func LoadSpace(data []byte) (*Space, error) {
 	return space.SpaceFromJSON(data)
 }

@@ -212,3 +212,96 @@ func TestMinimizeBatched(t *testing.T) {
 		t.Fatalf("batched best = %+v", best)
 	}
 }
+
+// TestImportanceTieOrder pins the tie-breaking of Importance: exactly
+// tied scores keep parameter declaration order (stable sort over an
+// index permutation), so rankings are deterministic run to run.
+func TestImportanceTieOrder(t *testing.T) {
+	// twin1 and twin2 always carry identical level patterns, so their
+	// good/bad densities — and hence their JS divergences — are
+	// exactly equal. matters drives the objective and must rank first.
+	sp := NewSpace(
+		Discrete("twin1", "a", "b", "c"),
+		Discrete("matters", "p", "q", "r"),
+		Discrete("twin2", "a", "b", "c"),
+	)
+	h := NewHistory(sp)
+	for i := 0; i < 27; i++ {
+		twin := float64(i % 3)
+		c := Config{twin, float64((i / 3) % 3), twin}
+		if !h.Contains(c) {
+			h.MustAdd(c, float64((i/3)%3)*10+float64(i)*1e-3)
+		}
+	}
+	names, scores, err := Importance(h, SurrogateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "matters" {
+		t.Fatalf("ranking = %v (%v), want matters first", names, scores)
+	}
+	if scores[1] != scores[2] {
+		t.Fatalf("twins scored %v vs %v, expected an exact tie", scores[1], scores[2])
+	}
+	if names[1] != "twin1" || names[2] != "twin2" {
+		t.Fatalf("tied parameters ordered %v, want declaration order twin1, twin2", names[1:])
+	}
+}
+
+// TestSpaceJSONFullRoundTrip round-trips a space with every parameter
+// kind through MarshalJSON/LoadSpace and checks the limitation the
+// doc comment promises: constraints are dropped on serialization.
+func TestSpaceJSONFullRoundTrip(t *testing.T) {
+	sp := NewSpace(
+		Discrete("layout", "rowmajor", "colmajor", "tiled"),
+		DiscreteInts("threads", 1, 2, 4, 8),
+		DiscreteFloats("cap", 0.5, 1.0, 1.5),
+		Continuous("frac", 0.1, 0.9),
+	)
+	data, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSpace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("JSON round trip not stable:\n%s\n%s", data, data2)
+	}
+	if back.NumParams() != 4 {
+		t.Fatalf("round trip lost parameters: %d", back.NumParams())
+	}
+	for i := 0; i < sp.NumParams(); i++ {
+		if sp.Param(i).Name != back.Param(i).Name || sp.Param(i).Kind != back.Param(i).Kind {
+			t.Fatalf("param %d changed: %+v -> %+v", i, sp.Param(i), back.Param(i))
+		}
+	}
+
+	// Constraints are code, not data: a constrained space loads back
+	// unconstrained (documented on LoadSpace; the server compensates
+	// by validating observed configs).
+	constrained := sp.WithConstraint(func(c Config) bool { return c[0] != 0 })
+	cdata, err := json.Marshal(constrained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cdata) != string(data) {
+		t.Fatalf("constraint leaked into JSON:\n%s\n%s", cdata, data)
+	}
+	cback, err := LoadSpace(cdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forbidden := Config{0, 0, 0, 0.5}
+	if constrained.Valid(forbidden) {
+		t.Fatal("test setup: constraint should forbid layout=rowmajor")
+	}
+	if !cback.Valid(forbidden) {
+		t.Fatal("deserialized space should be unconstrained (documented limitation)")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Ask/tell driving: the Tuner's SelectBatch/Observe pair already
+// decouples selection from evaluation, but a long-running service
+// needs one more piece of bookkeeping — *leases*. A worker that asks
+// for candidates may crash before reporting results; without leases
+// its candidates would either be re-suggested to the next worker
+// (duplicate work) or stranded forever (lost coverage). AskTell
+// tracks every outstanding candidate with a deadline: while the lease
+// is live the candidate is never handed out again, and once it
+// expires the candidate silently returns to the pool.
+//
+// AskTell is not safe for concurrent use; callers (the hiperbotd
+// session layer) serialize access with their own lock.
+
+// Lease records one outstanding candidate: handed to a caller of Ask,
+// not yet reported through Tell.
+type Lease struct {
+	// Config is the leased candidate.
+	Config space.Config
+	// Expires is the deadline after which the lease lapses and the
+	// candidate may be suggested again. The zero time never expires.
+	Expires time.Time
+}
+
+// AskTell wraps a Tuner with lease bookkeeping for service-style
+// driving: Ask leases candidates, Tell reports results (idempotently)
+// and releases the matching lease.
+type AskTell struct {
+	t      *Tuner
+	leases map[string]Lease
+}
+
+// NewAskTell wraps t. The tuner must not be driven through Step/Run
+// concurrently with Ask/Tell.
+func NewAskTell(t *Tuner) *AskTell {
+	return &AskTell{t: t, leases: make(map[string]Lease)}
+}
+
+// Tuner returns the wrapped tuner.
+func (a *AskTell) Tuner() *Tuner { return a.t }
+
+// InitialPhase reports whether the tuner is still collecting its
+// initial random samples (during which Ask returns uniform draws
+// rather than surrogate-guided selections).
+func (a *AskTell) InitialPhase() bool {
+	return a.t.Evaluations() < a.t.InitialSamples()
+}
+
+// Leases returns the number of outstanding (non-expired) leases as of
+// now.
+func (a *AskTell) Leases(now time.Time) int {
+	a.expire(now)
+	return len(a.leases)
+}
+
+// expire drops every lease whose deadline has passed.
+func (a *AskTell) expire(now time.Time) {
+	for key, l := range a.leases {
+		if !l.Expires.IsZero() && now.After(l.Expires) {
+			delete(a.leases, key)
+		}
+	}
+}
+
+// Ask leases up to k distinct, not-yet-evaluated, not-currently-leased
+// configurations. During the initial phase candidates are uniform
+// random draws; afterwards they come from SelectBatch (requested with
+// enough headroom that filtering out live leases still fills the
+// batch). ttl <= 0 leases forever. A short (or empty) result means
+// the unevaluated pool net of live leases is smaller than k.
+func (a *AskTell) Ask(k int, ttl time.Duration, now time.Time) ([]space.Config, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: Ask with k < 1")
+	}
+	a.expire(now)
+	leased := func(c space.Config) bool {
+		_, ok := a.leases[a.t.sp.Key(c)]
+		return ok
+	}
+
+	var picks []space.Config
+	if a.InitialPhase() {
+		var err error
+		picks, err = a.t.SelectInitial(k, leased)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		batch, err := a.t.SelectBatch(k + len(a.leases))
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range batch {
+			if len(picks) >= k {
+				break
+			}
+			if !leased(c) {
+				picks = append(picks, c)
+			}
+		}
+	}
+
+	deadline := time.Time{}
+	if ttl > 0 {
+		deadline = now.Add(ttl)
+	}
+	for _, c := range picks {
+		a.leases[a.t.sp.Key(c)] = Lease{Config: c.Clone(), Expires: deadline}
+	}
+	return picks, nil
+}
+
+// Tell reports an evaluated configuration and releases its lease (if
+// any). Duplicate reports of an already-evaluated configuration are
+// idempotent: they release the lease and return added=false with no
+// error, so retried deliveries from workers are harmless. The
+// configuration need not have been leased — unsolicited results are
+// folded in too. Structurally invalid configurations error without
+// touching the history.
+func (a *AskTell) Tell(c space.Config, value float64) (added bool, err error) {
+	if err := a.t.sp.Check(c); err != nil {
+		return false, err
+	}
+	key := a.t.sp.Key(c)
+	if a.t.history.Contains(c) {
+		delete(a.leases, key)
+		return false, nil
+	}
+	if err := a.t.Observe(c, value); err != nil {
+		return false, err
+	}
+	delete(a.leases, key)
+	return true, nil
+}

@@ -165,6 +165,10 @@ func (t *Tuner) StrategyInUse() Strategy { return t.strategy }
 // Evaluations returns the number of objective evaluations so far.
 func (t *Tuner) Evaluations() int { return t.history.Len() }
 
+// InitialSamples returns the size of the initial random-sampling
+// phase (Options.InitialSamples after defaulting).
+func (t *Tuner) InitialSamples() int { return t.opts.InitialSamples }
+
 // Best returns the best observation so far; panics before any
 // evaluation.
 func (t *Tuner) Best() Observation { return t.history.Best() }
@@ -278,6 +282,51 @@ func (t *Tuner) sampleInitial() (space.Config, error) {
 		}
 	}
 	return nil, fmt.Errorf("core: could not draw an unevaluated initial sample")
+}
+
+// SelectInitial returns up to k distinct not-yet-evaluated
+// configurations drawn uniformly at random, without evaluating them —
+// the ask/tell counterpart of the initial sampling phase, for callers
+// (e.g. AskTell) that hand candidates to external workers. skip, when
+// non-nil, excludes further configurations (such as currently leased
+// ones). A short result means the pool net of skips has fewer than k
+// configurations left.
+func (t *Tuner) SelectInitial(k int, skip func(space.Config) bool) ([]space.Config, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: SelectInitial with k < 1")
+	}
+	if t.strategy == Ranking {
+		avail := make([]int, 0, len(t.remaining))
+		for _, idx := range t.remaining {
+			if skip == nil || !skip(t.candidates[idx]) {
+				avail = append(avail, idx)
+			}
+		}
+		if k > len(avail) {
+			k = len(avail)
+		}
+		out := make([]space.Config, 0, k)
+		for len(out) < k {
+			pick := t.rng.Intn(len(avail))
+			out = append(out, t.candidates[avail[pick]])
+			avail[pick] = avail[len(avail)-1]
+			avail = avail[:len(avail)-1]
+		}
+		return out, nil
+	}
+	const maxTries = 100000
+	var out []space.Config
+	seen := make(map[string]bool, k)
+	for try := 0; try < maxTries && len(out) < k; try++ {
+		c := t.sp.Sample(t.rng)
+		key := t.sp.Key(c)
+		if t.history.Contains(c) || seen[key] || (skip != nil && skip(c)) {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // markEvaluated removes c from the Ranking candidate pool in O(1).

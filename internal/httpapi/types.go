@@ -1,0 +1,157 @@
+// Package httpapi defines the JSON wire types of the hiperbotd
+// tuning service, shared by the server (internal/server) and the
+// typed Go client (client). Keeping one definition per message on
+// both sides of the wire makes protocol drift a compile error.
+//
+// Configurations travel as name→label maps (see space.Labels): level
+// labels for discrete parameters, decimal renderings for continuous
+// ones — the same schema the Recorder journals use.
+package httpapi
+
+import "encoding/json"
+
+// SessionOptions is the JSON-serializable subset of core.Options plus
+// the surrogate hyperparameters. Zero fields take the paper defaults
+// (20 initial samples, α = 0.20, Ranking on finite spaces).
+type SessionOptions struct {
+	// InitialSamples seeds the history with uniform random draws.
+	InitialSamples int `json:"initial_samples,omitempty"`
+	// Seed drives all pseudo-randomness of the session.
+	Seed uint64 `json:"seed,omitempty"`
+	// Strategy is "ranking" or "proposal" ("" picks automatically).
+	Strategy string `json:"strategy,omitempty"`
+	// ProposalCandidates is the pg-sample count per proposal step.
+	ProposalCandidates int `json:"proposal_candidates,omitempty"`
+	// Quantile is α, the good fraction of the history.
+	Quantile float64 `json:"quantile,omitempty"`
+	// Smoothing is the Laplace pseudo-count for discrete histograms.
+	Smoothing float64 `json:"smoothing,omitempty"`
+	// Bandwidth is the KDE bandwidth (<= 0 selects Scott's rule).
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// Bins discretizes continuous densities for importance analysis.
+	Bins int `json:"bins,omitempty"`
+}
+
+// CreateSessionRequest creates a named tuning session.
+type CreateSessionRequest struct {
+	// Name optionally fixes the session id ([A-Za-z0-9._-]); empty
+	// lets the server generate one.
+	Name string `json:"name,omitempty"`
+	// Space is the parameter space in Space.MarshalJSON form. Note
+	// that constraints are not serializable: the server tunes the
+	// unconstrained space (see hiperbot.LoadSpace).
+	Space json.RawMessage `json:"space"`
+	// Options configures the tuner.
+	Options SessionOptions `json:"options"`
+}
+
+// CreateSessionResponse acknowledges session creation.
+type CreateSessionResponse struct {
+	ID string `json:"id"`
+}
+
+// Result pairs a configuration with its measured objective value
+// (lower is better).
+type Result struct {
+	Config map[string]string `json:"config"`
+	Value  float64           `json:"value"`
+}
+
+// SuggestRequest leases candidates to evaluate.
+type SuggestRequest struct {
+	// Count is the number of candidates wanted (default 1).
+	Count int `json:"count,omitempty"`
+	// LeaseSeconds bounds how long the candidates stay reserved for
+	// this caller before crashed workers forfeit them (default: the
+	// server's -lease flag; <0 leases forever).
+	LeaseSeconds float64 `json:"lease_seconds,omitempty"`
+}
+
+// SuggestResponse returns the leased candidates.
+type SuggestResponse struct {
+	// Candidates holds up to Count configurations; fewer (or none)
+	// when the unevaluated pool net of live leases is smaller.
+	Candidates []map[string]string `json:"candidates"`
+	// Phase is "initial" while the session collects random samples,
+	// then "model" once selection is surrogate-guided.
+	Phase string `json:"phase"`
+	// Exhausted reports that no unleased, unevaluated configurations
+	// remain.
+	Exhausted bool `json:"exhausted,omitempty"`
+}
+
+// ObserveRequest reports evaluated results. Reporting a configuration
+// that is already in the history is idempotent (counted in
+// Duplicates, not an error), so workers may retry safely.
+type ObserveRequest struct {
+	Results []Result `json:"results"`
+}
+
+// ObserveResponse acknowledges folded-in results.
+type ObserveResponse struct {
+	Added       int     `json:"added"`
+	Duplicates  int     `json:"duplicates"`
+	Evaluations int     `json:"evaluations"`
+	Best        *Result `json:"best,omitempty"`
+}
+
+// ImportanceEntry is one parameter's Jensen-Shannon importance score.
+type ImportanceEntry struct {
+	Param string  `json:"param"`
+	Score float64 `json:"score"`
+}
+
+// SessionInfo describes one session's progress.
+type SessionInfo struct {
+	ID             string            `json:"id"`
+	Evaluations    int               `json:"evaluations"`
+	InitialSamples int               `json:"initial_samples"`
+	Phase          string            `json:"phase"`
+	Strategy       string            `json:"strategy"`
+	ActiveLeases   int               `json:"active_leases"`
+	Best           *Result           `json:"best,omitempty"`
+	Importance     []ImportanceEntry `json:"importance,omitempty"`
+	CreatedAt      string            `json:"created_at,omitempty"`
+}
+
+// SessionListResponse lists all live sessions.
+type SessionListResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+}
+
+// LatencySummary summarizes request latencies in milliseconds over a
+// sliding window.
+type LatencySummary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// EndpointMetrics counts one endpoint's traffic.
+type EndpointMetrics struct {
+	Requests  int64           `json:"requests"`
+	Errors    int64           `json:"errors"`
+	LatencyMS *LatencySummary `json:"latency_ms,omitempty"`
+}
+
+// MetricsResponse is the /metrics payload.
+type MetricsResponse struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Sessions      int                        `json:"sessions"`
+	Evaluations   int64                      `json:"evaluations"`
+	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+}
+
+// ErrorResponse carries a non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// TestConcurrentSuggestObserve drives one session from 8 goroutines
+// mixing Suggest and Observe — the shape of many cluster workers
+// hammering one campaign. Run with -race. Asserts: no configuration
+// is ever evaluated twice, and the best-so-far trajectory is
+// monotone non-increasing.
+func TestConcurrentSuggestObserve(t *testing.T) {
+	store, err := OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	sp := space.New(
+		space.DiscreteInts("x", 0, 1, 2, 3, 4, 5, 6, 7),
+		space.DiscreteInts("y", 0, 1, 2, 3, 4, 5, 6, 7),
+		space.DiscreteInts("z", 0, 1, 2, 3),
+	)
+	sess, err := store.CreateWithSpace("hammer", sp, nil, httpapi.SessionOptions{
+		Seed: 42, InitialSamples: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := func(c space.Config) float64 {
+		return (c[0]-3)*(c[0]-3) + (c[1]-5)*(c[1]-5) + (c[2]-1)*(c[2]-1)
+	}
+
+	const (
+		workers = 8
+		target  = 96
+	)
+	var (
+		mu        sync.Mutex
+		evaluated = make(map[string]int) // key -> times observed as added
+		total     int
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := 1 + w%3 // mix single and batched asks
+			for {
+				mu.Lock()
+				done := total >= target
+				mu.Unlock()
+				if done {
+					return
+				}
+				picks, _, err := sess.Suggest(batch, time.Minute)
+				if err != nil {
+					t.Errorf("worker %d: suggest: %v", w, err)
+					return
+				}
+				if len(picks) == 0 {
+					return // pool exhausted
+				}
+				for _, c := range picks {
+					added, err := sess.Observe(c, value(c))
+					if err != nil {
+						t.Errorf("worker %d: observe: %v", w, err)
+						return
+					}
+					if added {
+						mu.Lock()
+						evaluated[sp.Key(c)]++
+						total++
+						mu.Unlock()
+					}
+					// Every worker also retries one delivery to
+					// exercise idempotency under contention.
+					if added, err := sess.Observe(c, value(c)); err != nil || added {
+						t.Errorf("worker %d: duplicate observe added=%v err=%v", w, added, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for key, n := range evaluated {
+		if n != 1 {
+			t.Fatalf("config %s evaluated %d times", key, n)
+		}
+	}
+	info := sess.Info()
+	if info.Evaluations != len(evaluated) {
+		t.Fatalf("history holds %d evaluations, workers added %d distinct configs",
+			info.Evaluations, len(evaluated))
+	}
+	if info.Evaluations < target {
+		t.Fatalf("drove %d evaluations, want >= %d", info.Evaluations, target)
+	}
+
+	// Monotone best-so-far over the evaluation order.
+	traj := sess.at.Tuner().History().BestTrajectory()
+	for i := 1; i < len(traj); i++ {
+		if traj[i] > traj[i-1] {
+			t.Fatalf("best-so-far regressed at step %d: %v -> %v", i, traj[i-1], traj[i])
+		}
+	}
+	if best := sess.at.Tuner().Best(); best.Value != 0 {
+		t.Logf("best found: %v (optimum 0 not reached in %d evals — acceptable)", best.Value, info.Evaluations)
+	}
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Session state is event-sourced to one JSONL journal per session:
+// the first line is a create header (id, space JSON, options), every
+// further line is a core.RecorderEvent appended by the Recorder wired
+// into the tuner's OnStep hook — the same schema `hiperbot -record`
+// streams, so existing tooling can tail a live session journal. On
+// restart the store replays each journal: rebuild the space and
+// options from the header, parse the events back into a History via
+// space.FromLabels, and hand it to Tuner.Resume, which removes every
+// resumed configuration from the candidate pool so no evaluation is
+// ever repeated.
+
+// journalHeader is the first line of a session journal.
+type journalHeader struct {
+	Event     string                 `json:"event"` // always "create"
+	ID        string                 `json:"id"`
+	Space     json.RawMessage        `json:"space"`
+	Options   httpapi.SessionOptions `json:"options"`
+	CreatedAt string                 `json:"created_at,omitempty"`
+}
+
+// writeHeader appends the create header to w.
+func writeHeader(w io.Writer, h journalHeader) error {
+	h.Event = "create"
+	return json.NewEncoder(w).Encode(h)
+}
+
+// readJournal parses a session journal: the header plus the replayed
+// observation history (nil when the session has no evaluations yet).
+func readJournal(r io.Reader) (journalHeader, *space.Space, *core.History, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil && (err != io.EOF || len(line) == 0) {
+		return journalHeader{}, nil, nil, fmt.Errorf("server: reading journal header: %w", err)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return journalHeader{}, nil, nil, fmt.Errorf("server: parsing journal header: %w", err)
+	}
+	if hdr.Event != "create" {
+		return journalHeader{}, nil, nil, fmt.Errorf("server: journal does not start with a create event (got %q)", hdr.Event)
+	}
+	sp2, err := space.SpaceFromJSON(hdr.Space)
+	if err != nil {
+		return journalHeader{}, nil, nil, fmt.Errorf("server: journal space: %w", err)
+	}
+	events, err := core.ReadEvents(br)
+	if err != nil {
+		return journalHeader{}, nil, nil, err
+	}
+	if len(events) == 0 {
+		return hdr, sp2, nil, nil
+	}
+	h := core.NewHistory(sp2)
+	for _, ev := range events {
+		c, err := sp2.FromLabels(ev.Config)
+		if err != nil {
+			return journalHeader{}, nil, nil, fmt.Errorf("server: journal event %d: %w", ev.Iteration, err)
+		}
+		if err := h.Add(c, ev.Value); err != nil {
+			return journalHeader{}, nil, nil, fmt.Errorf("server: journal event %d: %w", ev.Iteration, err)
+		}
+	}
+	return hdr, sp2, h, nil
+}
+
+// openJournal opens (creating if needed) a session's journal file for
+// appending.
+func openJournal(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}

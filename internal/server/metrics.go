@@ -1,0 +1,91 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// Metrics counts per-endpoint requests/errors and keeps a sliding
+// window of request latencies, summarized on demand with
+// internal/stats (mean + quantiles). The snapshot doubles as the
+// /metrics payload and as an expvar.Func value (see cmd/hiperbotd),
+// so both human curl and standard expvar scrapers see the same data.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointStats
+}
+
+// latencyWindow bounds the per-endpoint latency reservoir: big enough
+// for stable quantiles, small enough to stay O(1) memory per endpoint.
+const latencyWindow = 1024
+
+type endpointStats struct {
+	requests int64
+	errors   int64
+	lat      []float64 // ring buffer of recent latencies (ms)
+	pos      int
+	full     bool
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+// Observe records one request against the named endpoint.
+func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[endpoint]
+	if e == nil {
+		e = &endpointStats{lat: make([]float64, 0, latencyWindow)}
+		m.endpoints[endpoint] = e
+	}
+	e.requests++
+	if status >= 400 {
+		e.errors++
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	if len(e.lat) < latencyWindow {
+		e.lat = append(e.lat, ms)
+	} else {
+		e.lat[e.pos] = ms
+		e.pos = (e.pos + 1) % latencyWindow
+		e.full = true
+	}
+}
+
+// Snapshot renders the current counters and latency summaries.
+func (m *Metrics) Snapshot(sessions int, evaluations int64) httpapi.MetricsResponse {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := httpapi.MetricsResponse{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Sessions:      sessions,
+		Evaluations:   evaluations,
+		Endpoints:     make(map[string]httpapi.EndpointMetrics, len(m.endpoints)),
+	}
+	for name, e := range m.endpoints {
+		em := httpapi.EndpointMetrics{Requests: e.requests, Errors: e.errors}
+		if len(e.lat) > 0 {
+			sorted := append([]float64(nil), e.lat...)
+			sort.Float64s(sorted)
+			sum := stats.Summarize(sorted)
+			em.LatencyMS = &httpapi.LatencySummary{
+				N:    sum.N,
+				Mean: sum.Mean,
+				P50:  stats.QuantileSorted(sorted, 0.50),
+				P90:  stats.QuantileSorted(sorted, 0.90),
+				P99:  stats.QuantileSorted(sorted, 0.99),
+				Max:  sum.Max,
+			}
+		}
+		out.Endpoints[name] = em
+	}
+	return out
+}

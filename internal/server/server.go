@@ -1,0 +1,256 @@
+// Package server implements hiperbotd, the tuning-as-a-service HTTP
+// daemon: many named tuning sessions hosted concurrently behind an
+// ask/tell JSON API, with per-lease deadlines so crashed workers
+// don't strand candidates, per-session JSONL journals so a restarted
+// daemon resumes every campaign without losing evaluations, and
+// built-in request metrics.
+//
+// Endpoints:
+//
+//	POST   /v1/sessions               create a session from Space JSON + options
+//	GET    /v1/sessions               list sessions
+//	GET    /v1/sessions/{id}          progress: best-so-far, counts, importance
+//	DELETE /v1/sessions/{id}          drop a session and its journal
+//	POST   /v1/sessions/{id}/suggest  lease a batch of candidates
+//	POST   /v1/sessions/{id}/observe  report results (idempotent)
+//	GET    /healthz                   liveness
+//	GET    /metrics                   request counters + latency summaries
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Server is the HTTP front-end over a session Store. It implements
+// http.Handler.
+type Server struct {
+	store   *Store
+	metrics *Metrics
+	mux     *http.ServeMux
+	logf    func(format string, args ...any)
+
+	// DefaultLease bounds candidate leases when a suggest request
+	// doesn't set lease_seconds.
+	DefaultLease time.Duration
+	// MaxBatch caps the candidate count of one suggest call.
+	MaxBatch int
+}
+
+// New builds a server over store. logger may be nil.
+func New(store *Store, logger *log.Logger) *Server {
+	s := &Server{
+		store:        store,
+		metrics:      NewMetrics(),
+		mux:          http.NewServeMux(),
+		DefaultLease: 10 * time.Minute,
+		MaxBatch:     256,
+		logf:         func(string, ...any) {},
+	}
+	if logger != nil {
+		s.logf = logger.Printf
+	}
+	s.route("POST /v1/sessions", "create", s.handleCreate)
+	s.route("GET /v1/sessions", "list", s.handleList)
+	s.route("GET /v1/sessions/{id}", "status", s.handleStatus)
+	s.route("DELETE /v1/sessions/{id}", "delete", s.handleDelete)
+	s.route("POST /v1/sessions/{id}/suggest", "suggest", s.handleSuggest)
+	s.route("POST /v1/sessions/{id}/observe", "observe", s.handleObserve)
+	s.route("GET /healthz", "healthz", s.handleHealth)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
+	return s
+}
+
+// Metrics exposes the request-metrics registry (e.g. for expvar
+// publication by the daemon binary).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// MetricsSnapshot renders the current metrics payload.
+func (s *Server) MetricsSnapshot() httpapi.MetricsResponse {
+	return s.metrics.Snapshot(s.store.Len(), s.store.Evaluations())
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// route installs a handler wrapped with metrics accounting.
+func (s *Server) route(pattern, name string, h func(w http.ResponseWriter, r *http.Request) (int, error)) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status, err := h(w, r)
+		if err != nil {
+			writeJSON(w, status, httpapi.ErrorResponse{Error: err.Error()})
+			s.logf("hiperbotd: %s %s -> %d: %v", r.Method, r.URL.Path, status, err)
+		}
+		s.metrics.Observe(name, status, time.Since(start))
+	})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req httpapi.CreateSessionRequest
+	if err := decodeBody(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if len(req.Space) == 0 {
+		return http.StatusBadRequest, fmt.Errorf("server: create request without a space")
+	}
+	sess, err := s.store.Create(req.Name, req.Space, req.Options)
+	switch {
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict, err
+	case err != nil:
+		return http.StatusBadRequest, err
+	}
+	s.logf("hiperbotd: created session %s (%d params)", sess.ID(), sess.Space().NumParams())
+	writeJSON(w, http.StatusCreated, httpapi.CreateSessionResponse{ID: sess.ID()})
+	return http.StatusCreated, nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) (int, error) {
+	resp := httpapi.SessionListResponse{Sessions: []httpapi.SessionInfo{}}
+	for _, sess := range s.store.List() {
+		resp.Sessions = append(resp.Sessions, sess.Info())
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) (int, error) {
+	sess, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		return http.StatusNotFound, err
+	}
+	writeJSON(w, http.StatusOK, sess.Info())
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) (int, error) {
+	id := r.PathValue("id")
+	if err := s.store.Delete(id); err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return http.StatusNotFound, err
+		}
+		return http.StatusInternalServerError, err
+	}
+	s.logf("hiperbotd: deleted session %s", id)
+	w.WriteHeader(http.StatusNoContent)
+	return http.StatusNoContent, nil
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) (int, error) {
+	sess, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		return http.StatusNotFound, err
+	}
+	var req httpapi.SuggestRequest
+	if err := decodeBody(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	count := req.Count
+	if count == 0 {
+		count = 1
+	}
+	if count < 0 || count > s.MaxBatch {
+		return http.StatusBadRequest, fmt.Errorf("server: count %d outside [1,%d]", count, s.MaxBatch)
+	}
+	ttl := s.DefaultLease
+	if req.LeaseSeconds != 0 {
+		ttl = time.Duration(req.LeaseSeconds * float64(time.Second))
+	}
+	picks, phase, err := sess.Suggest(count, ttl)
+	if err != nil {
+		return http.StatusConflict, err
+	}
+	resp := httpapi.SuggestResponse{
+		Candidates: make([]map[string]string, len(picks)),
+		Phase:      phase,
+		Exhausted:  len(picks) == 0,
+	}
+	for i, c := range picks {
+		resp.Candidates[i] = sess.Space().Labels(c)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) (int, error) {
+	sess, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		return http.StatusNotFound, err
+	}
+	var req httpapi.ObserveRequest
+	if err := decodeBody(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if len(req.Results) == 0 {
+		return http.StatusBadRequest, fmt.Errorf("server: observe request without results")
+	}
+	// Parse and validate every configuration up front so a malformed
+	// entry rejects the whole batch instead of half-applying it.
+	configs := make([]space.Config, len(req.Results))
+	for i, res := range req.Results {
+		c, err := sess.Space().FromLabels(res.Config)
+		if err != nil {
+			return http.StatusBadRequest, fmt.Errorf("server: result %d: %w", i, err)
+		}
+		configs[i] = c
+	}
+	var resp httpapi.ObserveResponse
+	for i, c := range configs {
+		added, err := sess.Observe(c, req.Results[i].Value)
+		var inv *InvalidConfigError
+		switch {
+		case errors.As(err, &inv):
+			return http.StatusBadRequest, fmt.Errorf("server: result %d: %w", i, err)
+		case err != nil:
+			return http.StatusInternalServerError, err
+		case added:
+			resp.Added++
+		default:
+			resp.Duplicates++
+		}
+	}
+	info := sess.Info()
+	resp.Evaluations = info.Evaluations
+	resp.Best = info.Best
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) (int, error) {
+	writeJSON(w, http.StatusOK, httpapi.HealthResponse{Status: "ok", Sessions: s.store.Len()})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (int, error) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	return http.StatusOK, nil
+}
+
+// decodeBody strictly parses a JSON request body. An empty body
+// decodes to the zero value (suggest with all defaults).
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil // empty body: all defaults
+		}
+		return fmt.Errorf("server: bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

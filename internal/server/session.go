@@ -1,0 +1,161 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Session is one named tuning campaign hosted by the daemon: a Tuner
+// wrapped in lease bookkeeping (core.AskTell), guarded by a per-session
+// RWMutex so suggest/observe calls from many workers interleave
+// safely, and journaled to a JSONL file so a restarted daemon resumes
+// it without losing evaluations.
+type Session struct {
+	id      string
+	sp      *space.Space
+	opts    httpapi.SessionOptions
+	created time.Time
+
+	mu   sync.RWMutex
+	at   *core.AskTell
+	rec  *core.Recorder // journal appender (nil for in-memory stores)
+	file *os.File       // journal backing file (nil for in-memory)
+}
+
+// ID returns the session id.
+func (s *Session) ID() string { return s.id }
+
+// Space returns the session's parameter space.
+func (s *Session) Space() *space.Space { return s.sp }
+
+// Suggest leases up to k candidates for evaluation. ttl bounds the
+// lease; ttl <= 0 leases forever.
+func (s *Session) Suggest(k int, ttl time.Duration) ([]space.Config, string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	phase := phaseName(s.at.InitialPhase())
+	picks, err := s.at.Ask(k, ttl, time.Now())
+	if err != nil {
+		return nil, phase, err
+	}
+	return picks, phase, nil
+}
+
+// Observe validates and folds in one evaluated result. Configurations
+// already in the history are idempotent duplicates (added=false, no
+// error); invalid configurations return an *InvalidConfigError.
+func (s *Session) Observe(c space.Config, value float64) (added bool, err error) {
+	if err := s.checkValid(c); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added, err = s.at.Tell(c, value)
+	if err != nil {
+		return false, err
+	}
+	if s.rec != nil {
+		if jerr := s.rec.Err(); jerr != nil {
+			return added, fmt.Errorf("server: journal write failed: %w", jerr)
+		}
+	}
+	return added, nil
+}
+
+// InvalidConfigError marks a structurally invalid or
+// constraint-violating configuration; the HTTP layer maps it to 400.
+type InvalidConfigError struct{ Reason error }
+
+// Error implements error.
+func (e *InvalidConfigError) Error() string { return e.Reason.Error() }
+
+// Unwrap exposes the underlying cause.
+func (e *InvalidConfigError) Unwrap() error { return e.Reason }
+
+// checkValid enforces both structural validity and the space's
+// constraint predicate. Spaces decoded from JSON are always
+// unconstrained (constraints are code, not data — see
+// hiperbot.LoadSpace), so for HTTP-created sessions only the
+// structural check can fire; embedded stores with constrained spaces
+// get the full check.
+func (s *Session) checkValid(c space.Config) error {
+	if err := s.sp.Check(c); err != nil {
+		return &InvalidConfigError{Reason: err}
+	}
+	if !s.sp.Valid(c) {
+		return &InvalidConfigError{Reason: fmt.Errorf(
+			"space: configuration %s violates the space constraint (constraints are not part of Space JSON; re-impose them when embedding the store)",
+			s.sp.Describe(c))}
+	}
+	return nil
+}
+
+// Info snapshots the session's progress. Importance is computed from
+// a freshly fitted surrogate once the initial phase is complete.
+func (s *Session) Info() httpapi.SessionInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.at.Tuner()
+	info := httpapi.SessionInfo{
+		ID:             s.id,
+		Evaluations:    t.Evaluations(),
+		InitialSamples: t.InitialSamples(),
+		Phase:          phaseName(s.at.InitialPhase()),
+		Strategy:       t.StrategyInUse().String(),
+		ActiveLeases:   s.at.Leases(time.Now()),
+		CreatedAt:      s.created.UTC().Format(time.RFC3339),
+	}
+	if t.Evaluations() > 0 {
+		best := t.Best()
+		info.Best = &httpapi.Result{Config: s.sp.Labels(best.Config), Value: best.Value}
+	}
+	if !s.at.InitialPhase() {
+		if sur, err := core.BuildSurrogate(t.History(), coreSurrogateConfig(s.opts)); err == nil {
+			info.Importance = importanceEntries(s.sp, sur)
+		}
+	}
+	return info
+}
+
+// importanceEntries ranks parameters by JS divergence, descending,
+// with ties kept in declaration order.
+func importanceEntries(sp *space.Space, sur *core.Surrogate) []httpapi.ImportanceEntry {
+	raw := sur.Importance()
+	order := make([]int, len(raw))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return raw[order[a]] > raw[order[b]] })
+	out := make([]httpapi.ImportanceEntry, len(order))
+	for rank, i := range order {
+		out[rank] = httpapi.ImportanceEntry{Param: sp.Param(i).Name, Score: raw[i]}
+	}
+	return out
+}
+
+// close releases the journal handle.
+func (s *Session) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	err := s.file.Close()
+	s.file = nil
+	s.rec = nil
+	return err
+}
+
+func phaseName(initial bool) string {
+	if initial {
+		return "initial"
+	}
+	return "model"
+}

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Store owns the daemon's sessions: creation, lookup, deletion, and
+// durability. With a data directory every session is journaled and
+// OpenStore resumes all of them after a restart; with an empty
+// directory the store is purely in-memory (tests, examples).
+type Store struct {
+	dir string
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// ErrNotFound reports an unknown session id.
+var ErrNotFound = fmt.Errorf("server: no such session")
+
+// ErrExists reports a session-id collision on create.
+var ErrExists = fmt.Errorf("server: session already exists")
+
+var validID = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// OpenStore opens (creating if needed) a session store rooted at dir
+// and resumes every journaled session found there. dir == "" yields a
+// volatile in-memory store.
+func OpenStore(dir string) (*Store, error) {
+	st := &Store{dir: dir, sessions: make(map[string]*Session)}
+	if dir == "" {
+		return st, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		if err := st.resume(filepath.Join(dir, e.Name())); err != nil {
+			return nil, fmt.Errorf("server: resuming %s: %w", e.Name(), err)
+		}
+	}
+	return st, nil
+}
+
+// resume rebuilds one session from its journal.
+func (st *Store) resume(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	hdr, sp, hist, err := readJournal(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	created := time.Now()
+	if t, err := time.Parse(time.RFC3339, hdr.CreatedAt); err == nil {
+		created = t
+	}
+	sess, err := st.newSession(hdr.ID, sp, hdr.Options, created, path, false, hdr.Space)
+	if err != nil {
+		return err
+	}
+	if hist != nil {
+		if err := sess.at.Tuner().Resume(hist); err != nil {
+			sess.close()
+			return err
+		}
+	}
+	st.sessions[hdr.ID] = sess
+	return nil
+}
+
+// Create builds a new session from a serialized space. name == ""
+// generates an id.
+func (st *Store) Create(name string, spaceJSON json.RawMessage, opts httpapi.SessionOptions) (*Session, error) {
+	sp, err := space.SpaceFromJSON(spaceJSON)
+	if err != nil {
+		return nil, err
+	}
+	return st.CreateWithSpace(name, sp, spaceJSON, opts)
+}
+
+// CreateWithSpace builds a new session from an in-process Space —
+// the embedding path, which (unlike Create) may carry a constraint
+// predicate. spaceJSON is what the journal records; when nil it is
+// derived from sp.
+func (st *Store) CreateWithSpace(name string, sp *space.Space, spaceJSON json.RawMessage, opts httpapi.SessionOptions) (*Session, error) {
+	if spaceJSON == nil {
+		var err error
+		spaceJSON, err = json.Marshal(sp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if name != "" && !validID.MatchString(name) {
+		return nil, fmt.Errorf("server: invalid session name %q (want %s)", name, validID)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	id := name
+	if id == "" {
+		id = newID()
+	}
+	if _, dup := st.sessions[id]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	created := time.Now()
+	path := ""
+	if st.dir != "" {
+		path = st.journalPath(id)
+	}
+	sess, err := st.newSession(id, sp, opts, created, path, true, spaceJSON)
+	if err != nil {
+		return nil, err
+	}
+	st.sessions[id] = sess
+	return sess, nil
+}
+
+// newSession wires tuner, leases, and journal together. fresh writes
+// the create header; resume paths skip it (already on disk).
+func (st *Store) newSession(id string, sp *space.Space, opts httpapi.SessionOptions, created time.Time, journalPath string, fresh bool, spaceJSON json.RawMessage) (*Session, error) {
+	coreOpts, err := coreOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{id: id, sp: sp, opts: opts, created: created}
+	if journalPath != "" {
+		f, err := openJournal(journalPath)
+		if err != nil {
+			return nil, err
+		}
+		if fresh {
+			if err := writeHeader(f, journalHeader{
+				ID:        id,
+				Space:     spaceJSON,
+				Options:   opts,
+				CreatedAt: created.UTC().Format(time.RFC3339),
+			}); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		sess.file = f
+		sess.rec = core.NewRecorder(f, sp)
+		coreOpts.OnStep = sess.rec.OnStep
+	}
+	// The objective lives on the workers' side of the wire; the tuner
+	// is only ever driven through Ask/Tell, never Step/Run.
+	t, err := core.NewTuner(sp, func(space.Config) float64 {
+		panic("server: remote session objective must not be called")
+	}, coreOpts)
+	if err != nil {
+		if sess.file != nil {
+			sess.file.Close()
+		}
+		return nil, err
+	}
+	sess.at = core.NewAskTell(t)
+	return sess, nil
+}
+
+// Get looks up a session.
+func (st *Store) Get(id string) (*Session, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// List returns every session, sorted by id.
+func (st *Store) List() []*Session {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]*Session, 0, len(st.sessions))
+	for _, s := range st.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.sessions)
+}
+
+// Evaluations sums evaluation counts across sessions.
+func (st *Store) Evaluations() int64 {
+	var n int64
+	for _, s := range st.List() {
+		s.mu.RLock()
+		n += int64(s.at.Tuner().Evaluations())
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Delete removes a session and its journal.
+func (st *Store) Delete(id string) error {
+	st.mu.Lock()
+	s, ok := st.sessions[id]
+	if ok {
+		delete(st.sessions, id)
+	}
+	st.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	err := s.close()
+	if st.dir != "" {
+		if rerr := os.Remove(st.journalPath(id)); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
+// Close flushes and closes every session journal. The store must not
+// be used afterwards.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var first error
+	for _, s := range st.sessions {
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	st.sessions = make(map[string]*Session)
+	return first
+}
+
+func (st *Store) journalPath(id string) string {
+	return filepath.Join(st.dir, id+".jsonl")
+}
+
+// newID generates a random 16-hex-char session id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: id generation: %v", err))
+	}
+	return "s-" + hex.EncodeToString(b[:])
+}
+
+// coreOptions translates wire options into core.Options.
+func coreOptions(o httpapi.SessionOptions) (core.Options, error) {
+	opts := core.Options{
+		InitialSamples:     o.InitialSamples,
+		Seed:               o.Seed,
+		ProposalCandidates: o.ProposalCandidates,
+		Surrogate:          coreSurrogateConfig(o),
+	}
+	switch strings.ToLower(o.Strategy) {
+	case "", "ranking":
+		opts.Strategy = core.Ranking
+	case "proposal":
+		opts.Strategy = core.Proposal
+	default:
+		return core.Options{}, fmt.Errorf("server: unknown strategy %q (want ranking or proposal)", o.Strategy)
+	}
+	return opts, nil
+}
+
+// coreSurrogateConfig extracts the surrogate hyperparameters.
+func coreSurrogateConfig(o httpapi.SessionOptions) core.SurrogateConfig {
+	return core.SurrogateConfig{
+		Quantile:  o.Quantile,
+		Smoothing: o.Smoothing,
+		Bandwidth: o.Bandwidth,
+		Bins:      o.Bins,
+	}
+}

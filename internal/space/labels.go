@@ -1,0 +1,65 @@
+package space
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Label codecs: a Config is positional and index-based, which is the
+// right in-memory form but a poor wire format. Labels renders a
+// configuration as a name→label map (level labels for discrete
+// parameters, shortest-round-trip decimal for continuous ones) and
+// FromLabels parses it back. The hiperbotd HTTP API and the session
+// journals both speak this form, matching the Recorder's JSONL schema.
+
+// Labels renders c as a parameter-name → label map. Discrete entries
+// carry the level label, continuous entries the %g rendering of the
+// value (which round-trips exactly through FromLabels).
+func (s *Space) Labels(c Config) map[string]string {
+	out := make(map[string]string, len(s.params))
+	for i, p := range s.params {
+		if p.Kind == DiscreteKind {
+			out[p.Name] = p.Level(int(c[i]))
+		} else {
+			out[p.Name] = strconv.FormatFloat(c[i], 'g', -1, 64)
+		}
+	}
+	return out
+}
+
+// FromLabels parses a name→label map produced by Labels (or by hand)
+// into a Config. Every parameter of the space must be present, no
+// unknown names may appear, discrete labels must name an existing
+// level, and continuous values must parse and lie within bounds.
+func (s *Space) FromLabels(m map[string]string) (Config, error) {
+	for name := range m {
+		if s.IndexOf(name) < 0 {
+			return nil, fmt.Errorf("space: unknown parameter %q", name)
+		}
+	}
+	c := make(Config, len(s.params))
+	for i, p := range s.params {
+		label, ok := m[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("space: missing parameter %q", p.Name)
+		}
+		switch p.Kind {
+		case DiscreteKind:
+			l := p.LevelIndex(label)
+			if l < 0 {
+				return nil, fmt.Errorf("space: parameter %q has no level %q", p.Name, label)
+			}
+			c[i] = float64(l)
+		case ContinuousKind:
+			v, err := strconv.ParseFloat(label, 64)
+			if err != nil {
+				return nil, fmt.Errorf("space: parameter %q: %v", p.Name, err)
+			}
+			if v < p.Lo || v > p.Hi {
+				return nil, fmt.Errorf("space: parameter %q: value %v outside [%v,%v]", p.Name, v, p.Lo, p.Hi)
+			}
+			c[i] = v
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,62 @@
+package space
+
+import (
+	"testing"
+)
+
+func labelsTestSpace() *Space {
+	return New(
+		Discrete("layout", "rowmajor", "colmajor", "tiled"),
+		DiscreteInts("threads", 1, 2, 4, 8),
+		Continuous("frac", 0.1, 0.9),
+	)
+}
+
+func TestLabelsRoundTrip(t *testing.T) {
+	sp := labelsTestSpace()
+	configs := []Config{
+		{0, 0, 0.1},
+		{2, 3, 0.9},
+		{1, 2, 0.123456789012345},
+		{0, 1, 1.0 / 3.0}, // needs full float precision to round-trip
+	}
+	for _, c := range configs {
+		m := sp.Labels(c)
+		back, err := sp.FromLabels(m)
+		if err != nil {
+			t.Fatalf("FromLabels(%v): %v", m, err)
+		}
+		if !c.Equal(back) {
+			t.Fatalf("round trip %v -> %v -> %v", c, m, back)
+		}
+	}
+}
+
+func TestLabelsRendering(t *testing.T) {
+	sp := labelsTestSpace()
+	m := sp.Labels(Config{2, 1, 0.5})
+	want := map[string]string{"layout": "tiled", "threads": "2", "frac": "0.5"}
+	for k, v := range want {
+		if m[k] != v {
+			t.Fatalf("Labels = %v, want %v", m, want)
+		}
+	}
+}
+
+func TestFromLabelsErrors(t *testing.T) {
+	sp := labelsTestSpace()
+	cases := []map[string]string{
+		{"layout": "tiled", "threads": "2"},                                       // missing frac
+		{"layout": "tiled", "threads": "2", "frac": "0.5", "bogus": "1"},          // unknown param
+		{"layout": "spiral", "threads": "2", "frac": "0.5"},                       // unknown level
+		{"layout": "tiled", "threads": "3", "frac": "0.5"},                        // unknown ordinal value
+		{"layout": "tiled", "threads": "2", "frac": "2.0"},                        // out of bounds
+		{"layout": "tiled", "threads": "2", "frac": "not-a-number"},               // unparseable
+		{"layout": "tiled", "threads": "2", "frac": "0.5", "layout2": "rowmajor"}, // unknown extra
+	}
+	for i, m := range cases {
+		if _, err := sp.FromLabels(m); err == nil {
+			t.Fatalf("case %d: FromLabels(%v) succeeded, want error", i, m)
+		}
+	}
+}
