@@ -19,6 +19,7 @@ import (
 	"github.com/hpcautotune/hiperbot/internal/geist"
 	"github.com/hpcautotune/hiperbot/internal/harness"
 	"github.com/hpcautotune/hiperbot/internal/linalg"
+	"github.com/hpcautotune/hiperbot/internal/space"
 	"github.com/hpcautotune/hiperbot/internal/stats"
 	"github.com/hpcautotune/hiperbot/miniapps/amg"
 	"github.com/hpcautotune/hiperbot/miniapps/chares"
@@ -410,6 +411,67 @@ func BenchmarkRankingScore(b *testing.B) {
 		_ = sum
 	}
 	b.ReportMetric(float64(tbl.Len()), "candidates")
+}
+
+// scoredKripkeModel builds a fitted TPE model over the full Kripke
+// exec candidate pool, shared by the ScoreConfig/ScoreBatch pair.
+func scoredKripkeModel(b *testing.B) (core.Model, *space.Batch) {
+	b.Helper()
+	tbl := kripke.Exec().Table()
+	cands := make([]space.Config, tbl.Len())
+	for i := range cands {
+		cands[i] = tbl.Config(i)
+	}
+	tn, err := core.NewTuner(tbl.Space, tbl.Objective(), core.Options{
+		Seed: 1, Candidates: cands,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tn.Run(40); err != nil {
+		b.Fatal(err)
+	}
+	batch, err := space.NewBatch(tbl.Space, cands)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tn.Model(), batch
+}
+
+// BenchmarkScoreConfig is the seed hot path: one Score call per
+// candidate Config over the full Kripke exec set.
+func BenchmarkScoreConfig(b *testing.B) {
+	m, batch := scoredKripkeModel(b)
+	n := batch.Len()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += m.Score(batch.Config(j))
+		}
+		_ = sum
+	}
+	b.ReportMetric(float64(n), "candidates")
+}
+
+// BenchmarkScoreBatch is the refactored hot path: one columnar
+// ScoreBatch sweep (serial), and the chunked worker-pool ScoreAll the
+// ranking acquirer actually calls (parallel).
+func BenchmarkScoreBatch(b *testing.B) {
+	m, batch := scoredKripkeModel(b)
+	dst := make([]float64, batch.Len())
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.ScoreBatch(batch, dst)
+		}
+		b.ReportMetric(float64(batch.Len()), "candidates")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ScoreAll(m, batch, 0)
+		}
+		b.ReportMetric(float64(batch.Len()), "candidates")
+	})
 }
 
 // Extended baselines: the GP-EI method (Duplyakin et al.) the paper

@@ -312,13 +312,19 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 }
 
 // transient reports whether err is worth retrying: network-level
-// failures and 429/5xx responses.
+// failures and 429/5xx responses. Context cancellation and deadline
+// expiry are never transient — the caller asked to stop, so the retry
+// loop must return immediately instead of burning through the backoff
+// schedule.
 func transient(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
 	var ae *APIError
 	if errors.As(err, &ae) {
 		return ae.Status == http.StatusTooManyRequests || ae.Status >= 500
 	}
-	// Anything that never produced an HTTP status is a transport
+	// Anything else that never produced an HTTP status is a transport
 	// failure (refused connection, reset, timeout) — retryable.
 	return true
 }

@@ -3,6 +3,8 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -149,6 +151,60 @@ func TestClientRetryRespectsContext(t *testing.T) {
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Fatalf("retry loop ignored context cancellation (%v)", time.Since(start))
+	}
+}
+
+func TestClientCancellationIsNotTransient(t *testing.T) {
+	// A request aborted by the caller's context must surface
+	// immediately: retrying a cancellation would strand the caller in
+	// the backoff schedule they were trying to escape.
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-release
+	}))
+	defer func() { close(release); ts.Close() }()
+
+	cl, err := New(ts.URL, WithRetries(100), WithBackoff(time.Second, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = cl.Health(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v — the retry loop treated it as transient", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("canceled request was retried %d times", calls.Load())
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{fmt.Errorf("client: %w", context.Canceled), false},
+		{&APIError{Status: http.StatusNotFound}, false},
+		{&APIError{Status: http.StatusTooManyRequests}, true},
+		{&APIError{Status: http.StatusInternalServerError}, true},
+		{errors.New("connection refused"), true},
+	}
+	for _, tc := range cases {
+		if got := transient(tc.err); got != tc.want {
+			t.Errorf("transient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
 	}
 }
 

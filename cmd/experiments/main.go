@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
+	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/experiments"
 	"github.com/hpcautotune/hiperbot/internal/report"
 )
@@ -30,6 +32,8 @@ func main() {
 		overhead = flag.Bool("overhead", false, "measure tuner overhead (§VII timing claim)")
 		ablation = flag.Bool("ablation", false, "run the DESIGN.md ablations (selection strategy, threshold, prior weight, joint vs factorized, batch size)")
 		verify   = flag.Bool("verify", false, "evaluate every paper claim and print a PASS/FAIL verdict table")
+		engines  = flag.String("engines", "", "comma-separated engine names (or \"all\") to race on -dataset using the Fig. 2-6 protocol")
+		ds       = flag.String("dataset", "kripke-exec", "dataset for -engines (kripke-exec, kripke-energy, hypre, lulesh, openatom)")
 		reps     = flag.Int("reps", 50, "repetitions per method (the paper uses 50)")
 		seed     = flag.Uint64("seed", 20200518, "base random seed")
 	)
@@ -82,6 +86,13 @@ func main() {
 		ran = true
 		if err := verifyClaims(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: verify: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *engines != "" {
+		ran = true
+		if err := engineShootout(*ds, *engines, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: engines: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -197,6 +208,30 @@ func selection(title string, f func(experiments.Config) (*experiments.SelectionR
 	}
 	ci.Render(os.Stdout)
 	return nil
+}
+
+// engineShootout races registered engines by name on one dataset
+// using the same protocol and rendering as Figs. 2-6.
+func engineShootout(ds, names string, cfg experiments.Config) error {
+	model, checkpoints, err := experiments.ShootoutModel(ds)
+	if err != nil {
+		return err
+	}
+	var list []string
+	if names == "all" {
+		list = core.EngineNames()
+	} else {
+		for _, n := range strings.Split(names, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				list = append(list, n)
+			}
+		}
+	}
+	return selection(
+		fmt.Sprintf("Engine shootout on %s: %s", ds, strings.Join(list, " vs ")),
+		func(cfg experiments.Config) (*experiments.SelectionResult, error) {
+			return experiments.EngineShootout(model, list, checkpoints, cfg)
+		}, cfg)
 }
 
 func fig7(cfg experiments.Config) error {

@@ -31,6 +31,10 @@ import (
 	"github.com/hpcautotune/hiperbot/internal/dataset"
 	"github.com/hpcautotune/hiperbot/internal/report"
 	"github.com/hpcautotune/hiperbot/internal/space"
+
+	// Registers the "geist" engine so -strategy geist works over the
+	// finite measurement tables.
+	_ "github.com/hpcautotune/hiperbot/internal/geist"
 )
 
 func builtinModels() map[string]*apps.Model {
@@ -50,6 +54,7 @@ func main() {
 		budget     = flag.Int("budget", 150, "total objective evaluations (including initial samples)")
 		initial    = flag.Int("init", 20, "initial random samples")
 		quantile   = flag.Float64("quantile", 0.20, "good/bad split quantile α")
+		strategy   = flag.String("strategy", "", "selection engine: "+strings.Join(core.EngineNames(), ", ")+" (default: paper choice)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		importance = flag.Bool("importance", false, "print the parameter-importance ranking")
 		trace      = flag.Bool("trace", false, "print every evaluation")
@@ -98,6 +103,7 @@ func main() {
 	}
 	tn, err := core.NewTuner(tbl.Space, tbl.Objective(), core.Options{
 		InitialSamples: *initial,
+		Engine:         *strategy,
 		Surrogate:      core.SurrogateConfig{Quantile: *quantile},
 		Seed:           *seed,
 		Candidates:     candidates,
@@ -137,12 +143,12 @@ func main() {
 	fmt.Printf("exhaustive best: %.6g (gap: %.2f%%)\n", exhaustive, 100*(best.Value-exhaustive)/exhaustive)
 
 	if *importance {
-		s := tn.Surrogate()
-		if s == nil {
-			fmt.Fprintln(os.Stderr, "hiperbot: no surrogate built (budget <= initial samples?)")
+		imp, err := tn.Importance()
+		if err != nil || imp == nil {
+			fmt.Fprintln(os.Stderr, "hiperbot: the", tn.EngineName(), "engine produced no importance scores (budget <= initial samples, or a model without densities?)")
 			os.Exit(1)
 		}
-		printImportance(tbl.Space, s)
+		printImportance(tbl.Space, imp)
 	}
 }
 
@@ -220,8 +226,7 @@ func writeCheckpoint(tn *core.Tuner, path string) error {
 	return nil
 }
 
-func printImportance(sp *space.Space, s *core.Surrogate) {
-	imp := s.Importance()
+func printImportance(sp *space.Space, imp []float64) {
 	type pair struct {
 		name string
 		js   float64

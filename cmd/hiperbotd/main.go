@@ -22,10 +22,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/server"
+
+	// Engines register themselves with the core registry; the blank
+	// import decides which strategy names this daemon accepts at
+	// session create ("ranking", "proposal", "random" are compiled
+	// into core; "geist" comes from this import).
+	_ "github.com/hpcautotune/hiperbot/internal/geist"
 )
 
 func main() {
@@ -39,6 +47,7 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logger.Printf("hiperbotd: engines: %s", strings.Join(core.EngineNames(), ", "))
 	store, err := server.OpenStore(*data)
 	if err != nil {
 		logger.Fatalf("hiperbotd: %v", err)

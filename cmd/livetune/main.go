@@ -24,12 +24,17 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/hpcautotune/hiperbot/client"
 	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/report"
 	"github.com/hpcautotune/hiperbot/internal/space"
+
+	// Registers the "geist" engine so -strategy geist works on the
+	// finite kernel spaces.
+	_ "github.com/hpcautotune/hiperbot/internal/geist"
 	"github.com/hpcautotune/hiperbot/miniapps/amg"
 	"github.com/hpcautotune/hiperbot/miniapps/chares"
 	"github.com/hpcautotune/hiperbot/miniapps/hydro"
@@ -152,6 +157,7 @@ func main() {
 		reps      = flag.Int("reps", 3, "measurements per configuration (median taken)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		marginals = flag.Bool("marginals", false, "print the surrogate's per-parameter beliefs")
+		strategy  = flag.String("strategy", "", "selection engine: "+strings.Join(core.EngineNames(), ", ")+" (default: paper choice)")
 		serverURL = flag.String("server", "", "hiperbotd base URL; tune through the daemon instead of in-process")
 		batch     = flag.Int("batch", 4, "candidates leased per suggest call (with -server)")
 	)
@@ -180,12 +186,12 @@ func main() {
 	}
 
 	if *serverURL != "" {
-		tuneRemote(*serverURL, *name, k, objective, *budget, *batch, *seed, &evals)
+		tuneRemote(*serverURL, *name, k, objective, *budget, *batch, *seed, *strategy, &evals)
 		return
 	}
 
 	start := time.Now()
-	tn, err := core.NewTuner(k.space, objective, core.Options{Seed: *seed})
+	tn, err := core.NewTuner(k.space, objective, core.Options{Seed: *seed, Engine: *strategy})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "livetune:", err)
 		os.Exit(1)
@@ -196,15 +202,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	report.Section(os.Stdout, "Tuned %s kernel by measured wall time", *name)
+	report.Section(os.Stdout, "Tuned %s kernel by measured wall time (%s engine)", *name, tn.EngineName())
 	fmt.Printf("measured %d configurations (%d runs) in %v\n",
 		evals, evals**reps, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("fastest: %s → %.3f ms\n", k.space.Describe(best.Config), best.Value*1e3)
 
 	if *marginals {
-		if s := tn.Surrogate(); s != nil {
-			fmt.Println("\nsurrogate beliefs:")
-			fmt.Print(core.RenderMarginals(s.Marginals()))
+		if m, ok := tn.Model().(core.Marginaler); ok {
+			if rep := m.Marginals(); rep != nil {
+				fmt.Println("\nsurrogate beliefs:")
+				fmt.Print(core.RenderMarginals(rep))
+			}
+		} else {
+			fmt.Printf("\n(the %s engine has no per-parameter marginals)\n", tn.EngineName())
 		}
 	}
 }
@@ -212,14 +222,14 @@ func main() {
 // tuneRemote drives the same measured objective through a hiperbotd
 // daemon: candidates arrive as wire configs, are parsed against the
 // locally known space, measured, and reported back.
-func tuneRemote(baseURL, kernelName string, k kernel, objective func(space.Config) float64, budget, batch int, seed uint64, evals *int) {
+func tuneRemote(baseURL, kernelName string, k kernel, objective func(space.Config) float64, budget, batch int, seed uint64, strategy string, evals *int) {
 	ctx := context.Background()
 	cl, err := client.New(baseURL)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "livetune:", err)
 		os.Exit(1)
 	}
-	id, err := cl.CreateSessionFromSpace(ctx, "", k.space, client.SessionOptions{Seed: seed})
+	id, err := cl.CreateSessionFromSpace(ctx, "", k.space, client.SessionOptions{Seed: seed, Strategy: strategy})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "livetune:", err)
 		os.Exit(1)

@@ -8,11 +8,15 @@ import (
 
 	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/space"
 	"github.com/hpcautotune/hiperbot/internal/stats"
 )
 
 // Random selects budget configurations uniformly at random without
-// replacement from the dataset and returns the evaluation history.
+// replacement from the dataset and returns the evaluation history. It
+// is a thin adapter over the registered "random" engine driven by the
+// shared core.Tuner loop (a budget of 1 is drawn directly: the tuner
+// loop needs at least 2 initial samples).
 func Random(tbl *dataset.Table, budget int, seed uint64) (*core.History, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("baselines: budget must be positive, got %d", budget)
@@ -20,14 +24,32 @@ func Random(tbl *dataset.Table, budget int, seed uint64) (*core.History, error) 
 	if budget > tbl.Len() {
 		return nil, fmt.Errorf("baselines: budget %d exceeds dataset size %d", budget, tbl.Len())
 	}
-	r := stats.NewRNG(seed)
-	h := core.NewHistory(tbl.Space)
-	for _, idx := range r.SampleWithoutReplacement(tbl.Len(), budget) {
+	if budget == 1 {
+		r := stats.NewRNG(seed)
+		h := core.NewHistory(tbl.Space)
+		idx := r.Intn(tbl.Len())
 		if err := h.Add(tbl.Config(idx), tbl.Value(idx)); err != nil {
 			return nil, err
 		}
+		return h, nil
 	}
-	return h, nil
+	candidates := make([]space.Config, tbl.Len())
+	for i := range candidates {
+		candidates[i] = tbl.Config(i)
+	}
+	tn, err := core.NewTuner(tbl.Space, tbl.Objective(), core.Options{
+		Engine:         "random",
+		InitialSamples: 2,
+		Seed:           seed,
+		Candidates:     candidates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tn.Run(budget); err != nil {
+		return nil, err
+	}
+	return tn.History(), nil
 }
 
 // ExhaustiveBest returns the dataset's global optimum — the flat

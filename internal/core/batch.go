@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/hpcautotune/hiperbot/internal/space"
 )
@@ -14,18 +13,17 @@ import (
 // effort and resource overhead"; in practice allocations run many jobs
 // at once, so the tuner must hand out k candidates per model update.
 //
-// Pure top-k by expected improvement degenerates to k near-identical
-// picks (the argmax and its Hamming neighbors), so SelectBatch
-// diversifies: candidates are ranked by EI score, then greedily
-// admitted subject to a minimum Hamming distance from the picks
-// already in the batch, relaxing the constraint when the pool runs
-// dry. With k = 1 this reduces exactly to the paper's selection.
+// How a batch is assembled is the engine's Acquirer's business: the
+// ranking acquirer diversifies top-scored candidates by Hamming
+// distance, the proposal acquirer keeps the best distinct pg-samples,
+// GEIST mixes exploitation with uniform exploration. With k = 1 every
+// acquirer reduces to its single-candidate selection.
 
 // SelectBatch returns up to k distinct, not-yet-evaluated
-// configurations to evaluate next, using the current surrogate. It
-// never evaluates the objective. The tuner must have completed its
-// initial sampling phase; call Step (or Run) through the initial
-// phase first.
+// configurations to evaluate next, using the engine's freshly fitted
+// model. It never evaluates the objective. The tuner must have
+// completed its initial sampling phase; call Step (or Run) through
+// the initial phase first.
 func (t *Tuner) SelectBatch(k int) ([]space.Config, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: SelectBatch with k < 1")
@@ -34,20 +32,10 @@ func (t *Tuner) SelectBatch(k int) ([]space.Config, error) {
 		return nil, fmt.Errorf("core: SelectBatch before initial sampling is complete (%d/%d)",
 			t.history.Len(), t.opts.InitialSamples)
 	}
-	s, err := BuildSurrogate(t.history, t.opts.Surrogate)
-	if err != nil {
+	if err := t.model.Fit(t.history); err != nil {
 		return nil, err
 	}
-	t.surrogate = s
-
-	switch t.strategy {
-	case Ranking:
-		return t.batchByRanking(s, k)
-	case Proposal:
-		return t.batchByProposal(s, k)
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", t.strategy)
-	}
+	return t.acquirer.Propose(t.acquisition(), k)
 }
 
 // Observe folds an externally evaluated observation into the history,
@@ -57,6 +45,7 @@ func (t *Tuner) Observe(c space.Config, value float64) error {
 		return err
 	}
 	t.markEvaluated(c)
+	t.model.Observe(Observation{Config: c, Value: value})
 	if t.opts.OnStep != nil {
 		t.opts.OnStep(t.iter, Observation{Config: c.Clone(), Value: value})
 	}
@@ -99,114 +88,4 @@ func (t *Tuner) RunBatched(budget, k int) (Observation, error) {
 		}
 	}
 	return t.history.Best(), nil
-}
-
-// batchByRanking ranks the remaining pool by score and greedily admits
-// candidates at pairwise Hamming distance >= minDist, halving the
-// distance requirement whenever a full pass admits nothing.
-func (t *Tuner) batchByRanking(s *Surrogate, k int) ([]space.Config, error) {
-	if len(t.remaining) == 0 {
-		return nil, nil
-	}
-	type scored struct {
-		idx   int
-		score float64
-	}
-	pool := make([]scored, len(t.remaining))
-	scores := make([]float64, len(t.remaining))
-	parallelFor(len(t.remaining), t.opts.Parallelism, func(i int) {
-		scores[i] = s.Score(t.candidates[t.remaining[i]])
-	})
-	for i, idx := range t.remaining {
-		pool[i] = scored{idx: idx, score: scores[i]}
-	}
-	sort.Slice(pool, func(a, b int) bool {
-		if pool[a].score != pool[b].score {
-			return pool[a].score > pool[b].score
-		}
-		return pool[a].idx < pool[b].idx
-	})
-
-	var picks []space.Config
-	minDist := 2
-	for len(picks) < k && minDist >= 0 {
-		admitted := 0
-		for _, cand := range pool {
-			if len(picks) >= k {
-				break
-			}
-			c := t.candidates[cand.idx]
-			if containsConfig(picks, c) {
-				continue
-			}
-			if minHamming(picks, c) >= minDist {
-				picks = append(picks, c)
-				admitted++
-			}
-		}
-		if admitted == 0 || len(picks) < k {
-			minDist-- // relax diversity until the batch fills
-		}
-	}
-	return picks, nil
-}
-
-// batchByProposal draws candidates from pg and keeps the k best
-// distinct ones.
-func (t *Tuner) batchByProposal(s *Surrogate, k int) ([]space.Config, error) {
-	type scored struct {
-		c     space.Config
-		score float64
-	}
-	var cands []scored
-	seen := make(map[string]bool)
-	draws := t.opts.ProposalCandidates * k
-	for i := 0; i < draws; i++ {
-		c := s.SampleGood(t.rng)
-		key := t.sp.Key(c)
-		if t.history.Contains(c) || seen[key] {
-			continue
-		}
-		seen[key] = true
-		cands = append(cands, scored{c: c, score: s.Score(c)})
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
-	if len(cands) > k {
-		cands = cands[:k]
-	}
-	out := make([]space.Config, len(cands))
-	for i, sc := range cands {
-		out[i] = sc.c
-	}
-	return out, nil
-}
-
-func containsConfig(set []space.Config, c space.Config) bool {
-	for _, s := range set {
-		if s.Equal(c) {
-			return true
-		}
-	}
-	return false
-}
-
-// minHamming returns the smallest Hamming distance from c to any
-// configuration in set (or a large value for an empty set).
-func minHamming(set []space.Config, c space.Config) int {
-	if len(set) == 0 {
-		return 1 << 30
-	}
-	min := 1 << 30
-	for _, s := range set {
-		d := 0
-		for i := range c {
-			if s[i] != c[i] {
-				d++
-			}
-		}
-		if d < min {
-			min = d
-		}
-	}
-	return min
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// The "random" engine is the paper's random-search baseline expressed
+// as a Model/Acquirer pair: an indifferent model (every configuration
+// scores 0) and an acquirer that picks uniformly at random from the
+// unevaluated pool (or the space, when no pool is available). Running
+// it through the shared Tuner loop means baselines get leasing,
+// journaling, and ask/tell for free.
+
+func init() {
+	RegisterEngine(EngineSpec{
+		Name: "random",
+		Pool: PoolPreferred,
+		New: func(sp *space.Space, opts Options, pool *Pool) (Model, Acquirer, error) {
+			return uniformModel{sp: sp}, randomAcquirer{}, nil
+		},
+	})
+}
+
+// uniformModel believes nothing: all configurations score equally.
+type uniformModel struct{ sp *space.Space }
+
+// Fit is a no-op; the uniform model has no state.
+func (uniformModel) Fit(*History) error { return nil }
+
+// Observe is a no-op.
+func (uniformModel) Observe(Observation) {}
+
+// Score is constant: no configuration is preferred.
+func (uniformModel) Score(space.Config) float64 { return 0 }
+
+// ScoreBatch fills dst with the constant score.
+func (uniformModel) ScoreBatch(b *space.Batch, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// Sample draws uniformly from the space.
+func (m uniformModel) Sample(r *stats.RNG) space.Config { return m.sp.Sample(r) }
+
+// Importance is undefined for the uniform model.
+func (uniformModel) Importance() []float64 { return nil }
+
+// randomAcquirer picks unevaluated candidates uniformly at random.
+type randomAcquirer struct{}
+
+func (randomAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
+	if a.Pool != nil {
+		rem := a.Pool.Remaining()
+		avail := make([]int, len(rem))
+		copy(avail, rem)
+		if k > len(avail) {
+			k = len(avail)
+		}
+		out := make([]space.Config, 0, k)
+		for len(out) < k {
+			pick := a.RNG.Intn(len(avail))
+			out = append(out, a.Pool.Candidate(avail[pick]))
+			avail[pick] = avail[len(avail)-1]
+			avail = avail[:len(avail)-1]
+		}
+		return out, nil
+	}
+	const maxTries = 100000
+	var out []space.Config
+	seen := make(map[string]bool, k)
+	for try := 0; try < maxTries && len(out) < k; try++ {
+		c := a.Space.Sample(a.RNG)
+		if a.History.Contains(c) || seen[a.Space.Key(c)] {
+			continue
+		}
+		seen[a.Space.Key(c)] = true
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: random acquisition could not draw an unevaluated configuration")
+	}
+	return out, nil
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// This file packages the paper's TPE surrogate as engine
+// implementations: the "ranking" engine (score every remaining pool
+// candidate, argmax — §III-D for finite spaces) and the "proposal"
+// engine (sample candidates from pg, keep the best — for continuous
+// or unenumerable spaces). Both share TPEModel; they differ only in
+// the Acquirer.
+
+func init() {
+	RegisterEngine(EngineSpec{
+		Name: "ranking",
+		Pool: PoolRequired,
+		New: func(sp *space.Space, opts Options, pool *Pool) (Model, Acquirer, error) {
+			return &TPEModel{cfg: opts.Surrogate}, rankingAcquirer{}, nil
+		},
+	})
+	RegisterEngine(EngineSpec{
+		Name: "proposal",
+		Pool: PoolUnused,
+		New: func(sp *space.Space, opts Options, pool *Pool) (Model, Acquirer, error) {
+			return &TPEModel{cfg: opts.Surrogate}, proposalAcquirer{}, nil
+		},
+	})
+}
+
+// TPEModel adapts the factorized pg/pb Surrogate (paper eq. 7-8) to
+// the Model interface. Fit rebuilds the surrogate from scratch — the
+// densities are cheap relative to one objective evaluation.
+type TPEModel struct {
+	cfg SurrogateConfig
+	s   *Surrogate
+}
+
+// Fit rebuilds the surrogate from the history.
+func (m *TPEModel) Fit(h *History) error {
+	s, err := BuildSurrogate(h, m.cfg)
+	if err != nil {
+		return err
+	}
+	m.s = s
+	return nil
+}
+
+// Observe is a no-op: Fit refits from the full history.
+func (m *TPEModel) Observe(Observation) {}
+
+// Score returns log pg(c) - log pb(c).
+func (m *TPEModel) Score(c space.Config) float64 { return m.s.Score(c) }
+
+// ScoreBatch scores a columnar batch, bit-identical to row-wise Score.
+func (m *TPEModel) ScoreBatch(b *space.Batch, dst []float64) { m.s.ScoreBatch(b, dst) }
+
+// Sample draws from the good density pg.
+func (m *TPEModel) Sample(r *stats.RNG) space.Config { return m.s.SampleGood(r) }
+
+// Importance returns the per-parameter JS divergence between pg and
+// pb (nil before the first Fit).
+func (m *TPEModel) Importance() []float64 {
+	if m.s == nil {
+		return nil
+	}
+	return m.s.Importance()
+}
+
+// Marginals exposes the fitted densities for rendering (nil before
+// the first Fit); see Marginaler.
+func (m *TPEModel) Marginals() []MarginalReport {
+	if m.s == nil {
+		return nil
+	}
+	return m.s.Marginals()
+}
+
+// Surrogate returns the most recently fitted surrogate (nil before
+// the first Fit), for analyses that need the concrete densities.
+func (m *TPEModel) Surrogate() *Surrogate { return m.s }
+
+// rankingAcquirer scores every remaining pool candidate and picks the
+// argmax (k = 1) or the top-k diversified by Hamming distance.
+type rankingAcquirer struct{}
+
+func (rankingAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
+	p := a.Pool
+	if p == nil {
+		return nil, fmt.Errorf("core: ranking acquisition requires a candidate pool")
+	}
+	rem := p.Remaining()
+	if len(rem) == 0 {
+		return nil, nil
+	}
+	batch, err := p.Batch()
+	if err != nil {
+		return nil, err
+	}
+	scores := ScoreAll(a.Model, batch, a.Parallelism)
+
+	if k == 1 {
+		// Argmax over the remaining pool, ties broken by pool order —
+		// exactly the paper's per-iteration selection.
+		best := 0
+		for i := 1; i < len(rem); i++ {
+			if scores[rem[i]] > scores[rem[best]] {
+				best = i
+			}
+		}
+		return []space.Config{p.Candidate(rem[best])}, nil
+	}
+
+	// Batch mode: rank the pool, then greedily admit candidates at
+	// pairwise Hamming distance >= minDist, relaxing the requirement
+	// whenever a pass admits nothing (pure top-k degenerates to the
+	// argmax and its immediate neighbors).
+	type scored struct {
+		idx   int
+		score float64
+	}
+	pool := make([]scored, len(rem))
+	for i, idx := range rem {
+		pool[i] = scored{idx: idx, score: scores[idx]}
+	}
+	sort.Slice(pool, func(a, b int) bool {
+		if pool[a].score != pool[b].score {
+			return pool[a].score > pool[b].score
+		}
+		return pool[a].idx < pool[b].idx
+	})
+
+	var picks []space.Config
+	minDist := 2
+	for len(picks) < k && minDist >= 0 {
+		admitted := 0
+		for _, cand := range pool {
+			if len(picks) >= k {
+				break
+			}
+			c := p.Candidate(cand.idx)
+			if containsConfig(picks, c) {
+				continue
+			}
+			if minHamming(picks, c) >= minDist {
+				picks = append(picks, c)
+				admitted++
+			}
+		}
+		if admitted == 0 || len(picks) < k {
+			minDist-- // relax diversity until the batch fills
+		}
+	}
+	return picks, nil
+}
+
+// proposalAcquirer draws candidates from the model's good density and
+// keeps the best-scoring unevaluated ones.
+type proposalAcquirer struct{}
+
+func (proposalAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
+	if k == 1 {
+		return proposeOne(a)
+	}
+	return proposeBatch(a, k)
+}
+
+// proposeOne draws ProposalCandidates configurations from pg and
+// returns the best-scoring previously unevaluated one, falling back
+// to uniform exploration when every draw was a duplicate.
+func proposeOne(a *Acquisition) ([]space.Config, error) {
+	var best space.Config
+	bestScore := math.Inf(-1)
+	for i := 0; i < a.ProposalCandidates; i++ {
+		c := a.Model.Sample(a.RNG)
+		if a.History.Contains(c) {
+			continue
+		}
+		if sc := a.Model.Score(c); sc > bestScore {
+			bestScore = sc
+			best = c
+		}
+	}
+	if best == nil {
+		// Every proposal was a duplicate (tiny discrete space); fall
+		// back to uniform exploration.
+		for try := 0; try < 100000; try++ {
+			c := a.Space.Sample(a.RNG)
+			if !a.History.Contains(c) {
+				return []space.Config{c}, nil
+			}
+		}
+		return nil, fmt.Errorf("core: proposal strategy exhausted the space")
+	}
+	return []space.Config{best}, nil
+}
+
+// proposeBatch draws ProposalCandidates*k configurations from pg and
+// keeps the k best distinct unevaluated ones.
+func proposeBatch(a *Acquisition, k int) ([]space.Config, error) {
+	type scored struct {
+		c     space.Config
+		score float64
+	}
+	var cands []scored
+	seen := make(map[string]bool)
+	draws := a.ProposalCandidates * k
+	for i := 0; i < draws; i++ {
+		c := a.Model.Sample(a.RNG)
+		key := a.Space.Key(c)
+		if a.History.Contains(c) || seen[key] {
+			continue
+		}
+		seen[key] = true
+		cands = append(cands, scored{c: c, score: a.Model.Score(c)})
+	}
+	sort.Slice(cands, func(x, y int) bool { return cands[x].score > cands[y].score })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]space.Config, len(cands))
+	for i, sc := range cands {
+		out[i] = sc.c
+	}
+	return out, nil
+}
+
+func containsConfig(set []space.Config, c space.Config) bool {
+	for _, s := range set {
+		if s.Equal(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// minHamming returns the smallest Hamming distance from c to any
+// configuration in set (or a large value for an empty set).
+func minHamming(set []space.Config, c space.Config) int {
+	if len(set) == 0 {
+		return 1 << 30
+	}
+	min := 1 << 30
+	for _, s := range set {
+		d := 0
+		for i := range c {
+			if s[i] != c[i] {
+				d++
+			}
+		}
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}

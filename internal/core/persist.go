@@ -67,8 +67,8 @@ func (t *Tuner) Resume(h *History) error {
 		if err := t.sp.Check(o.Config); err != nil {
 			return fmt.Errorf("core: resumed observation invalid: %w", err)
 		}
-		if t.strategy == Ranking {
-			if _, ok := t.pos[t.sp.Key(o.Config)]; !ok {
+		if t.pool != nil {
+			if t.pool.IndexOf(o.Config) < 0 {
 				return fmt.Errorf("core: resumed configuration %s not in the candidate pool",
 					t.sp.Describe(o.Config))
 			}

@@ -143,7 +143,11 @@ func TestResumePastInitialGoesStraightToModel(t *testing.T) {
 	if obs.Value > 20 {
 		t.Fatalf("first post-resume pick %v looks random (value %v)", obs.Config, obs.Value)
 	}
-	if s := tn.Surrogate(); s == nil {
+	tpe, ok := tn.Model().(*TPEModel)
+	if !ok {
+		t.Fatalf("default engine model is %T, want *TPEModel", tn.Model())
+	}
+	if tpe.Surrogate() == nil {
 		t.Fatal("no surrogate built on the resumed history")
 	}
 }

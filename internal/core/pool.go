@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Pool is a finite candidate set with O(1) evaluated-candidate
+// removal and a lazily built columnar view for batch scoring. It is
+// the state the Ranking strategy used to keep inline in the Tuner,
+// extracted so every pool-backed engine (TPE ranking, random
+// subset, GEIST's graph propagation) shares one implementation.
+type Pool struct {
+	sp         *space.Space
+	candidates []space.Config
+	remaining  []int          // candidate indices not yet evaluated
+	pos        map[string]int // candidate key → position in remaining
+	index      map[string]int // candidate key → candidate index (immutable)
+	batch      *space.Batch   // columnar candidates, built on first use
+}
+
+// NewPool indexes the candidate set. Duplicate candidates and empty
+// sets are rejected.
+func NewPool(sp *space.Space, candidates []space.Config) (*Pool, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: empty candidate set")
+	}
+	p := &Pool{
+		sp:         sp,
+		candidates: candidates,
+		remaining:  make([]int, len(candidates)),
+		pos:        make(map[string]int, len(candidates)),
+		index:      make(map[string]int, len(candidates)),
+	}
+	for i := range p.remaining {
+		p.remaining[i] = i
+		key := sp.Key(candidates[i])
+		if _, dup := p.index[key]; dup {
+			return nil, fmt.Errorf("core: duplicate candidate %s", sp.Describe(candidates[i]))
+		}
+		p.index[key] = i
+		p.pos[key] = i
+	}
+	return p, nil
+}
+
+// Size returns the total number of candidates (evaluated or not).
+func (p *Pool) Size() int { return len(p.candidates) }
+
+// RemainingCount returns how many candidates are not yet evaluated.
+func (p *Pool) RemainingCount() int { return len(p.remaining) }
+
+// Remaining returns the indices of not-yet-evaluated candidates. The
+// order is maintained by swap-removal, so it is deterministic for a
+// fixed evaluation sequence but not sorted. Callers must not mutate
+// the slice.
+func (p *Pool) Remaining() []int { return p.remaining }
+
+// Candidate returns candidate i.
+func (p *Pool) Candidate(i int) space.Config { return p.candidates[i] }
+
+// Candidates returns the full candidate slice (callers must not
+// mutate it).
+func (p *Pool) Candidates() []space.Config { return p.candidates }
+
+// IndexOf returns c's candidate index, or -1 when c is not in the
+// pool.
+func (p *Pool) IndexOf(c space.Config) int {
+	if i, ok := p.index[p.sp.Key(c)]; ok {
+		return i
+	}
+	return -1
+}
+
+// MarkEvaluated removes c from the remaining set in O(1); unknown or
+// already-removed configurations are ignored.
+func (p *Pool) MarkEvaluated(c space.Config) {
+	key := p.sp.Key(c)
+	i, ok := p.pos[key]
+	if !ok {
+		return
+	}
+	last := len(p.remaining) - 1
+	moved := p.remaining[last]
+	p.remaining[i] = moved
+	p.remaining = p.remaining[:last]
+	delete(p.pos, key)
+	if i <= last-1 {
+		p.pos[p.sp.Key(p.candidates[moved])] = i
+	}
+}
+
+// Batch returns the columnar view of the full candidate set, building
+// it on first use. Row i of the batch is candidate i, so scores
+// computed over it are indexed by candidate index.
+func (p *Pool) Batch() (*space.Batch, error) {
+	if p.batch == nil {
+		b, err := space.NewBatch(p.sp, p.candidates)
+		if err != nil {
+			return nil, err
+		}
+		p.batch = b
+	}
+	return p.batch, nil
+}

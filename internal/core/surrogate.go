@@ -252,11 +252,61 @@ func (s *Surrogate) Score(c space.Config) float64 {
 	return score
 }
 
+// ScoreBatch computes Score for every row of the batch, accumulating
+// into dst (dst[i] receives row i's score; len(dst) must equal
+// b.Len()). Scores are accumulated per parameter column in the same
+// dimension order and with the same paired subtraction as Score, so
+// the results are bit-identical to calling Score row by row — only
+// laid out so the discrete fast path is a contiguous table-lookup
+// loop with no interface dispatch.
+func (s *Surrogate) ScoreBatch(b *space.Batch, dst []float64) {
+	if len(dst) != b.Len() {
+		panic(fmt.Sprintf("core: ScoreBatch dst has %d slots for %d rows", len(dst), b.Len()))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for d := range s.good {
+		col := b.Col(d)
+		g, bad := s.good[d], s.bad[d]
+		if gd, ok := g.(discreteDensity); ok {
+			if bd, ok2 := bad.(discreteDensity); ok2 {
+				gl, bl := gd.logP, bd.logP
+				for i, x := range col {
+					dst[i] += gl[int(x)] - bl[int(x)]
+				}
+				continue
+			}
+		}
+		for i, x := range col {
+			dst[i] += g.logProb(x) - bad.logProb(x)
+		}
+	}
+}
+
 // EI returns the expected improvement of eq. 5 up to the constant
 // factor: 1 / (α + (pb/pg)(1-α)). Exposed for the Fig. 1 toy
 // visualization; selection uses Score.
+//
+// Score can be ±Inf when a continuous density has zero mass at c
+// (KDE underflow far from every kernel), and NaN when both densities
+// underflow on different dimensions. Raw math.Exp would turn those
+// into +Inf or NaN and poison downstream sums, so the score is
+// clamped to the range where Exp is finite, and the no-signal NaN
+// case maps to the neutral score 0.
 func (s *Surrogate) EI(c space.Config) float64 {
-	ratio := math.Exp(-s.Score(c)) // pb/pg
+	score := s.Score(c)
+	if math.IsNaN(score) {
+		// Zero mass under pg and pb alike: the model has no opinion.
+		score = 0
+	}
+	// |score| <= 700 keeps Exp finite (Exp(709) overflows float64).
+	if score > 700 {
+		score = 700
+	} else if score < -700 {
+		score = -700
+	}
+	ratio := math.Exp(-score) // pb/pg
 	return 1 / (s.alpha + ratio*(1-s.alpha))
 }
 

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
+	"strings"
 
 	"github.com/hpcautotune/hiperbot/internal/space"
 	"github.com/hpcautotune/hiperbot/internal/stats"
@@ -15,7 +15,10 @@ import (
 type Objective func(space.Config) float64
 
 // Strategy selects how the next candidate is chosen from the
-// surrogate (paper §III-D).
+// surrogate (paper §III-D). It predates the named-engine registry;
+// Options.Engine supersedes it and accepts any registered engine,
+// with Strategy kept as the zero-config spelling of the two TPE
+// engines.
 type Strategy int
 
 const (
@@ -52,14 +55,24 @@ type Options struct {
 	// Surrogate carries the density hyperparameters (α, smoothing,
 	// bandwidth, prior).
 	Surrogate SurrogateConfig
-	// Strategy picks Ranking or Proposal. Ignored (forced to Proposal)
-	// when the space has continuous parameters.
+	// Engine names the registered engine driving selection ("ranking",
+	// "proposal", "random", "geist", ...; see RegisterEngine). Empty
+	// falls back to Strategy.
+	Engine string
+	// EngineConfig carries engine-specific configuration to the
+	// engine's factory (e.g. geist.EngineConfig); nil uses the
+	// engine's defaults.
+	EngineConfig any
+	// Strategy picks Ranking or Proposal when Engine is empty. Ignored
+	// (forced to Proposal) when the space has continuous parameters
+	// and no candidate set is given.
 	Strategy Strategy
 	// ProposalCandidates is the number of pg-samples scored per
 	// iteration under the Proposal strategy.
 	ProposalCandidates int
-	// Candidates optionally fixes the Ranking candidate set. When nil,
-	// the space is enumerated (requires a fully discrete space).
+	// Candidates optionally fixes the candidate pool for pool-backed
+	// engines. When nil, the space is enumerated (requires a fully
+	// discrete space).
 	Candidates []space.Config
 	// Seed drives all pseudo-randomness; runs are reproducible.
 	Seed uint64
@@ -86,9 +99,10 @@ func (o Options) withDefaults() Options {
 }
 
 // Tuner runs HiPerBOt's iterative loop (paper §III-C): seed the
-// history with random samples, then repeatedly build the surrogate,
-// select the candidate with the highest expected improvement, evaluate
-// it, and fold the observation back in.
+// history with random samples, then repeatedly fit the engine's
+// model, acquire the most promising candidates, evaluate them, and
+// fold the observations back in. The model and acquisition rule are
+// pluggable (see Model, Acquirer, RegisterEngine); the loop is not.
 type Tuner struct {
 	sp      *space.Space
 	obj     Objective
@@ -96,12 +110,12 @@ type Tuner struct {
 	rng     *stats.RNG
 	history *History
 
-	candidates []space.Config // Ranking candidate pool
-	remaining  []int          // indices into candidates not yet evaluated
-	pos        map[string]int // candidate key → position in remaining
-	surrogate  *Surrogate     // current model (nil before first build)
-	strategy   Strategy
-	iter       int
+	pool     *Pool // nil for pool-less engines
+	engine   string
+	model    Model
+	acquirer Acquirer
+	strategy Strategy
+	iter     int
 }
 
 // NewTuner validates the options and prepares a tuner. The objective
@@ -117,37 +131,58 @@ func NewTuner(sp *space.Space, obj Objective, opts Options) (*Tuner, error) {
 	if err := opts.Surrogate.validate(); err != nil {
 		return nil, err
 	}
+	name := strings.ToLower(opts.Engine)
+	if name == "" {
+		name = opts.Strategy.String()
+	}
+	if name == Ranking.String() && opts.Candidates == nil && !sp.AllDiscrete() {
+		// Ranking needs a finite candidate set; fall back to Proposal.
+		name = Proposal.String()
+	}
+	spec, ok := LookupEngine(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown engine %q (registered: %s)",
+			name, strings.Join(EngineNames(), ", "))
+	}
 	t := &Tuner{
 		sp:      sp,
 		obj:     obj,
 		opts:    opts,
 		rng:     stats.NewRNG(opts.Seed),
 		history: NewHistory(sp),
+		engine:  name,
 	}
-	t.strategy = opts.Strategy
-	if !sp.AllDiscrete() && t.strategy == Ranking && opts.Candidates == nil {
-		// Ranking needs a finite candidate set; fall back to Proposal.
-		t.strategy = Proposal
-	}
-	if t.strategy == Ranking {
-		if opts.Candidates != nil {
-			t.candidates = opts.Candidates
-		} else {
-			t.candidates = sp.Enumerate()
-		}
-		if len(t.candidates) == 0 {
-			return nil, fmt.Errorf("core: empty candidate set")
-		}
-		t.remaining = make([]int, len(t.candidates))
-		t.pos = make(map[string]int, len(t.candidates))
-		for i := range t.remaining {
-			t.remaining[i] = i
-			key := sp.Key(t.candidates[i])
-			if _, dup := t.pos[key]; dup {
-				return nil, fmt.Errorf("core: duplicate candidate %s", sp.Describe(t.candidates[i]))
+	buildPool := spec.Pool == PoolRequired ||
+		(spec.Pool == PoolPreferred && (opts.Candidates != nil || sp.AllDiscrete()))
+	if buildPool {
+		cands := opts.Candidates
+		if cands == nil {
+			if !sp.AllDiscrete() {
+				return nil, fmt.Errorf("core: engine %q needs a finite candidate set: set Options.Candidates or use a fully discrete space", name)
 			}
-			t.pos[key] = i
+			cands = sp.Enumerate()
 		}
+		pool, err := NewPool(sp, cands)
+		if err != nil {
+			return nil, err
+		}
+		t.pool = pool
+	}
+	model, acquirer, err := spec.New(sp, opts, t.pool)
+	if err != nil {
+		return nil, err
+	}
+	t.model = model
+	t.acquirer = acquirer
+	// Legacy strategy view: the two TPE engines report themselves;
+	// other engines are classified by whether they select from a pool.
+	switch {
+	case name == Proposal.String():
+		t.strategy = Proposal
+	case name == Ranking.String() || t.pool != nil:
+		t.strategy = Ranking
+	default:
+		t.strategy = Proposal
 	}
 	return t, nil
 }
@@ -155,12 +190,30 @@ func NewTuner(sp *space.Space, obj Objective, opts Options) (*Tuner, error) {
 // History exposes the observation history.
 func (t *Tuner) History() *History { return t.history }
 
-// Surrogate returns the most recently built surrogate (nil until the
-// first model-based step).
-func (t *Tuner) Surrogate() *Surrogate { return t.surrogate }
+// Model returns the engine's model, e.g. for rendering marginals
+// (Marginaler) or inspecting the fitted surrogate (*TPEModel).
+func (t *Tuner) Model() Model { return t.model }
 
-// StrategyInUse reports the effective selection strategy.
+// EngineName reports which registered engine drives selection.
+func (t *Tuner) EngineName() string { return t.engine }
+
+// StrategyInUse reports the effective selection strategy (the legacy
+// two-valued view of EngineName).
 func (t *Tuner) StrategyInUse() Strategy { return t.strategy }
+
+// Importance fits the engine's model on the current history and
+// returns its per-parameter importance scores. It returns nil scores
+// (no error) for models that do not define importance, and an error
+// when the history is empty or the fit fails.
+func (t *Tuner) Importance() ([]float64, error) {
+	if t.history.Len() == 0 {
+		return nil, fmt.Errorf("core: Importance before any evaluation")
+	}
+	if err := t.model.Fit(t.history); err != nil {
+		return nil, err
+	}
+	return t.model.Importance(), nil
+}
 
 // Evaluations returns the number of objective evaluations so far.
 func (t *Tuner) Evaluations() int { return t.history.Len() }
@@ -173,9 +226,22 @@ func (t *Tuner) InitialSamples() int { return t.opts.InitialSamples }
 // evaluation.
 func (t *Tuner) Best() Observation { return t.history.Best() }
 
+// acquisition assembles the per-call view handed to the Acquirer.
+func (t *Tuner) acquisition() *Acquisition {
+	return &Acquisition{
+		Space:              t.sp,
+		Model:              t.model,
+		History:            t.history,
+		Pool:               t.pool,
+		RNG:                t.rng,
+		Parallelism:        t.opts.Parallelism,
+		ProposalCandidates: t.opts.ProposalCandidates,
+	}
+}
+
 // Step performs exactly one objective evaluation: one of the initial
 // random samples while H is smaller than InitialSamples, afterwards
-// one surrogate-guided selection. It returns the new observation.
+// one model-guided selection. It returns the new observation.
 func (t *Tuner) Step() (Observation, error) {
 	var c space.Config
 	switch {
@@ -186,15 +252,17 @@ func (t *Tuner) Step() (Observation, error) {
 			return Observation{}, err
 		}
 	default:
-		s, err := BuildSurrogate(t.history, t.opts.Surrogate)
+		if err := t.model.Fit(t.history); err != nil {
+			return Observation{}, err
+		}
+		picks, err := t.acquirer.Propose(t.acquisition(), 1)
 		if err != nil {
 			return Observation{}, err
 		}
-		t.surrogate = s
-		c, err = t.selectCandidate(s)
-		if err != nil {
-			return Observation{}, err
+		if len(picks) == 0 {
+			return Observation{}, fmt.Errorf("core: no unevaluated candidates remain")
 		}
+		c = picks[0]
 	}
 	v := t.obj(c)
 	if err := t.history.Add(c, v); err != nil {
@@ -202,6 +270,7 @@ func (t *Tuner) Step() (Observation, error) {
 	}
 	t.markEvaluated(c)
 	obs := Observation{Config: c, Value: v}
+	t.model.Observe(obs)
 	if t.opts.OnStep != nil {
 		t.opts.OnStep(t.iter, obs)
 	}
@@ -216,9 +285,9 @@ func (t *Tuner) Run(budget int) (Observation, error) {
 		return Observation{}, fmt.Errorf("core: budget %d smaller than %d initial samples",
 			budget, t.opts.InitialSamples)
 	}
-	if t.strategy == Ranking && budget > len(t.candidates) {
+	if t.pool != nil && budget > t.pool.Size() {
 		return Observation{}, fmt.Errorf("core: budget %d exceeds the %d available configurations",
-			budget, len(t.candidates))
+			budget, t.pool.Size())
 	}
 	for t.history.Len() < budget {
 		if _, err := t.Step(); err != nil {
@@ -240,7 +309,7 @@ func (t *Tuner) RunUntilStall(maxBudget, stallLimit int, tol float64) (Observati
 	stall := 0
 	bestSoFar := math.Inf(1)
 	for t.history.Len() < maxBudget {
-		if t.strategy == Ranking && len(t.remaining) == 0 {
+		if t.pool != nil && t.pool.RemainingCount() == 0 {
 			break
 		}
 		obs, err := t.Step()
@@ -267,12 +336,13 @@ func (t *Tuner) RunUntilStall(maxBudget, stallLimit int, tol float64) (Observati
 // sampleInitial draws a uniformly random configuration that has not
 // been evaluated yet.
 func (t *Tuner) sampleInitial() (space.Config, error) {
-	if t.strategy == Ranking {
-		if len(t.remaining) == 0 {
+	if t.pool != nil {
+		if t.pool.RemainingCount() == 0 {
 			return nil, fmt.Errorf("core: candidate pool exhausted during initialization")
 		}
-		pick := t.rng.Intn(len(t.remaining))
-		return t.candidates[t.remaining[pick]], nil
+		rem := t.pool.Remaining()
+		pick := t.rng.Intn(len(rem))
+		return t.pool.Candidate(rem[pick]), nil
 	}
 	const maxTries = 100000
 	for try := 0; try < maxTries; try++ {
@@ -295,10 +365,11 @@ func (t *Tuner) SelectInitial(k int, skip func(space.Config) bool) ([]space.Conf
 	if k < 1 {
 		return nil, fmt.Errorf("core: SelectInitial with k < 1")
 	}
-	if t.strategy == Ranking {
-		avail := make([]int, 0, len(t.remaining))
-		for _, idx := range t.remaining {
-			if skip == nil || !skip(t.candidates[idx]) {
+	if t.pool != nil {
+		rem := t.pool.Remaining()
+		avail := make([]int, 0, len(rem))
+		for _, idx := range rem {
+			if skip == nil || !skip(t.pool.Candidate(idx)) {
 				avail = append(avail, idx)
 			}
 		}
@@ -308,7 +379,7 @@ func (t *Tuner) SelectInitial(k int, skip func(space.Config) bool) ([]space.Conf
 		out := make([]space.Config, 0, k)
 		for len(out) < k {
 			pick := t.rng.Intn(len(avail))
-			out = append(out, t.candidates[avail[pick]])
+			out = append(out, t.pool.Candidate(avail[pick]))
 			avail[pick] = avail[len(avail)-1]
 			avail = avail[:len(avail)-1]
 		}
@@ -329,118 +400,9 @@ func (t *Tuner) SelectInitial(k int, skip func(space.Config) bool) ([]space.Conf
 	return out, nil
 }
 
-// markEvaluated removes c from the Ranking candidate pool in O(1).
+// markEvaluated removes c from the candidate pool in O(1).
 func (t *Tuner) markEvaluated(c space.Config) {
-	if t.strategy != Ranking {
-		return
+	if t.pool != nil {
+		t.pool.MarkEvaluated(c)
 	}
-	key := t.sp.Key(c)
-	i, ok := t.pos[key]
-	if !ok {
-		return
-	}
-	last := len(t.remaining) - 1
-	moved := t.remaining[last]
-	t.remaining[i] = moved
-	t.remaining = t.remaining[:last]
-	delete(t.pos, key)
-	if i <= last-1 {
-		t.pos[t.sp.Key(t.candidates[moved])] = i
-	}
-}
-
-// selectCandidate picks the next configuration to evaluate.
-func (t *Tuner) selectCandidate(s *Surrogate) (space.Config, error) {
-	switch t.strategy {
-	case Ranking:
-		return t.selectByRanking(s)
-	case Proposal:
-		return t.selectByProposal(s)
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", t.strategy)
-	}
-}
-
-// selectByRanking scores every remaining candidate in parallel and
-// returns the argmax (ties broken by pool order, which is stable for a
-// fixed seed).
-func (t *Tuner) selectByRanking(s *Surrogate) (space.Config, error) {
-	if len(t.remaining) == 0 {
-		return nil, fmt.Errorf("core: no unevaluated candidates remain")
-	}
-	scores := make([]float64, len(t.remaining))
-	parallelFor(len(t.remaining), t.opts.Parallelism, func(i int) {
-		scores[i] = s.Score(t.candidates[t.remaining[i]])
-	})
-	best := 0
-	for i := 1; i < len(scores); i++ {
-		if scores[i] > scores[best] {
-			best = i
-		}
-	}
-	return t.candidates[t.remaining[best]], nil
-}
-
-// selectByProposal draws candidates from pg and returns the
-// best-scoring previously unevaluated one.
-func (t *Tuner) selectByProposal(s *Surrogate) (space.Config, error) {
-	var best space.Config
-	bestScore := math.Inf(-1)
-	misses := 0
-	for i := 0; i < t.opts.ProposalCandidates; i++ {
-		c := s.SampleGood(t.rng)
-		if t.history.Contains(c) {
-			misses++
-			continue
-		}
-		if sc := s.Score(c); sc > bestScore {
-			bestScore = sc
-			best = c
-		}
-	}
-	if best == nil {
-		// Every proposal was a duplicate (tiny discrete space); fall
-		// back to uniform exploration.
-		for try := 0; try < 100000; try++ {
-			c := t.sp.Sample(t.rng)
-			if !t.history.Contains(c) {
-				return c, nil
-			}
-		}
-		return nil, fmt.Errorf("core: proposal strategy exhausted the space")
-	}
-	return best, nil
-}
-
-// parallelFor runs body(i) for i in [0, n) on up to workers goroutines.
-func parallelFor(n, workers int, body func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }

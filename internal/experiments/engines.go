@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/harness"
+
+	// The shootout is name-driven; make sure the geist engine is
+	// registered even when the caller forgot the blank import.
+	_ "github.com/hpcautotune/hiperbot/internal/geist"
+)
+
+// EngineShootout runs the Fig. 2-6 selection protocol with one curve
+// per named engine from the core registry ("ranking", "proposal",
+// "random", "geist", ...), instead of the paper's fixed method set.
+// It lets any newly registered engine be benchmarked against the
+// incumbents without writing a harness wrapper.
+func EngineShootout(model *apps.Model, engines []string, checkpoints []int, cfg Config) (*SelectionResult, error) {
+	cfg = cfg.withDefaults()
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("experiments: no engines named")
+	}
+	tbl := model.Table()
+	good := harness.PercentileGoodSet(tbl, cfg.RecallPercentile)
+	spec := harness.CurveSpec{
+		Table:       tbl,
+		Checkpoints: checkpoints,
+		Repetitions: cfg.Repetitions,
+		Good:        good,
+		BaseSeed:    cfg.Seed,
+	}
+	methods := make([]harness.Method, len(engines))
+	for i, name := range engines {
+		methods[i] = harness.Engine(name)
+	}
+	curves, err := harness.RunCurves(methods, spec)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", model.Name(), err)
+	}
+	_, _, best := tbl.Best()
+	expertCfg, note := model.Expert()
+	expertVal, ok := tbl.Lookup(expertCfg)
+	if !ok {
+		return nil, fmt.Errorf("experiments: %s: expert config missing", model.Name())
+	}
+	return &SelectionResult{
+		Dataset:        model.Name(),
+		Metric:         model.Metric(),
+		SpaceSize:      tbl.Len(),
+		GoodSetSize:    good.Size(),
+		ExhaustiveBest: best,
+		Expert:         expertVal,
+		ExpertNote:     note,
+		Curves:         curves,
+	}, nil
+}
+
+// ShootoutModel resolves a dataset name ("kripke-exec", ...) to its
+// model and the checkpoint schedule the corresponding figure uses.
+func ShootoutModel(name string) (*apps.Model, []int, error) {
+	schedules := map[string][]int{
+		"kripke-exec":   {32, 64, 96, 128, 160, 192},
+		"kripke-energy": {39, 139, 239, 339, 439},
+		"hypre":         {41, 141, 241, 341, 441},
+		"lulesh":        {46, 146, 246, 346, 446},
+		"openatom":      {39, 139, 239, 339, 439},
+	}
+	cps, ok := schedules[name]
+	if !ok {
+		names := make([]string, 0, len(schedules))
+		for n := range schedules {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, nil, fmt.Errorf("experiments: unknown dataset %q (available: %v)", name, names)
+	}
+	for _, m := range AllModels() {
+		if m.Name() == name {
+			return m, cps, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("experiments: dataset %q has no model", name)
+}

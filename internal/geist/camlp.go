@@ -3,7 +3,8 @@ package geist
 import (
 	"math"
 	"runtime"
-	"sync"
+
+	"github.com/hpcautotune/hiperbot/internal/par"
 )
 
 // CAMLP runs confidence-aware modulated label propagation
@@ -78,45 +79,25 @@ func (c CAMLP) Propagate(g *Graph, labels map[int]bool) []float64 {
 // parallelSweep performs one Jacobi update and returns the max change.
 func parallelSweep(g *Graph, prior, cur, next []float64, beta float64, workers int) float64 {
 	n := g.NumNodes()
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	deltas := make([]float64, workers)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var maxDelta float64
-			for i := lo; i < hi; i++ {
-				sum := 0.0
-				wsum := 0.0
-				for k, j := range g.Neighbors(i) {
-					ew := g.Weight(i, k)
-					sum += ew * cur[j]
-					wsum += ew
-				}
-				v := (prior[i] + beta*sum) / (1 + beta*wsum)
-				if d := math.Abs(v - cur[i]); d > maxDelta {
-					maxDelta = d
-				}
-				next[i] = v
+	deltas := make([]float64, par.NumChunks(n, workers))
+	par.Chunks(n, workers, func(chunk, lo, hi int) {
+		var maxDelta float64
+		for i := lo; i < hi; i++ {
+			sum := 0.0
+			wsum := 0.0
+			for k, j := range g.Neighbors(i) {
+				ew := g.Weight(i, k)
+				sum += ew * cur[j]
+				wsum += ew
 			}
-			deltas[w] = maxDelta
-		}(w, lo, hi)
-	}
-	wg.Wait()
+			v := (prior[i] + beta*sum) / (1 + beta*wsum)
+			if d := math.Abs(v - cur[i]); d > maxDelta {
+				maxDelta = d
+			}
+			next[i] = v
+		}
+		deltas[chunk] = maxDelta
+	})
 	var maxDelta float64
 	for _, d := range deltas {
 		if d > maxDelta {

@@ -13,10 +13,9 @@ package geist
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/par"
 	"github.com/hpcautotune/hiperbot/internal/space"
 )
 
@@ -48,41 +47,48 @@ func BuildWeightedGraph(tbl *dataset.Table) *Graph {
 }
 
 func buildGraph(tbl *dataset.Table, weighted bool) *Graph {
-	g := &Graph{n: tbl.Len(), adj: make([][]int32, tbl.Len())}
+	return buildGraphIndexed(tbl.Space, tbl.Len(), tbl.Config, tbl.IndexOf, weighted)
+}
+
+// BuildGraphFromConfigs constructs the unweighted Hamming-1 graph
+// over an explicit candidate list (node i = configs[i]) — the path
+// used when the "geist" engine is handed a candidate pool with no
+// prebuilt graph. Duplicate configurations must not occur.
+func BuildGraphFromConfigs(sp *space.Space, configs []space.Config) *Graph {
+	index := make(map[string]int, len(configs))
+	for i, c := range configs {
+		index[sp.Key(c)] = i
+	}
+	indexOf := func(c space.Config) int {
+		if j, ok := index[sp.Key(c)]; ok {
+			return j
+		}
+		return -1
+	}
+	config := func(i int) space.Config { return configs[i] }
+	return buildGraphIndexed(sp, len(configs), config, indexOf, false)
+}
+
+// buildGraphIndexed does the parallel neighbor discovery shared by
+// the table- and config-list-backed constructors.
+func buildGraphIndexed(sp *space.Space, n int, config func(int) space.Config, indexOf func(space.Config) int, weighted bool) *Graph {
+	g := &Graph{n: n, adj: make([][]int32, n)}
 	if weighted {
-		g.weights = make([][]float32, tbl.Len())
+		g.weights = make([][]float32, n)
 	}
-	sp := tbl.Space
-	workers := runtime.GOMAXPROCS(0)
-	var wg sync.WaitGroup
-	chunk := (g.n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > g.n {
-			hi = g.n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				ci := tbl.Config(i)
-				for _, nb := range sp.Neighbors(ci) {
-					j := tbl.IndexOf(nb)
-					if j < 0 {
-						continue
-					}
-					g.adj[i] = append(g.adj[i], int32(j))
-					if weighted {
-						g.weights[i] = append(g.weights[i], edgeWeight(sp, ci, nb))
-					}
-				}
+	par.For(n, 0, func(i int) {
+		ci := config(i)
+		for _, nb := range sp.Neighbors(ci) {
+			j := indexOf(nb)
+			if j < 0 {
+				continue
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			g.adj[i] = append(g.adj[i], int32(j))
+			if weighted {
+				g.weights[i] = append(g.weights[i], edgeWeight(sp, ci, nb))
+			}
+		}
+	})
 	return g
 }
 

@@ -2,10 +2,10 @@ package geist
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/space"
 	"github.com/hpcautotune/hiperbot/internal/stats"
 )
 
@@ -82,7 +82,15 @@ func NewSampler(tbl *dataset.Table, g *Graph, opts Options) (*Sampler, error) {
 	return &Sampler{tbl: tbl, g: g, opts: opts}, nil
 }
 
-// Run evaluates budget configurations and returns the history.
+// Run evaluates budget configurations and returns the history. It is
+// a thin adapter over the registered "geist" engine: the bootstrap
+// draws happen here (GEIST labels nodes "based on some initial
+// threshold for the objective function", paper §V, so the threshold
+// is fixed from the bootstrap — unlike HiPerBOt's adaptive
+// α-quantile), then the shared core.Tuner loop drives CAMLP
+// propagation rounds through the engine. The bootstrap RNG is handed
+// to the engine for its exploration picks, preserving the original
+// sampler's exact draw sequence for a fixed seed.
 func (s *Sampler) Run(budget int) (*core.History, error) {
 	if budget < s.opts.InitialSamples {
 		return nil, fmt.Errorf("geist: budget %d below %d initial samples", budget, s.opts.InitialSamples)
@@ -91,74 +99,40 @@ func (s *Sampler) Run(budget int) (*core.History, error) {
 		return nil, fmt.Errorf("geist: budget %d exceeds dataset size %d", budget, s.tbl.Len())
 	}
 	r := stats.NewRNG(s.opts.Seed)
-	h := core.NewHistory(s.tbl.Space)
-	evaluated := make(map[int]bool, budget)
-
-	evalNode := func(idx int) error {
-		evaluated[idx] = true
-		return h.Add(s.tbl.Config(idx), s.tbl.Value(idx))
-	}
 
 	// Bootstrap with uniform random configurations.
+	h := core.NewHistory(s.tbl.Space)
 	for _, idx := range r.SampleWithoutReplacement(s.tbl.Len(), s.opts.InitialSamples) {
-		if err := evalNode(idx); err != nil {
+		if err := h.Add(s.tbl.Config(idx), s.tbl.Value(idx)); err != nil {
 			return nil, err
 		}
 	}
 
-	// GEIST labels nodes "based on some initial threshold for the
-	// objective function" (paper §V): the threshold is fixed from the
-	// bootstrap observations, unlike HiPerBOt's adaptive α-quantile.
-	threshold := stats.Quantile(h.Values(), s.opts.Quantile)
-
-	for h.Len() < budget {
-		labels := make(map[int]bool, len(evaluated))
-		for idx := range evaluated {
-			labels[idx] = s.tbl.Value(idx) <= threshold
-		}
-
-		beliefs := s.opts.CAMLP.Propagate(s.g, labels)
-
-		// Rank unevaluated nodes by optimal belief.
-		want := s.opts.BatchSize
-		if rem := budget - h.Len(); want > rem {
-			want = rem
-		}
-		nExplore := int(float64(want) * s.opts.ExploreFrac)
-		nExploit := want - nExplore
-
-		order := make([]int, 0, s.tbl.Len()-len(evaluated))
-		for i := 0; i < s.tbl.Len(); i++ {
-			if !evaluated[i] {
-				order = append(order, i)
-			}
-		}
-		sort.Slice(order, func(a, b int) bool {
-			if beliefs[order[a]] != beliefs[order[b]] {
-				return beliefs[order[a]] > beliefs[order[b]]
-			}
-			return order[a] < order[b] // deterministic tie-break
-		})
-		for i := 0; i < nExploit && i < len(order); i++ {
-			if err := evalNode(order[i]); err != nil {
-				return nil, err
-			}
-		}
-		// Exploration picks: uniform over the remaining unevaluated.
-		for k := 0; k < nExplore; k++ {
-			var pool []int
-			for i := 0; i < s.tbl.Len(); i++ {
-				if !evaluated[i] {
-					pool = append(pool, i)
-				}
-			}
-			if len(pool) == 0 {
-				break
-			}
-			if err := evalNode(pool[r.Intn(len(pool))]); err != nil {
-				return nil, err
-			}
-		}
+	candidates := make([]space.Config, s.tbl.Len())
+	for i := range candidates {
+		candidates[i] = s.tbl.Config(i)
 	}
-	return h, nil
+	tn, err := core.NewTuner(s.tbl.Space, s.tbl.Objective(), core.Options{
+		Engine:         "geist",
+		InitialSamples: s.opts.InitialSamples,
+		Seed:           s.opts.Seed,
+		Candidates:     candidates,
+		EngineConfig: EngineConfig{
+			Graph:       s.g,
+			CAMLP:       s.opts.CAMLP,
+			Quantile:    s.opts.Quantile,
+			ExploreFrac: s.opts.ExploreFrac,
+			RNG:         r,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tn.Resume(h); err != nil {
+		return nil, err
+	}
+	if _, err := tn.RunBatched(budget, s.opts.BatchSize); err != nil {
+		return nil, err
+	}
+	return tn.History(), nil
 }

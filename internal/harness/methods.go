@@ -81,6 +81,33 @@ func HiPerBOt(opts HiPerBOtOptions) Method {
 	}
 }
 
+// Engine wraps any registered core engine, selected by name, as a
+// harness method — the dataset's rows become the candidate pool, so
+// pool-preferring and pool-requiring engines alike only ever choose
+// measured configurations. Unknown names surface as NewTuner errors on
+// the first Run. Note this drives every engine through the one shared
+// tuner loop, so e.g. "geist" here uses the tuner's RNG stream, not
+// the legacy geist.Sampler bootstrap stream (use GEIST for that).
+func Engine(name string) Method {
+	return Method{
+		Name: name,
+		Run: func(tbl *dataset.Table, budget int, seed uint64) (*core.History, error) {
+			tn, err := core.NewTuner(tbl.Space, tbl.Objective(), core.Options{
+				Engine:     name,
+				Seed:       seed,
+				Candidates: tableCandidates(tbl),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := tn.Run(budget); err != nil {
+				return nil, err
+			}
+			return tn.History(), nil
+		},
+	}
+}
+
 // Random wraps uniform random selection.
 func Random() Method {
 	return Method{

@@ -18,7 +18,12 @@ type SessionOptions struct {
 	InitialSamples int `json:"initial_samples,omitempty"`
 	// Seed drives all pseudo-randomness of the session.
 	Seed uint64 `json:"seed,omitempty"`
-	// Strategy is "ranking" or "proposal" ("" picks automatically).
+	// Strategy names the engine driving the session's selection: any
+	// name registered with the daemon's core engine registry —
+	// "ranking", "proposal", "random", and "geist" in the stock
+	// hiperbotd binary. "" picks automatically (ranking on finite
+	// spaces, proposal otherwise). Unknown names fail session
+	// creation with 400.
 	Strategy string `json:"strategy,omitempty"`
 	// ProposalCandidates is the pg-sample count per proposal step.
 	ProposalCandidates int `json:"proposal_candidates,omitempty"`

@@ -1,0 +1,90 @@
+// Package par provides the repo's shared data-parallel loop
+// primitives: static chunking over [0, n) on a bounded number of
+// goroutines. Candidate scoring, graph construction, and label
+// propagation all follow the same shape — embarrassingly parallel
+// sweeps over dense index ranges — so they share one implementation
+// instead of each package growing its own ad-hoc worker pool.
+//
+// The scheduling is deterministic: NumChunks(n, workers) contiguous
+// chunks of near-equal size, chunk c covering [c*ceil(n/workers),
+// ...). Results indexed by element or by chunk therefore land in the
+// same slots regardless of goroutine interleaving, which keeps
+// parallel callers bit-reproducible.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// resolve normalizes a worker count: 0 or negative means GOMAXPROCS,
+// and never more workers than elements.
+func resolve(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// chunkSize returns the per-chunk element count used by Chunks.
+func chunkSize(n, workers int) int {
+	return (n + workers - 1) / workers
+}
+
+// NumChunks reports how many chunks Chunks(n, workers, ...) will
+// invoke, so callers can preallocate per-chunk accumulators.
+func NumChunks(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	workers = resolve(n, workers)
+	size := chunkSize(n, workers)
+	return (n + size - 1) / size
+}
+
+// Chunks runs body(chunk, lo, hi) for each contiguous chunk [lo, hi)
+// of [0, n), on up to workers goroutines (workers <= 0 means
+// GOMAXPROCS). With one worker the body runs inline on the calling
+// goroutine. Chunk boundaries depend only on n and workers, never on
+// scheduling.
+func Chunks(n, workers int, body func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = resolve(n, workers)
+	if workers == 1 {
+		body(0, 0, n)
+		return
+	}
+	size := chunkSize(n, workers)
+	var wg sync.WaitGroup
+	for c, lo := 0, 0; lo < n; c, lo = c+1, lo+size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			body(c, lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+}
+
+// For runs body(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 means GOMAXPROCS) — the element-wise convenience
+// wrapper over Chunks.
+func For(n, workers int, body func(i int)) {
+	Chunks(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		n := 101
+		hits := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndTiny(t *testing.T) {
+	calls := 0
+	For(0, 4, func(int) { calls++ })
+	For(-3, 4, func(int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("body called %d times for empty ranges", calls)
+	}
+	For(1, 8, func(i int) {
+		if i != 0 {
+			t.Fatalf("unexpected index %d", i)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Fatalf("single-element range called %d times", calls)
+	}
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{10, 3}, {10, 1}, {10, 10}, {10, 100}, {1, 4}, {1000, 8}, {7, 0},
+	} {
+		var total int64
+		seen := make([]int32, tc.n)
+		nc := NumChunks(tc.n, tc.workers)
+		maxChunk := int32(-1)
+		var maxMu atomic.Int32
+		maxMu.Store(-1)
+		Chunks(tc.n, tc.workers, func(c, lo, hi int) {
+			if lo >= hi {
+				t.Errorf("n=%d w=%d: empty chunk [%d,%d)", tc.n, tc.workers, lo, hi)
+			}
+			atomic.AddInt64(&total, int64(hi-lo))
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+			for {
+				cur := maxMu.Load()
+				if int32(c) <= cur || maxMu.CompareAndSwap(cur, int32(c)) {
+					break
+				}
+			}
+		})
+		maxChunk = maxMu.Load()
+		if int(total) != tc.n {
+			t.Fatalf("n=%d w=%d: covered %d elements", tc.n, tc.workers, total)
+		}
+		for i, s := range seen {
+			if s != 1 {
+				t.Fatalf("n=%d w=%d: index %d covered %d times", tc.n, tc.workers, i, s)
+			}
+		}
+		if int(maxChunk)+1 != nc {
+			t.Fatalf("n=%d w=%d: NumChunks=%d but max chunk id was %d", tc.n, tc.workers, nc, maxChunk)
+		}
+	}
+}
+
+func TestNumChunksZero(t *testing.T) {
+	if got := NumChunks(0, 8); got != 0 {
+		t.Fatalf("NumChunks(0, 8) = %d", got)
+	}
+}

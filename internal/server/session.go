@@ -97,18 +97,21 @@ func (s *Session) checkValid(c space.Config) error {
 	return nil
 }
 
-// Info snapshots the session's progress. Importance is computed from
-// a freshly fitted surrogate once the initial phase is complete.
+// Info snapshots the session's progress. Importance comes from the
+// engine's freshly fitted model once the initial phase is complete
+// (engines whose models define no importance report none).
 func (s *Session) Info() httpapi.SessionInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// Write lock, not read lock: computing importance refits the
+	// engine's model, which mutates tuner-owned state.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	t := s.at.Tuner()
 	info := httpapi.SessionInfo{
 		ID:             s.id,
 		Evaluations:    t.Evaluations(),
 		InitialSamples: t.InitialSamples(),
 		Phase:          phaseName(s.at.InitialPhase()),
-		Strategy:       t.StrategyInUse().String(),
+		Strategy:       t.EngineName(),
 		ActiveLeases:   s.at.Leases(time.Now()),
 		CreatedAt:      s.created.UTC().Format(time.RFC3339),
 	}
@@ -117,17 +120,16 @@ func (s *Session) Info() httpapi.SessionInfo {
 		info.Best = &httpapi.Result{Config: s.sp.Labels(best.Config), Value: best.Value}
 	}
 	if !s.at.InitialPhase() {
-		if sur, err := core.BuildSurrogate(t.History(), coreSurrogateConfig(s.opts)); err == nil {
-			info.Importance = importanceEntries(s.sp, sur)
+		if raw, err := t.Importance(); err == nil && raw != nil {
+			info.Importance = importanceEntries(s.sp, raw)
 		}
 	}
 	return info
 }
 
-// importanceEntries ranks parameters by JS divergence, descending,
+// importanceEntries ranks parameters by importance score, descending,
 // with ties kept in declaration order.
-func importanceEntries(sp *space.Space, sur *core.Surrogate) []httpapi.ImportanceEntry {
-	raw := sur.Importance()
+func importanceEntries(sp *space.Space, raw []float64) []httpapi.ImportanceEntry {
 	order := make([]int, len(raw))
 	for i := range order {
 		order[i] = i

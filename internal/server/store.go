@@ -279,14 +279,19 @@ func coreOptions(o httpapi.SessionOptions) (core.Options, error) {
 		ProposalCandidates: o.ProposalCandidates,
 		Surrogate:          coreSurrogateConfig(o),
 	}
-	switch strings.ToLower(o.Strategy) {
-	case "", "ranking":
-		opts.Strategy = core.Ranking
-	case "proposal":
-		opts.Strategy = core.Proposal
-	default:
-		return core.Options{}, fmt.Errorf("server: unknown strategy %q (want ranking or proposal)", o.Strategy)
+	// Strategy selects any registered engine by name ("ranking",
+	// "proposal", "random", "geist" when compiled in, ...). The empty
+	// string keeps the paper default. Validate here so session
+	// creation fails with a 400 rather than deep inside NewTuner.
+	name := strings.ToLower(o.Strategy)
+	if name == "" {
+		name = core.Ranking.String()
 	}
+	if _, ok := core.LookupEngine(name); !ok {
+		return core.Options{}, fmt.Errorf("server: unknown strategy %q (registered: %s)",
+			o.Strategy, strings.Join(core.EngineNames(), ", "))
+	}
+	opts.Engine = name
 	return opts, nil
 }
 

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+
+	// Register the geist engine so the daemon-shaped strategy set
+	// ("ranking", "proposal", "random", "geist") is what this test
+	// exercises.
+	_ "github.com/hpcautotune/hiperbot/internal/geist"
+)
+
+// TestSessionStrategySelection creates one session per registered
+// engine name over HTTP, drives it past the initial phase, and checks
+// the reported strategy matches what was asked for.
+func TestSessionStrategySelection(t *testing.T) {
+	srv, store := newTestServer(t, "")
+	defer store.Close()
+
+	for _, strat := range []string{"ranking", "proposal", "random", "geist"} {
+		id := createTestSession(t, srv, "strat-"+strat, httpapi.SessionOptions{
+			Seed: 5, InitialSamples: 4, Strategy: strat,
+		})
+		drive(t, srv, id, 8, 2)
+		var info httpapi.SessionInfo
+		if code := doJSON(t, srv, "GET", "/v1/sessions/"+id, nil, &info); code != 200 {
+			t.Fatalf("%s: status HTTP %d", strat, code)
+		}
+		if info.Strategy != strat {
+			t.Fatalf("session created with strategy %q reports %q", strat, info.Strategy)
+		}
+		if info.Evaluations != 8 {
+			t.Fatalf("%s: evaluations = %d", strat, info.Evaluations)
+		}
+	}
+}
+
+// TestSessionStrategyDefaultsToRanking: an empty strategy keeps the
+// paper default on a finite space.
+func TestSessionStrategyDefaultsToRanking(t *testing.T) {
+	srv, store := newTestServer(t, "")
+	defer store.Close()
+	id := createTestSession(t, srv, "strat-default", httpapi.SessionOptions{Seed: 1})
+	var info httpapi.SessionInfo
+	if code := doJSON(t, srv, "GET", "/v1/sessions/"+id, nil, &info); code != 200 {
+		t.Fatalf("status HTTP %d", code)
+	}
+	if info.Strategy != "ranking" {
+		t.Fatalf("default strategy = %q, want ranking", info.Strategy)
+	}
+}
+
+// TestSessionUnknownStrategyRejected: unknown names fail creation with
+// 400 and an error that lists what is registered.
+func TestSessionUnknownStrategyRejected(t *testing.T) {
+	srv, store := newTestServer(t, "")
+	defer store.Close()
+	code := doJSON(t, srv, "POST", "/v1/sessions", httpapi.CreateSessionRequest{
+		Name: "bad", Space: testSpaceJSON(t),
+		Options: httpapi.SessionOptions{Strategy: "simulated-annealing"},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("create with unknown strategy: HTTP %d, want 400", code)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("rejected session was stored (%d sessions)", store.Len())
+	}
+}
