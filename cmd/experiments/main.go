@@ -36,10 +36,11 @@ func main() {
 		ds       = flag.String("dataset", "kripke-exec", "dataset for -engines (kripke-exec, kripke-energy, hypre, lulesh, openatom)")
 		reps     = flag.Int("reps", 50, "repetitions per method (the paper uses 50)")
 		seed     = flag.Uint64("seed", 20200518, "base random seed")
+		jobs     = flag.Int("j", 0, "concurrent repetitions (0 = GOMAXPROCS); results are identical at any setting")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Repetitions: *reps, Seed: *seed}
+	cfg := experiments.Config{Repetitions: *reps, Seed: *seed, Parallelism: *jobs}
 	start := time.Now()
 	ran := false
 

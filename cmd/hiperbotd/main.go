@@ -38,17 +38,28 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		data     = flag.String("data", "./hiperbotd-data", "session journal directory (empty = in-memory only)")
-		lease    = flag.Duration("lease", 10*time.Minute, "default candidate lease duration")
-		maxBatch = flag.Int("max-batch", 256, "largest candidate count per suggest call")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		addr       = flag.String("addr", ":8080", "listen address")
+		data       = flag.String("data", "./hiperbotd-data", "session journal directory (empty = in-memory only)")
+		lease      = flag.Duration("lease", 10*time.Minute, "default candidate lease duration")
+		maxBatch   = flag.Int("max-batch", 256, "largest candidate count per suggest call")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		fsync      = flag.String("fsync", "interval", "journal fsync policy: never (leave it to the OS), interval (sync once per flush tick), always (sync every append)")
+		flushEvery = flag.Duration("flush-interval", 100*time.Millisecond, "group-commit period for buffered journal appends")
+		flushBytes = flag.Int("flush-bytes", 64<<10, "buffered journal bytes that force a flush before the next tick (0 = write every append through immediately)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	logger.Printf("hiperbotd: engines: %s", strings.Join(core.EngineNames(), ", "))
-	store, err := server.OpenStore(*data)
+	policy, err := server.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		logger.Fatalf("hiperbotd: %v", err)
+	}
+	store, err := server.OpenStoreWithConfig(*data, server.StoreConfig{
+		Fsync:         policy,
+		FlushInterval: *flushEvery,
+		FlushBytes:    *flushBytes,
+	})
 	if err != nil {
 		logger.Fatalf("hiperbotd: %v", err)
 	}

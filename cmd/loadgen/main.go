@@ -1,0 +1,262 @@
+// Command loadgen stress-drives a hiperbotd instance with M
+// concurrent sessions × W workers per session, each running the
+// ask/tell loop over HTTP against a synthetic objective, and reports
+// throughput plus p50/p99 ask/observe latencies. It is the
+// measurement harness behind the EXPERIMENTS.md daemon numbers and
+// the CI smoke check.
+//
+//	loadgen -sessions 8 -workers 8 -evals 500          # self-contained (in-process daemon, in-memory store)
+//	loadgen -server http://localhost:8080 -sessions 4  # against a running daemon
+//
+// In self-contained mode the daemon runs in-process over an in-memory
+// store, so the numbers measure the serving stack (HTTP, store
+// sharding, session locking, tuner hot path) without journal I/O.
+// loadgen exits non-zero when any request errored or no evaluations
+// completed, so it doubles as an end-to-end smoke test.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/client"
+	"github.com/hpcautotune/hiperbot/internal/server"
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+func main() {
+	var (
+		serverURL = flag.String("server", "", "daemon base URL (empty = run an in-process daemon over an in-memory store)")
+		sessions  = flag.Int("sessions", 4, "concurrent tuning sessions (M)")
+		workers   = flag.Int("workers", 8, "workers per session (W)")
+		evals     = flag.Int("evals", 500, "target evaluations per session")
+		batch     = flag.Int("batch", 1, "candidates per suggest call")
+		params    = flag.Int("params", 5, "synthetic space dimensions")
+		levels    = flag.Int("levels", 8, "levels per dimension")
+		lease     = flag.Duration("lease", time.Minute, "candidate lease duration")
+		seed      = flag.Uint64("seed", 1, "base session seed")
+		strategy  = flag.String("strategy", "", "session strategy (empty = server default)")
+		keep      = flag.Bool("keep", false, "keep the sessions on the daemon after the run")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile (covers the in-process daemon too)")
+	)
+	flag.Parse()
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *sessions < 1 || *workers < 1 || *evals < 1 || *batch < 1 || *params < 1 || *levels < 2 {
+		fmt.Fprintln(os.Stderr, "loadgen: -sessions, -workers, -evals, -batch >= 1; -params >= 1; -levels >= 2")
+		os.Exit(2)
+	}
+
+	base := *serverURL
+	if base == "" {
+		store, err := server.OpenStore("")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		ts := httptest.NewServer(server.New(store, nil))
+		defer ts.Close()
+		base = ts.URL
+	}
+	cl, err := client.New(base, client.WithRetries(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	sp := syntheticSpace(*params, *levels)
+	if size := poolSize(*params, *levels); *evals > size {
+		fmt.Fprintf(os.Stderr, "loadgen: -evals %d exceeds the %d-configuration space (%d params × %d levels)\n",
+			*evals, size, *params, *levels)
+		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	ids := make([]string, *sessions)
+	for i := range ids {
+		id, err := cl.CreateSessionFromSpace(ctx, "", sp, client.SessionOptions{
+			Seed:     *seed + uint64(i)*7919,
+			Strategy: *strategy,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: create session %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		ids[i] = id
+	}
+	if !*keep {
+		defer func() {
+			for _, id := range ids {
+				cl.DeleteSession(ctx, id) //nolint:errcheck // best-effort cleanup
+			}
+		}()
+	}
+
+	var (
+		mu       sync.Mutex
+		askLat   []float64 // milliseconds
+		obsLat   []float64
+		added    int64
+		asks     int64
+		observes int64
+		errs     int64
+		firstErr error
+	)
+	record := func(lat *[]float64, d time.Duration) {
+		mu.Lock()
+		*lat = append(*lat, float64(d)/float64(time.Millisecond))
+		mu.Unlock()
+	}
+	fail := func(err error) {
+		mu.Lock()
+		errs++
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				for {
+					t0 := time.Now()
+					sug, err := cl.Suggest(ctx, id, *batch, *lease)
+					if err != nil {
+						fail(fmt.Errorf("suggest %s: %w", id, err))
+						return
+					}
+					record(&askLat, time.Since(t0))
+					mu.Lock()
+					asks++
+					mu.Unlock()
+					if len(sug.Candidates) == 0 {
+						return // pool exhausted (or fully leased by faster workers)
+					}
+					results := make([]client.Result, 0, len(sug.Candidates))
+					for _, cfg := range sug.Candidates {
+						c, err := sp.FromLabels(cfg)
+						if err != nil {
+							fail(fmt.Errorf("parse candidate %s: %w", id, err))
+							return
+						}
+						results = append(results, client.Result{Config: cfg, Value: objective(c)})
+					}
+					t1 := time.Now()
+					resp, err := cl.Observe(ctx, id, results)
+					if err != nil {
+						fail(fmt.Errorf("observe %s: %w", id, err))
+						return
+					}
+					record(&obsLat, time.Since(t1))
+					mu.Lock()
+					observes++
+					added += int64(resp.Added)
+					mu.Unlock()
+					if resp.Evaluations >= *evals {
+						return
+					}
+				}
+			}(id)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("loadgen: %d sessions × %d workers, target %d evals/session, batch %d, space %d^%d\n",
+		*sessions, *workers, *evals, *batch, *levels, *params)
+	fmt.Printf("loadgen: %d evaluations (%d asks, %d observes) in %v — %.0f evals/s, %.0f requests/s\n",
+		added, asks, observes, elapsed.Round(time.Millisecond),
+		float64(added)/elapsed.Seconds(), float64(asks+observes)/elapsed.Seconds())
+	printLatency("ask", askLat)
+	printLatency("observe", obsLat)
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d request error(s); first: %v\n", errs, firstErr)
+		os.Exit(1)
+	}
+	if added == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no evaluations completed")
+		os.Exit(1)
+	}
+}
+
+// printLatency renders one latency line: n, p50, p90, p99, max (ms).
+func printLatency(name string, ms []float64) {
+	if len(ms) == 0 {
+		fmt.Printf("loadgen: %s latency: no samples\n", name)
+		return
+	}
+	sort.Float64s(ms)
+	fmt.Printf("loadgen: %-7s latency (ms): p50 %.3f  p90 %.3f  p99 %.3f  max %.3f  (n=%d)\n",
+		name,
+		stats.QuantileSorted(ms, 0.50),
+		stats.QuantileSorted(ms, 0.90),
+		stats.QuantileSorted(ms, 0.99),
+		ms[len(ms)-1], len(ms))
+}
+
+// syntheticSpace builds a params-dimensional grid with levels integer
+// values per dimension.
+func syntheticSpace(params, levels int) *space.Space {
+	ps := make([]space.Param, params)
+	for d := 0; d < params; d++ {
+		vals := make([]int, levels)
+		for v := range vals {
+			vals[v] = v
+		}
+		ps[d] = space.DiscreteInts(fmt.Sprintf("p%d", d), vals...)
+	}
+	return space.New(ps...)
+}
+
+func poolSize(params, levels int) int {
+	size := 1
+	for d := 0; d < params; d++ {
+		if size > 1<<30/levels {
+			return 1 << 30 // effectively unbounded for -evals purposes
+		}
+		size *= levels
+	}
+	return size
+}
+
+// objective is a deterministic multimodal penalty sum: each dimension
+// prefers a different level, with a cross-term so the optimum is not
+// separable. Lower is better; the global optimum is unique.
+func objective(c space.Config) float64 {
+	var v float64
+	for d := range c {
+		target := float64((3*d + 1) % 8)
+		diff := c[d] - target
+		v += diff * diff
+	}
+	for d := 1; d < len(c); d++ {
+		if c[d] == c[d-1] {
+			v += 0.5
+		}
+	}
+	return v
+}

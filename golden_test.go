@@ -119,6 +119,59 @@ func TestGoldenProposalSequences(t *testing.T) {
 	assertGolden(t, "lulesh-flags-prop-s9-b30", proposalRun(t, lulesh.Flags(), 9, 30))
 }
 
+// TestGoldenIncrementalMatchesColdSelections proves the
+// fit-incremental TPE path selects bit-identically to cold rebuilds:
+// a tuner stepped continuously (its TPEModel folds each tell into
+// cached statistics) must pick, at every model-guided step, the exact
+// candidate a freshly built tuner — resumed from the same history
+// prefix, so its first fit is a cold build — picks.
+func TestGoldenIncrementalMatchesColdSelections(t *testing.T) {
+	tbl := kripke.Exec().Table()
+	cands := make([]space.Config, tbl.Len())
+	for i := 0; i < tbl.Len(); i++ {
+		cands[i] = tbl.Config(i)
+	}
+	tn, err := core.NewTuner(tbl.Space, tbl.Objective(), core.Options{
+		Seed:       42,
+		Candidates: cands,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tn.Evaluations() < 40 {
+		warm := tn.Evaluations() >= tn.InitialSamples()
+		if warm {
+			picks, err := tn.SelectBatch(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			incPick := tbl.IndexOf(picks[0])
+
+			cold, err := core.NewTuner(tbl.Space, tbl.Objective(), core.Options{
+				Seed:       42,
+				Candidates: cands,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cold.Resume(tn.History()); err != nil {
+				t.Fatal(err)
+			}
+			coldPicks, err := cold.SelectBatch(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if coldPick := tbl.IndexOf(coldPicks[0]); coldPick != incPick {
+				t.Fatalf("step %d: incremental fit picked index %d, cold rebuild picked %d",
+					tn.Evaluations(), incPick, coldPick)
+			}
+		}
+		if _, err := tn.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestGoldenGEISTSequence(t *testing.T) {
 	ke := kripke.Exec().Table()
 	g := geist.BuildGraph(ke)

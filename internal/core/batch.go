@@ -24,6 +24,11 @@ import (
 // model. It never evaluates the objective. The tuner must have
 // completed its initial sampling phase; call Step (or Run) through
 // the initial phase first.
+//
+// The returned slice is a scratch buffer reused by the next
+// acquisition on this tuner (the configurations themselves are
+// stable): consume or copy it before calling SelectBatch, Step, or
+// Ask again.
 func (t *Tuner) SelectBatch(k int) ([]space.Config, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: SelectBatch with k < 1")

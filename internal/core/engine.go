@@ -48,7 +48,9 @@ type Model interface {
 
 // Acquisition carries everything an Acquirer may consult when
 // proposing candidates. Pool is nil for engines that run without a
-// finite candidate set.
+// finite candidate set. Scratch, when non-nil, provides reusable
+// buffers and generation-keyed caches owned by the driving Tuner;
+// acquirers must work (allocating as needed) when it is nil.
 type Acquisition struct {
 	Space              *space.Space
 	Model              Model
@@ -57,6 +59,78 @@ type Acquisition struct {
 	RNG                *stats.RNG
 	Parallelism        int
 	ProposalCandidates int
+	Scratch            *Scratch
+}
+
+// rankedCandidate pairs a pool candidate index with its model score,
+// the unit of the ranking acquirer's sorted view of the pool.
+type rankedCandidate struct {
+	idx   int
+	score float64
+}
+
+// Scratch holds one tuner's reusable acquisition state: the score
+// buffer and the sorted pool ranking, both keyed by the history
+// generation (the fitted model, and therefore every candidate score,
+// is a pure function of the history), plus the picks buffer returned
+// by Propose. With a warm cache the steady-state k=1 ranking
+// acquisition is allocation-free (guarded by TestSelectBatchNoAllocs).
+type Scratch struct {
+	scores    []float64 // model scores over the pool's full batch
+	scoresGen uint64
+	scoresOK  bool
+
+	rank      rankedPool // lazily sorted pool view (score desc, idx asc)
+	rankedGen uint64
+	rankedOK  bool
+
+	picks []space.Config // reused Propose result buffer
+}
+
+// invalidate drops every cached value (used when the tuner's model is
+// refit against a different history object).
+func (s *Scratch) invalidate() {
+	s.scoresOK = false
+	s.rankedOK = false
+}
+
+// poolScores returns the model's scores over the pool's full batch,
+// served from the scratch cache when the history generation is
+// unchanged since they were computed. The cached values are the exact
+// float64s ScoreAll would produce (chunk boundaries are deterministic),
+// so cache hits are bit-identical to recomputation.
+func (a *Acquisition) poolScores(b *space.Batch) []float64 {
+	s := a.Scratch
+	if s == nil {
+		return ScoreAll(a.Model, b, a.Parallelism)
+	}
+	gen := a.History.Generation()
+	if s.scoresOK && s.scoresGen == gen && len(s.scores) == b.Len() {
+		return s.scores
+	}
+	if cap(s.scores) < b.Len() {
+		s.scores = make([]float64, b.Len())
+	}
+	s.scores = s.scores[:b.Len()]
+	ScoreAllInto(a.Model, b, a.Parallelism, s.scores)
+	s.scoresGen = gen
+	s.scoresOK = true
+	return s.scores
+}
+
+// takePicks returns an empty picks buffer to accumulate a Propose
+// result into, reusing the scratch buffer when available. The
+// returned slice is only valid until the next acquisition on the same
+// tuner (see Tuner.SelectBatch).
+func (a *Acquisition) takePicks(k int) []space.Config {
+	if a.Scratch == nil {
+		return make([]space.Config, 0, k)
+	}
+	if cap(a.Scratch.picks) < k {
+		a.Scratch.picks = make([]space.Config, 0, k)
+	}
+	a.Scratch.picks = a.Scratch.picks[:0]
+	return a.Scratch.picks
 }
 
 // Acquirer proposes up to k not-yet-evaluated candidates from a
@@ -84,14 +158,21 @@ const serialScoreCutoff = 2048
 // deterministic, so the result is independent of scheduling.
 func ScoreAll(m Model, b *space.Batch, workers int) []float64 {
 	dst := make([]float64, b.Len())
+	ScoreAllInto(m, b, workers, dst)
+	return dst
+}
+
+// ScoreAllInto is ScoreAll writing into a caller-provided buffer
+// (len(dst) must equal b.Len()), the allocation-free variant used by
+// the scratch-backed hot path.
+func ScoreAllInto(m Model, b *space.Batch, workers int, dst []float64) {
 	if b.Len() <= serialScoreCutoff {
 		m.ScoreBatch(b, dst)
-		return dst
+		return
 	}
 	par.Chunks(b.Len(), workers, func(_, lo, hi int) {
 		m.ScoreBatch(b.Slice(lo, hi), dst[lo:hi])
 	})
-	return dst
 }
 
 // PoolPolicy declares an engine's relationship to a finite candidate

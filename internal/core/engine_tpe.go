@@ -34,20 +34,48 @@ func init() {
 }
 
 // TPEModel adapts the factorized pg/pb Surrogate (paper eq. 7-8) to
-// the Model interface. Fit rebuilds the surrogate from scratch — the
-// densities are cheap relative to one objective evaluation.
+// the Model interface. Fit is incremental: a generation-stamped
+// surrogateBuilder keeps the sufficient statistics (sorted values,
+// category counts, partition membership) across calls, so a fit after
+// k new observations costs O(k·dims + flips) instead of O(n·dims),
+// and a fit with no new observations is a cache hit that does no work
+// at all. Results are bit-identical to a cold BuildSurrogate (the
+// golden sequences and TestIncrementalFitMatchesCold pin this).
 type TPEModel struct {
 	cfg SurrogateConfig
 	s   *Surrogate
+
+	b       *surrogateBuilder
+	fitHist *History // history the builder is tracking
+	fitGen  uint64   // history generation of the current fit
+
+	imp    []float64  // cached Importance (JS divergences)
+	impFor *Surrogate // surrogate imp was computed from
 }
 
-// Fit rebuilds the surrogate from the history.
+// Fit brings the surrogate up to date with the history. When the
+// history's generation is unchanged since the last successful Fit
+// this is a no-op; otherwise only the new observations (and any
+// membership flips caused by the moved α-quantile) are folded in.
 func (m *TPEModel) Fit(h *History) error {
-	s, err := BuildSurrogate(h, m.cfg)
+	gen := h.Generation()
+	if m.s != nil && m.fitHist == h && m.fitGen == gen {
+		return nil
+	}
+	if m.b == nil || m.fitHist != h || m.b.n > h.Len() {
+		b, err := newSurrogateBuilder(h.Space(), m.cfg)
+		if err != nil {
+			return err
+		}
+		m.b = b
+		m.fitHist = h
+	}
+	s, err := m.b.Fold(h)
 	if err != nil {
 		return err
 	}
 	m.s = s
+	m.fitGen = gen
 	return nil
 }
 
@@ -64,12 +92,19 @@ func (m *TPEModel) ScoreBatch(b *space.Batch, dst []float64) { m.s.ScoreBatch(b,
 func (m *TPEModel) Sample(r *stats.RNG) space.Config { return m.s.SampleGood(r) }
 
 // Importance returns the per-parameter JS divergence between pg and
-// pb (nil before the first Fit).
+// pb (nil before the first Fit). The result is cached per fitted
+// surrogate, so repeated calls between fits (e.g. a session Info
+// endpoint polled between evaluations) cost nothing; callers must not
+// mutate the returned slice.
 func (m *TPEModel) Importance() []float64 {
 	if m.s == nil {
 		return nil
 	}
-	return m.s.Importance()
+	if m.imp == nil || m.impFor != m.s {
+		m.imp = m.s.Importance()
+		m.impFor = m.s
+	}
+	return m.imp
 }
 
 // Marginals exposes the fitted densities for rendering (nil before
@@ -102,7 +137,7 @@ func (rankingAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
 	if err != nil {
 		return nil, err
 	}
-	scores := ScoreAll(a.Model, batch, a.Parallelism)
+	scores := a.poolScores(batch)
 
 	if k == 1 {
 		// Argmax over the remaining pool, ties broken by pool order —
@@ -113,34 +148,26 @@ func (rankingAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
 				best = i
 			}
 		}
-		return []space.Config{p.Candidate(rem[best])}, nil
+		picks := append(a.takePicks(1), p.Candidate(rem[best]))
+		if a.Scratch != nil {
+			a.Scratch.picks = picks
+		}
+		return picks, nil
 	}
 
 	// Batch mode: rank the pool, then greedily admit candidates at
 	// pairwise Hamming distance >= minDist, relaxing the requirement
 	// whenever a pass admits nothing (pure top-k degenerates to the
 	// argmax and its immediate neighbors).
-	type scored struct {
-		idx   int
-		score float64
-	}
-	pool := make([]scored, len(rem))
-	for i, idx := range rem {
-		pool[i] = scored{idx: idx, score: scores[idx]}
-	}
-	sort.Slice(pool, func(a, b int) bool {
-		if pool[a].score != pool[b].score {
-			return pool[a].score > pool[b].score
-		}
-		return pool[a].idx < pool[b].idx
-	})
+	pool := rankRemaining(a, rem, scores)
 
-	var picks []space.Config
+	picks := a.takePicks(k)
 	minDist := 2
 	for len(picks) < k && minDist >= 0 {
 		admitted := 0
-		for _, cand := range pool {
-			if len(picks) >= k {
+		for i := 0; len(picks) < k; i++ {
+			cand, ok := pool.at(i)
+			if !ok {
 				break
 			}
 			c := p.Candidate(cand.idx)
@@ -156,7 +183,106 @@ func (rankingAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
 			minDist-- // relax diversity until the batch fills
 		}
 	}
+	if a.Scratch != nil {
+		a.Scratch.picks = picks
+	}
 	return picks, nil
+}
+
+// rankRemaining returns the remaining pool ordered by (score desc,
+// candidate index asc) as a lazily materialized view, cached by
+// history generation: the remaining set and the scores both only
+// change when the history does, and the comparator is a strict total
+// order (the index tiebreak), so both the cache and the on-demand
+// extraction yield the unique ordering a full sort would produce.
+func rankRemaining(a *Acquisition, rem []int, scores []float64) *rankedPool {
+	s := a.Scratch
+	if s == nil {
+		r := &rankedPool{}
+		r.reset(rem, scores)
+		return r
+	}
+	gen := a.History.Generation()
+	if !s.rankedOK || s.rankedGen != gen || s.rank.size() != len(rem) {
+		s.rank.reset(rem, scores)
+		s.rankedGen = gen
+		s.rankedOK = true
+	}
+	return &s.rank
+}
+
+// rankedPool is a lazily sorted view of the remaining pool: a sorted
+// prefix grown on demand by popping a max-heap of the rest. The batch
+// acquirer usually admits its k picks from a short prefix, so this
+// costs O(n + e·log n) for e extracted entries instead of the
+// O(n·log n) of sorting the whole pool on every generation change,
+// while position i always holds exactly the candidate a full sort
+// would put there.
+type rankedPool struct {
+	sorted []rankedCandidate // extracted prefix, in final order
+	heap   []rankedCandidate // max-heap of the not-yet-extracted rest
+}
+
+// rankedBefore is the strict total order shared by the heap and the
+// extracted prefix.
+func rankedBefore(a, b rankedCandidate) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.idx < b.idx
+}
+
+func (r *rankedPool) size() int { return len(r.sorted) + len(r.heap) }
+
+// reset reloads the view from the remaining pool and its scores,
+// reusing both buffers.
+func (r *rankedPool) reset(rem []int, scores []float64) {
+	r.sorted = r.sorted[:0]
+	if cap(r.heap) < len(rem) {
+		r.heap = make([]rankedCandidate, len(rem))
+	}
+	r.heap = r.heap[:len(rem)]
+	for i, idx := range rem {
+		r.heap[i] = rankedCandidate{idx: idx, score: scores[idx]}
+	}
+	for i := len(r.heap)/2 - 1; i >= 0; i-- {
+		r.siftDown(i)
+	}
+}
+
+func (r *rankedPool) siftDown(i int) {
+	h := r.heap
+	for {
+		child := 2*i + 1
+		if child >= len(h) {
+			return
+		}
+		if right := child + 1; right < len(h) && rankedBefore(h[right], h[child]) {
+			child = right
+		}
+		if !rankedBefore(h[child], h[i]) {
+			return
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+}
+
+// at returns the i-th best remaining candidate, extending the sorted
+// prefix as needed; ok is false past the end of the pool.
+func (r *rankedPool) at(i int) (rankedCandidate, bool) {
+	for i >= len(r.sorted) {
+		if len(r.heap) == 0 {
+			return rankedCandidate{}, false
+		}
+		top := r.heap[0]
+		last := len(r.heap) - 1
+		r.heap[0] = r.heap[last]
+		r.heap = r.heap[:last]
+		r.siftDown(0)
+		r.sorted = append(r.sorted, top)
+	}
+	return r.sorted[i], true
 }
 
 // proposalAcquirer draws candidates from the model's good density and

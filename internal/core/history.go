@@ -37,7 +37,8 @@ type History struct {
 	sp   *space.Space
 	obs  []Observation
 	seen map[string]bool
-	best int // index of the best observation, -1 when empty
+	best int    // index of the best observation, -1 when empty
+	gen  uint64 // bumped on every Add; see Generation
 }
 
 // NewHistory creates an empty history over the given space.
@@ -60,8 +61,15 @@ func (h *History) Add(c space.Config, v float64) error {
 	if h.best < 0 || v < h.obs[h.best].Value {
 		h.best = len(h.obs) - 1
 	}
+	h.gen++
 	return nil
 }
+
+// Generation returns a counter that changes whenever the history
+// does. A history is append-only, so equal generations on the same
+// History mean the observation set is unchanged — the invalidation
+// key for fitted-model and score caches (TPEModel, Scratch).
+func (h *History) Generation() uint64 { return h.gen }
 
 // MustAdd is Add but panics on duplicates.
 func (h *History) MustAdd(c space.Config, v float64) {

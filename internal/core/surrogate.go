@@ -133,101 +133,19 @@ type Surrogate struct {
 }
 
 // BuildSurrogate constructs the surrogate from the observation
-// history (paper §III-C step 2). The history must be non-empty.
+// history (paper §III-C step 2). The history must be non-empty. It is
+// a cold build: all statistics are accumulated from scratch through
+// the same surrogateBuilder the incremental TPEModel.Fit path uses,
+// so the two are bit-identical by construction.
 func BuildSurrogate(h *History, cfg SurrogateConfig) (*Surrogate, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	if h.Len() == 0 {
 		return nil, fmt.Errorf("core: BuildSurrogate on empty history")
 	}
-	sp := h.Space()
-	if cfg.Prior != nil && cfg.Prior.sp != sp {
-		if cfg.Prior.sp.NumParams() != sp.NumParams() {
-			return nil, fmt.Errorf("core: prior space has %d parameters, target has %d",
-				cfg.Prior.sp.NumParams(), sp.NumParams())
-		}
-		for i := 0; i < sp.NumParams(); i++ {
-			a, b := cfg.Prior.sp.Param(i), sp.Param(i)
-			if a.Name != b.Name || a.Kind != b.Kind || a.Cardinality() != b.Cardinality() {
-				return nil, fmt.Errorf("core: prior parameter %d (%s) incompatible with target (%s)",
-					i, a.Name, b.Name)
-			}
-		}
+	b, err := newSurrogateBuilder(h.Space(), cfg)
+	if err != nil {
+		return nil, err
 	}
-
-	// Split the history at the α-quantile: y_τ with p(y < y_τ) = α.
-	values := h.Values()
-	threshold := stats.Quantile(values, cfg.Quantile)
-	var goodObs, badObs []Observation
-	for _, o := range h.Observations() {
-		if o.Value <= threshold {
-			goodObs = append(goodObs, o)
-		} else {
-			badObs = append(badObs, o)
-		}
-	}
-
-	s := &Surrogate{
-		sp:        sp,
-		threshold: threshold,
-		nGood:     len(goodObs),
-		nBad:      len(badObs),
-		alpha:     cfg.Quantile,
-	}
-	s.good = make([]density, sp.NumParams())
-	s.bad = make([]density, sp.NumParams())
-	for i := 0; i < sp.NumParams(); i++ {
-		var priorGood, priorBad density
-		if cfg.Prior != nil {
-			priorGood, priorBad = cfg.Prior.good[i], cfg.Prior.bad[i]
-		}
-		s.good[i] = buildDensity(sp.Param(i), goodObs, i, cfg, priorGood, cfg.PriorWeight)
-		s.bad[i] = buildDensity(sp.Param(i), badObs, i, cfg, priorBad, cfg.PriorWeight)
-	}
-	return s, nil
-}
-
-// buildDensity estimates one parameter's density from the given
-// observation partition, optionally mixing in a source-domain prior.
-func buildDensity(p space.Param, obs []Observation, dim int, cfg SurrogateConfig, prior density, w float64) density {
-	switch p.Kind {
-	case space.DiscreteKind:
-		var cat *stats.Categorical
-		if len(obs) == 0 {
-			cat = stats.NewCategorical(p.Cardinality())
-		} else {
-			levels := make([]int, len(obs))
-			for i, o := range obs {
-				levels[i] = int(o.Config[dim])
-			}
-			cat = stats.CategoricalFromObservations(levels, p.Cardinality(), cfg.Smoothing)
-		}
-		if prior != nil && w > 0 {
-			cat = stats.Mix(prior.(discreteDensity).cat, w, cat, 1)
-		}
-		return newDiscreteDensity(cat)
-	case space.ContinuousKind:
-		var kde *stats.KDE
-		if len(obs) == 0 {
-			kde = stats.UniformKDE(p.Lo, p.Hi)
-		} else {
-			points := make([]float64, len(obs))
-			for i, o := range obs {
-				points[i] = o.Config[dim]
-			}
-			kde = stats.NewKDE(points, cfg.Bandwidth)
-			kde.SetBounds(p.Lo, p.Hi)
-		}
-		if prior != nil && w > 0 {
-			kde = stats.MergeKDE(prior.(continuousDensity).kde, w, kde, 1)
-			kde.SetBounds(p.Lo, p.Hi)
-		}
-		return continuousDensity{kde: kde, lo: p.Lo, hi: p.Hi, bins: cfg.Bins}
-	default:
-		panic(fmt.Sprintf("core: unknown parameter kind %v", p.Kind))
-	}
+	return b.Fold(h)
 }
 
 // Threshold returns y_τ, the good/bad split value.

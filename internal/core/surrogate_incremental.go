@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// surrogateBuilder maintains the surrogate's sufficient statistics
+// incrementally across an append-only history, so refitting after a
+// Tell touches only the new observations (plus any whose good/bad
+// membership flips when the α-quantile threshold moves) instead of
+// re-histogramming the entire history.
+//
+// Bit-identity with a cold BuildSurrogate is a hard requirement (the
+// golden selection sequences pin it), and falls out of three facts:
+//
+//   - the threshold: stats.Quantile sorts a copy of the values and
+//     interpolates; the builder maintains the same sorted multiset by
+//     insertion and applies stats.QuantileSorted — identical input,
+//     identical interpolation.
+//   - discrete counts: category counts are integer-valued float64s,
+//     and integer adds/subtracts below 2^53 are exact, so counts
+//     maintained by ±1 updates equal counts recomputed from scratch;
+//     CategoricalFromCounts then consumes them in index order either
+//     way.
+//   - continuous points: KDE point sets are gathered by scanning the
+//     history in evaluation order and filtering on membership —
+//     exactly the order the cold path's partition loop produces.
+//
+// Both the cold path (BuildSurrogate) and the incremental path
+// (TPEModel.Fit) assemble the final densities through the same
+// assemble/density code below, so they cannot drift apart.
+type surrogateBuilder struct {
+	sp  *space.Space
+	cfg SurrogateConfig // defaulted and validated
+
+	n        int       // observations folded in so far
+	sorted   []float64 // all observed values, ascending
+	goodMask []bool    // per observation: in the good partition?
+	nGood    int
+	nBad     int
+
+	// Per-dimension category counts for discrete parameters (nil
+	// entries for continuous dimensions). Values are exact integers.
+	goodCounts [][]float64
+	badCounts  [][]float64
+}
+
+// newSurrogateBuilder validates the configuration (including prior
+// compatibility) and prepares empty statistics.
+func newSurrogateBuilder(sp *space.Space, cfg SurrogateConfig) (*surrogateBuilder, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := checkPriorCompatible(sp, cfg.Prior); err != nil {
+		return nil, err
+	}
+	b := &surrogateBuilder{
+		sp:         sp,
+		cfg:        cfg,
+		goodCounts: make([][]float64, sp.NumParams()),
+		badCounts:  make([][]float64, sp.NumParams()),
+	}
+	for i := 0; i < sp.NumParams(); i++ {
+		if p := sp.Param(i); p.Kind == space.DiscreteKind {
+			b.goodCounts[i] = make([]float64, p.Cardinality())
+			b.badCounts[i] = make([]float64, p.Cardinality())
+		}
+	}
+	return b, nil
+}
+
+// checkPriorCompatible verifies a transfer prior's space matches the
+// target space parameter by parameter.
+func checkPriorCompatible(sp *space.Space, prior *Prior) error {
+	if prior == nil || prior.sp == sp {
+		return nil
+	}
+	if prior.sp.NumParams() != sp.NumParams() {
+		return fmt.Errorf("core: prior space has %d parameters, target has %d",
+			prior.sp.NumParams(), sp.NumParams())
+	}
+	for i := 0; i < sp.NumParams(); i++ {
+		a, b := prior.sp.Param(i), sp.Param(i)
+		if a.Name != b.Name || a.Kind != b.Kind || a.Cardinality() != b.Cardinality() {
+			return fmt.Errorf("core: prior parameter %d (%s) incompatible with target (%s)",
+				i, a.Name, b.Name)
+		}
+	}
+	return nil
+}
+
+// Fold folds observations [b.n, h.Len()) into the statistics and
+// assembles a fresh surrogate. The history must be the same
+// append-only history across calls; a caller seeing a different
+// History object must start a new builder.
+func (b *surrogateBuilder) Fold(h *History) (*Surrogate, error) {
+	if h.Space() != b.sp {
+		return nil, fmt.Errorf("core: surrogate builder fed a history over a different space")
+	}
+	if h.Len() == 0 {
+		return nil, fmt.Errorf("core: BuildSurrogate on empty history")
+	}
+	obs := h.Observations()
+	if len(obs) < b.n {
+		return nil, fmt.Errorf("core: history shrank from %d to %d observations", b.n, len(obs))
+	}
+	old := b.n
+	for _, o := range obs[old:] {
+		b.insertValue(o.Value)
+	}
+	threshold := stats.QuantileSorted(b.sorted, b.cfg.Quantile)
+
+	// A moved threshold can flip the membership of existing
+	// observations (good↔bad); adjust their counts before folding in
+	// the new ones.
+	for i := 0; i < old; i++ {
+		good := obs[i].Value <= threshold
+		if good == b.goodMask[i] {
+			continue
+		}
+		b.count(obs[i].Config, b.goodMask[i], -1)
+		b.count(obs[i].Config, good, +1)
+		if good {
+			b.nGood++
+			b.nBad--
+		} else {
+			b.nGood--
+			b.nBad++
+		}
+		b.goodMask[i] = good
+	}
+	for _, o := range obs[old:] {
+		good := o.Value <= threshold
+		b.goodMask = append(b.goodMask, good)
+		b.count(o.Config, good, +1)
+		if good {
+			b.nGood++
+		} else {
+			b.nBad++
+		}
+	}
+	b.n = len(obs)
+	return b.assemble(h, threshold)
+}
+
+// insertValue adds v to the sorted multiset of observed values.
+func (b *surrogateBuilder) insertValue(v float64) {
+	i := sort.SearchFloat64s(b.sorted, v)
+	b.sorted = append(b.sorted, 0)
+	copy(b.sorted[i+1:], b.sorted[i:])
+	b.sorted[i] = v
+}
+
+// count applies delta (±1) to every discrete dimension's category
+// count in the given partition.
+func (b *surrogateBuilder) count(c space.Config, good bool, delta float64) {
+	counts := b.badCounts
+	if good {
+		counts = b.goodCounts
+	}
+	for d, cc := range counts {
+		if cc != nil {
+			cc[int(c[d])] += delta
+		}
+	}
+}
+
+// assemble builds the Surrogate from the current statistics.
+func (b *surrogateBuilder) assemble(h *History, threshold float64) (*Surrogate, error) {
+	sp, cfg := b.sp, b.cfg
+	s := &Surrogate{
+		sp:        sp,
+		threshold: threshold,
+		nGood:     b.nGood,
+		nBad:      b.nBad,
+		alpha:     cfg.Quantile,
+	}
+	s.good = make([]density, sp.NumParams())
+	s.bad = make([]density, sp.NumParams())
+	for i := 0; i < sp.NumParams(); i++ {
+		var priorGood, priorBad density
+		if cfg.Prior != nil {
+			priorGood, priorBad = cfg.Prior.good[i], cfg.Prior.bad[i]
+		}
+		s.good[i] = b.density(h, i, true, priorGood)
+		s.bad[i] = b.density(h, i, false, priorBad)
+	}
+	return s, nil
+}
+
+// density estimates one parameter's density for one partition from
+// the maintained statistics, optionally mixing in a source-domain
+// prior — the shared construction path for cold and incremental fits.
+func (b *surrogateBuilder) density(h *History, dim int, good bool, prior density) density {
+	p := b.sp.Param(dim)
+	cfg := b.cfg
+	n := b.nBad
+	if good {
+		n = b.nGood
+	}
+	switch p.Kind {
+	case space.DiscreteKind:
+		var cat *stats.Categorical
+		if n == 0 {
+			cat = stats.NewCategorical(p.Cardinality())
+		} else {
+			counts := b.badCounts[dim]
+			if good {
+				counts = b.goodCounts[dim]
+			}
+			cat = stats.CategoricalFromCounts(counts, cfg.Smoothing)
+		}
+		if prior != nil && cfg.PriorWeight > 0 {
+			cat = stats.Mix(prior.(discreteDensity).cat, cfg.PriorWeight, cat, 1)
+		}
+		return newDiscreteDensity(cat)
+	case space.ContinuousKind:
+		var kde *stats.KDE
+		if n == 0 {
+			kde = stats.UniformKDE(p.Lo, p.Hi)
+		} else {
+			points := make([]float64, 0, n)
+			for i, o := range h.Observations()[:len(b.goodMask)] {
+				if b.goodMask[i] == good {
+					points = append(points, o.Config[dim])
+				}
+			}
+			kde = stats.NewKDE(points, cfg.Bandwidth)
+			kde.SetBounds(p.Lo, p.Hi)
+		}
+		if prior != nil && cfg.PriorWeight > 0 {
+			kde = stats.MergeKDE(prior.(continuousDensity).kde, cfg.PriorWeight, kde, 1)
+			kde.SetBounds(p.Lo, p.Hi)
+		}
+		return continuousDensity{kde: kde, lo: p.Lo, hi: p.Hi, bins: cfg.Bins}
+	default:
+		panic(fmt.Sprintf("core: unknown parameter kind %v", p.Kind))
+	}
+}

@@ -116,6 +116,9 @@ type Tuner struct {
 	acquirer Acquirer
 	strategy Strategy
 	iter     int
+
+	acq     Acquisition // reused per-acquisition view (no per-Ask alloc)
+	scratch Scratch     // reusable buffers + generation-keyed caches
 }
 
 // NewTuner validates the options and prepares a tuner. The objective
@@ -204,7 +207,10 @@ func (t *Tuner) StrategyInUse() Strategy { return t.strategy }
 // Importance fits the engine's model on the current history and
 // returns its per-parameter importance scores. It returns nil scores
 // (no error) for models that do not define importance, and an error
-// when the history is empty or the fit fails.
+// when the history is empty or the fit fails. The fit is generation-
+// cached, so calling this between evaluations costs nothing beyond
+// the first call; the returned slice may be shared with the model's
+// cache and must not be mutated.
 func (t *Tuner) Importance() ([]float64, error) {
 	if t.history.Len() == 0 {
 		return nil, fmt.Errorf("core: Importance before any evaluation")
@@ -226,9 +232,11 @@ func (t *Tuner) InitialSamples() int { return t.opts.InitialSamples }
 // evaluation.
 func (t *Tuner) Best() Observation { return t.history.Best() }
 
-// acquisition assembles the per-call view handed to the Acquirer.
+// acquisition assembles the per-call view handed to the Acquirer,
+// reusing one Acquisition struct and the tuner's scratch buffers so
+// the steady-state path allocates nothing.
 func (t *Tuner) acquisition() *Acquisition {
-	return &Acquisition{
+	t.acq = Acquisition{
 		Space:              t.sp,
 		Model:              t.model,
 		History:            t.history,
@@ -236,7 +244,9 @@ func (t *Tuner) acquisition() *Acquisition {
 		RNG:                t.rng,
 		Parallelism:        t.opts.Parallelism,
 		ProposalCandidates: t.opts.ProposalCandidates,
+		Scratch:            &t.scratch,
 	}
+	return &t.acq
 }
 
 // Step performs exactly one objective evaluation: one of the initial

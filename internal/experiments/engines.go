@@ -30,6 +30,7 @@ func EngineShootout(model *apps.Model, engines []string, checkpoints []int, cfg 
 		Repetitions: cfg.Repetitions,
 		Good:        good,
 		BaseSeed:    cfg.Seed,
+		Parallelism: cfg.Parallelism,
 	}
 	methods := make([]harness.Method, len(engines))
 	for i, name := range engines {

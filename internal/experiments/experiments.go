@@ -19,7 +19,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/hpcautotune/hiperbot/internal/apps"
 	"github.com/hpcautotune/hiperbot/internal/apps/hypre"
@@ -37,6 +39,11 @@ type Config struct {
 	Seed uint64
 	// RecallPercentile is ℓ of eq. 11 (default 0.05).
 	RecallPercentile float64
+	// Parallelism bounds concurrent repetitions (0 = GOMAXPROCS).
+	// Results are independent of the setting: every repetition gets
+	// its own seeded RNG stream, and aggregation always reduces in
+	// repetition order.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +81,7 @@ func configSelection(model *apps.Model, checkpoints []int, cfg Config) (*Selecti
 		Repetitions: cfg.Repetitions,
 		Good:        good,
 		BaseSeed:    cfg.Seed,
+		Parallelism: cfg.Parallelism,
 	}
 	methods := []harness.Method{
 		harness.Random(),
@@ -137,6 +145,40 @@ func AllModels() []*apps.Model {
 		openatom.Decomposition(),
 		kripke.Energy(),
 	}
+}
+
+// forEachRep runs fn(rep) for every rep in [0, n) across at most
+// parallelism workers (0 = GOMAXPROCS) and returns the first error in
+// repetition order. Callers write per-repetition results into
+// rep-indexed slots and reduce after it returns, so aggregation order
+// — and with it floating-point rounding — never depends on goroutine
+// scheduling: the same seeds give bit-identical results at any -j.
+func forEachRep(n, parallelism int, fn func(rep int) error) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for rep := 0; rep < n; rep++ {
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[rep] = fn(rep)
+		}(rep)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // rankDescending returns parameter names with scores, sorted by

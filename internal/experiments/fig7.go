@@ -60,6 +60,7 @@ func sensitivity(cfg Config, name string, values []float64, mk func(v float64) h
 				Checkpoints: []int{sensitivityTotal},
 				Repetitions: cfg.Repetitions,
 				BaseSeed:    cfg.Seed + uint64(vi)*104729,
+				Parallelism: cfg.Parallelism,
 			}
 			curve, err := harness.RunCurve(m, spec)
 			if err != nil {
@@ -102,20 +103,30 @@ func Table1(cfg Config) ([]ImportanceEntry, error) {
 
 		// 10% random sample: average the JS over repetitions so the
 		// ranking is stable (a single draw is noisy, which the paper
-		// itself notes for Kripke).
+		// itself notes for Kripke). Repetitions run concurrently with
+		// per-rep seed streams; the sum reduces in rep order so the
+		// result is bit-identical at any parallelism.
 		sampleN := tbl.Len() / 10
-		sampled := make([]float64, len(names))
-		for rep := 0; rep < cfg.Repetitions; rep++ {
+		perRep := make([][]float64, cfg.Repetitions)
+		err := forEachRep(cfg.Repetitions, cfg.Parallelism, func(rep int) error {
 			h, err := harness.Random().Run(tbl, sampleN, cfg.Seed+uint64(rep)*31)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			s, err := core.BuildSurrogate(h, core.SurrogateConfig{})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			for i, js := range s.Importance() {
-				sampled[i] += js
+			perRep[rep] = s.Importance()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sampled := make([]float64, len(names))
+		for _, js := range perRep {
+			for i, v := range js {
+				sampled[i] += v
 			}
 		}
 		for i := range sampled {

@@ -85,23 +85,43 @@ func transfer(srcModel, tgtModel *apps.Model, cfg Config) (*TransferResult, erro
 		return nil, err
 	}
 
-	res.RecallHiPerBOt = make([]float64, len(transferThresholds))
-	res.RecallPerfNet = make([]float64, len(transferThresholds))
-	for rep := 0; rep < reps; rep++ {
+	// Repetitions run concurrently (each with its own seed stream; the
+	// source prior and tables are shared read-only); per-rep recalls
+	// reduce in rep order so results match the serial loop exactly.
+	type repRecall struct{ hbot, pnet []float64 }
+	perRep := make([]repRecall, reps)
+	err = forEachRep(reps, cfg.Parallelism, func(rep int) error {
 		seed := cfg.Seed + uint64(rep)*6151
 
 		hbot := harness.HiPerBOt(harness.HiPerBOtOptions{Prior: prior, PriorWeight: 1})
 		hHist, err := hbot.Run(tgt, budget, seed)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: transfer hiperbot: %w", err)
+			return fmt.Errorf("experiments: transfer hiperbot: %w", err)
 		}
 		pHist, err := perfnet.Select(src, tgt, budget, perfnet.Options{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: transfer perfnet: %w", err)
+			return fmt.Errorf("experiments: transfer perfnet: %w", err)
+		}
+		r := repRecall{
+			hbot: make([]float64, len(goodSets)),
+			pnet: make([]float64, len(goodSets)),
 		}
 		for i, gs := range goodSets {
-			res.RecallHiPerBOt[i] += gs.Recall(tgt, hHist, hHist.Len())
-			res.RecallPerfNet[i] += gs.Recall(tgt, pHist, pHist.Len())
+			r.hbot[i] = gs.Recall(tgt, hHist, hHist.Len())
+			r.pnet[i] = gs.Recall(tgt, pHist, pHist.Len())
+		}
+		perRep[rep] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.RecallHiPerBOt = make([]float64, len(transferThresholds))
+	res.RecallPerfNet = make([]float64, len(transferThresholds))
+	for _, r := range perRep {
+		for i := range transferThresholds {
+			res.RecallHiPerBOt[i] += r.hbot[i]
+			res.RecallPerfNet[i] += r.pnet[i]
 		}
 	}
 	for i := range transferThresholds {

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachRep pins the repetition fan-out helper: every rep runs
+// exactly once, and the first error in repetition order (not
+// completion order) is the one reported.
+func TestForEachRep(t *testing.T) {
+	const n = 17
+	var ran [n]int32
+	if err := forEachRep(n, 4, func(rep int) error {
+		atomic.AddInt32(&ran[rep], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for rep, c := range ran {
+		if c != 1 {
+			t.Fatalf("rep %d ran %d times", rep, c)
+		}
+	}
+
+	err := forEachRep(n, 4, func(rep int) error {
+		if rep == 3 || rep == 11 {
+			return fmt.Errorf("rep %d failed", rep)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "rep 3 failed" {
+		t.Fatalf("error = %v, want the rep-order-first failure (rep 3)", err)
+	}
+
+	if err := forEachRep(0, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("zero repetitions: %v", err)
+	}
+}
+
+// TestTable1SeedStableAcrossParallelism is the seed-stability guard
+// for the parallelized repetition loops: the same Config must produce
+// bit-identical results whether repetitions run serially or
+// concurrently — per-rep seed streams plus rep-order reduction leave
+// no scheduling dependence.
+func TestTable1SeedStableAcrossParallelism(t *testing.T) {
+	serial, err := Table1(Config{Repetitions: 3, Seed: 99, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Table1(Config{Repetitions: 3, Seed: 99, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("Table1 results depend on parallelism:\n -j1: %+v\n -j4: %+v", serial, parallel)
+	}
+}

@@ -124,10 +124,14 @@ type SessionListResponse struct {
 	Sessions []SessionInfo `json:"sessions"`
 }
 
-// HealthResponse is the /healthz payload.
+// HealthResponse is the /healthz payload. Status is "ok", or
+// "degraded" when any session's journal writes are failing (the
+// daemon keeps serving, but new evaluations on those sessions are no
+// longer durable; JournalErrors lists them as "id: error").
 type HealthResponse struct {
-	Status   string `json:"status"`
-	Sessions int    `json:"sessions"`
+	Status        string   `json:"status"`
+	Sessions      int      `json:"sessions"`
+	JournalErrors []string `json:"journal_errors,omitempty"`
 }
 
 // LatencySummary summarizes request latencies in milliseconds over a

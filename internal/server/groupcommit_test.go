@@ -1,0 +1,178 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// journalLines counts complete JSONL lines currently on disk.
+func journalLines(t *testing.T, path string) int {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.Count(raw, []byte("\n"))
+}
+
+// TestGroupCommitBuffersAndFlushes pins the group-commit contract:
+// with a long flush interval and a large byte threshold, observes
+// stay in the in-memory buffer (only the synchronously written create
+// header is on disk); an explicit Flush drains them; Close drains the
+// rest; and a reopened store resumes the full history.
+func TestGroupCommitBuffersAndFlushes(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStoreWithConfig(dir, StoreConfig{
+		Fsync:         FsyncInterval,
+		FlushInterval: time.Hour, // only explicit Flush/Close drain
+		FlushBytes:    1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := space.New(
+		space.DiscreteInts("x", 0, 1, 2, 3),
+		space.DiscreteInts("y", 0, 1, 2, 3),
+	)
+	sess, err := store.CreateWithSpace("gc", sp, nil, httpapi.SessionOptions{
+		Seed: 1, InitialSamples: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := store.journalPath("gc")
+	if n := journalLines(t, path); n != 1 {
+		t.Fatalf("fresh journal holds %d lines, want 1 (the create header)", n)
+	}
+
+	for i, c := range []space.Config{{0, 0}, {0, 1}, {1, 2}} {
+		if _, err := sess.Observe(c, float64(3-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := journalLines(t, path); n != 1 {
+		t.Fatalf("journal holds %d lines before a flush, want 1 (events buffered)", n)
+	}
+
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := journalLines(t, path); n != 4 {
+		t.Fatalf("journal holds %d lines after Flush, want 4", n)
+	}
+
+	if _, err := sess.Observe(space.Config{2, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := journalLines(t, path); n != 5 {
+		t.Fatalf("journal holds %d lines after Close, want 5", n)
+	}
+
+	reopened, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	sess2, err := reopened.Get("gc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := sess2.Info()
+	if info.Evaluations != 4 || info.Best == nil || info.Best.Value != 0 {
+		t.Fatalf("resumed session = %+v, want 4 evaluations with best 0", info)
+	}
+}
+
+// TestGroupCommitSizeThreshold checks the byte threshold forces a
+// flush between ticks: with FlushBytes=1 every append is drained
+// inline even though the ticker never fires.
+func TestGroupCommitSizeThreshold(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStoreWithConfig(dir, StoreConfig{
+		FlushInterval: time.Hour,
+		FlushBytes:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	sp := space.New(space.DiscreteInts("x", 0, 1, 2, 3))
+	sess, err := store.CreateWithSpace("thresh", sp, nil, httpapi.SessionOptions{
+		Seed: 1, InitialSamples: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Observe(space.Config{1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := journalLines(t, store.journalPath("thresh")); n != 2 {
+		t.Fatalf("journal holds %d lines, want 2 (threshold flush per append)", n)
+	}
+}
+
+// TestParseFsyncPolicy pins flag parsing.
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{
+		"": FsyncNever, "never": FsyncNever, "interval": FsyncInterval, "always": FsyncAlways,
+	} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseFsyncPolicy accepted an unknown policy")
+	}
+}
+
+// TestJournalErrorDegradesHealth covers the failure path end to end:
+// when a session's journal writes start failing, the observe that
+// hit the error returns 500 and /healthz flips to "degraded" with the
+// session listed — instead of evaluations silently becoming
+// non-durable.
+func TestJournalErrorDegradesHealth(t *testing.T) {
+	dir := t.TempDir()
+	srv, store := newTestServer(t, dir)
+	defer store.Close()
+	id := createTestSession(t, srv, "doomed", httpapi.SessionOptions{Seed: 1, InitialSamples: 2})
+
+	var health httpapi.HealthResponse
+	doJSON(t, srv, "GET", "/healthz", nil, &health)
+	if health.Status != "ok" || len(health.JournalErrors) != 0 {
+		t.Fatalf("healthy daemon reports %+v", health)
+	}
+
+	sess, err := store.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the journal's file descriptor so the next append fails
+	// the way a full or yanked disk would.
+	if err := sess.sink.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res := []httpapi.Result{{Config: map[string]string{"x": "0", "y": "0"}, Value: 1}}
+	code := doJSON(t, srv, "POST", "/v1/sessions/"+id+"/observe",
+		httpapi.ObserveRequest{Results: res}, nil)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("observe with broken journal: HTTP %d, want 500", code)
+	}
+
+	doJSON(t, srv, "GET", "/healthz", nil, &health)
+	if health.Status != "degraded" || len(health.JournalErrors) != 1 ||
+		!strings.HasPrefix(health.JournalErrors[0], id+":") {
+		t.Fatalf("health after journal failure = %+v, want degraded with %q listed", health, id)
+	}
+}

@@ -218,7 +218,9 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) (int, err
 			resp.Duplicates++
 		}
 	}
-	info := sess.Info()
+	// Observe republished the snapshot on its way out; reading it here
+	// is lock-free and as fresh as the last result above.
+	info := sess.Snapshot()
 	resp.Evaluations = info.Evaluations
 	resp.Best = info.Best
 	writeJSON(w, http.StatusOK, resp)
@@ -226,7 +228,12 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) (int, err
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) (int, error) {
-	writeJSON(w, http.StatusOK, httpapi.HealthResponse{Status: "ok", Sessions: s.store.Len()})
+	resp := httpapi.HealthResponse{Status: "ok", Sessions: s.store.Len()}
+	if errs := s.store.JournalErrors(); len(errs) > 0 {
+		resp.Status = "degraded"
+		resp.JournalErrors = errs
+	}
+	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }
 

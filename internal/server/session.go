@@ -2,9 +2,9 @@ package server
 
 import (
 	"fmt"
-	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpcautotune/hiperbot/internal/core"
@@ -17,16 +17,30 @@ import (
 // RWMutex so suggest/observe calls from many workers interleave
 // safely, and journaled to a JSONL file so a restarted daemon resumes
 // it without losing evaluations.
+//
+// The lock is split in two tiers: mutations (Suggest, Observe) take
+// the write lock and republish an immutable info snapshot on the way
+// out, while readers (Info, List, /metrics) serve the snapshot
+// lock-free — a status poll never serializes behind a long-running
+// model-guided suggest. Journal appends go through a journalSink with
+// its own mutex, so a slow disk flush doesn't hold the session lock
+// either.
 type Session struct {
 	id      string
 	sp      *space.Space
 	opts    httpapi.SessionOptions
 	created time.Time
 
-	mu   sync.RWMutex
-	at   *core.AskTell
-	rec  *core.Recorder // journal appender (nil for in-memory stores)
-	file *os.File       // journal backing file (nil for in-memory)
+	mu sync.RWMutex
+	at *core.AskTell
+
+	// rec and sink are set once at construction and never mutated, so
+	// JournalErr may read them without the session lock (both carry
+	// their own mutexes). Nil for in-memory stores.
+	rec  *core.Recorder
+	sink *journalSink
+
+	snap atomic.Pointer[httpapi.SessionInfo]
 }
 
 // ID returns the session id.
@@ -40,17 +54,21 @@ func (s *Session) Space() *space.Space { return s.sp }
 func (s *Session) Suggest(k int, ttl time.Duration) ([]space.Config, string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := time.Now()
 	phase := phaseName(s.at.InitialPhase())
-	picks, err := s.at.Ask(k, ttl, time.Now())
+	picks, err := s.at.Ask(k, ttl, now)
 	if err != nil {
 		return nil, phase, err
 	}
+	s.publishLocked(now)
 	return picks, phase, nil
 }
 
 // Observe validates and folds in one evaluated result. Configurations
 // already in the history are idempotent duplicates (added=false, no
-// error); invalid configurations return an *InvalidConfigError.
+// error); invalid configurations return an *InvalidConfigError. A
+// sticky journal error surfaces here (and on /healthz) even when the
+// failed write happened on an earlier call or an asynchronous flush.
 func (s *Session) Observe(c space.Config, value float64) (added bool, err error) {
 	if err := s.checkValid(c); err != nil {
 		return false, err
@@ -61,12 +79,26 @@ func (s *Session) Observe(c space.Config, value float64) (added bool, err error)
 	if err != nil {
 		return false, err
 	}
-	if s.rec != nil {
-		if jerr := s.rec.Err(); jerr != nil {
-			return added, fmt.Errorf("server: journal write failed: %w", jerr)
-		}
+	s.publishLocked(time.Now())
+	if jerr := s.JournalErr(); jerr != nil {
+		return added, fmt.Errorf("server: journal write failed: %w", jerr)
 	}
 	return added, nil
+}
+
+// JournalErr returns the first journal write error, if any — from the
+// Recorder's encoder or from the sink's asynchronous flushes. Safe to
+// call without the session lock.
+func (s *Session) JournalErr() error {
+	if s.rec != nil {
+		if err := s.rec.Err(); err != nil {
+			return err
+		}
+	}
+	if s.sink != nil {
+		return s.sink.Err()
+	}
+	return nil
 }
 
 // InvalidConfigError marks a structurally invalid or
@@ -97,22 +129,39 @@ func (s *Session) checkValid(c space.Config) error {
 	return nil
 }
 
-// Info snapshots the session's progress. Importance comes from the
-// engine's freshly fitted model once the initial phase is complete
-// (engines whose models define no importance report none).
+// Info reports the session's progress. It never blocks behind a
+// running Suggest or Observe: when the session lock is free it is
+// taken briefly to refresh the snapshot (importance comes from the
+// generation-cached fit, so a poll between evaluations does no model
+// work); when a mutation holds the lock, the last published snapshot
+// is served as-is — at worst one mutation stale.
 func (s *Session) Info() httpapi.SessionInfo {
-	// Write lock, not read lock: computing importance refits the
-	// engine's model, which mutates tuner-owned state.
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.mu.TryLock() {
+		s.publishLocked(time.Now())
+		s.mu.Unlock()
+	}
+	return *s.snap.Load()
+}
+
+// Snapshot returns the last published info without touching the
+// session lock or the model at all (Evaluations/Best for /metrics and
+// observe responses).
+func (s *Session) Snapshot() httpapi.SessionInfo { return *s.snap.Load() }
+
+// publishLocked rebuilds and stores the lock-free info snapshot.
+// Callers hold the write lock (or exclusive ownership during
+// construction): Importance refits the engine's model, which mutates
+// tuner-owned state. The snapshot and its slices are immutable once
+// published; readers must not modify them.
+func (s *Session) publishLocked(now time.Time) {
 	t := s.at.Tuner()
-	info := httpapi.SessionInfo{
+	info := &httpapi.SessionInfo{
 		ID:             s.id,
 		Evaluations:    t.Evaluations(),
 		InitialSamples: t.InitialSamples(),
 		Phase:          phaseName(s.at.InitialPhase()),
 		Strategy:       t.EngineName(),
-		ActiveLeases:   s.at.Leases(time.Now()),
+		ActiveLeases:   s.at.Leases(now),
 		CreatedAt:      s.created.UTC().Format(time.RFC3339),
 	}
 	if t.Evaluations() > 0 {
@@ -124,7 +173,7 @@ func (s *Session) Info() httpapi.SessionInfo {
 			info.Importance = importanceEntries(s.sp, raw)
 		}
 	}
-	return info
+	s.snap.Store(info)
 }
 
 // importanceEntries ranks parameters by importance score, descending,
@@ -142,17 +191,12 @@ func importanceEntries(sp *space.Space, raw []float64) []httpapi.ImportanceEntry
 	return out
 }
 
-// close releases the journal handle.
+// close flushes and releases the journal. Idempotent.
 func (s *Session) close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.file == nil {
+	if s.sink == nil {
 		return nil
 	}
-	err := s.file.Close()
-	s.file = nil
-	s.rec = nil
-	return err
+	return s.sink.Close()
 }
 
 func phaseName(initial bool) string {

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Group-commit journaling: observe calls append their JSONL event to
+// an in-memory buffer and return; a store-level flusher goroutine
+// drains every session's buffer to disk on a short tick (or earlier
+// when a buffer passes its size threshold). Many observes thus share
+// one write()/fsync() pair instead of paying a syscall each — the
+// classic group commit of databases, applied to session journals. The
+// durability/throughput trade-off is the FsyncPolicy.
+
+// FsyncPolicy selects when a session journal is fsync'd.
+type FsyncPolicy string
+
+const (
+	// FsyncNever leaves durability to the OS page cache: appends are
+	// written (possibly group-buffered) but never explicitly synced.
+	// Fastest; a machine crash can lose recent events, a daemon crash
+	// cannot.
+	FsyncNever FsyncPolicy = "never"
+	// FsyncInterval syncs once per background flush tick — bounded
+	// loss (at most one flush interval of events) at a small fraction
+	// of the cost of per-append syncs. The hiperbotd default.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncAlways writes and syncs every append before the observe
+	// call returns. Maximum durability, minimum throughput.
+	FsyncAlways FsyncPolicy = "always"
+)
+
+// ParseFsyncPolicy validates a policy name; "" means FsyncNever.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch p := FsyncPolicy(s); p {
+	case "":
+		return FsyncNever, nil
+	case FsyncNever, FsyncInterval, FsyncAlways:
+		return p, nil
+	}
+	return "", fmt.Errorf("server: unknown fsync policy %q (want never, interval, or always)", s)
+}
+
+// journalSink sits between a session's Recorder and its journal file.
+// It has its own mutex — never the session lock — so a slow disk
+// flush contends with appends only, not with suggest/observe
+// bookkeeping. Write errors are sticky: once an append or flush
+// fails, the sink reports that error forever and drops further
+// appends, so observes fail fast and /healthz degrades instead of
+// events vanishing silently.
+type journalSink struct {
+	mu     sync.Mutex
+	f      *os.File
+	buf    []byte
+	limit  int // buffered bytes that force an inline flush; 0 = write-through
+	policy FsyncPolicy
+	err    error
+	closed bool
+}
+
+func newJournalSink(f *os.File, limit int, policy FsyncPolicy) *journalSink {
+	return &journalSink{f: f, limit: limit, policy: policy}
+}
+
+// Write implements io.Writer for the Recorder's JSON encoder. Each
+// call is one complete JSONL line (encoding/json.Encoder emits one
+// Write per Encode), so flush boundaries never split an event.
+func (j *journalSink) Write(p []byte) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return 0, j.err
+	}
+	if j.closed {
+		return 0, fmt.Errorf("server: journal closed")
+	}
+	j.buf = append(j.buf, p...)
+	if j.policy == FsyncAlways || j.limit <= 0 || len(j.buf) >= j.limit {
+		if err := j.flushLocked(j.policy == FsyncAlways); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+func (j *journalSink) flushLocked(sync bool) error {
+	if j.err != nil {
+		return j.err
+	}
+	if len(j.buf) > 0 {
+		if _, err := j.f.Write(j.buf); err != nil {
+			j.err = err
+			return err
+		}
+		j.buf = j.buf[:0]
+	}
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			j.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush drains buffered appends to the file; sync additionally
+// fsyncs. Called by the store's flusher goroutine and on shutdown.
+func (j *journalSink) Flush(sync bool) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.err
+	}
+	return j.flushLocked(sync)
+}
+
+// Err returns the sticky write error, if any.
+func (j *journalSink) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes (fsyncing unless the policy is FsyncNever) and closes
+// the file. Idempotent; the file is closed even when the final flush
+// fails.
+func (j *journalSink) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	ferr := j.flushLocked(j.policy != FsyncNever)
+	cerr := j.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

@@ -18,15 +18,47 @@ import (
 	"github.com/hpcautotune/hiperbot/internal/space"
 )
 
+// storeShards is the number of lock stripes over the session map.
+// Sixteen keeps unrelated sessions' create/get/delete traffic off
+// each other's locks without measurable memory cost; lookups hash the
+// session id (FNV-1a) to a stripe.
+const storeShards = 16
+
+type storeShard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// StoreConfig tunes the store's journaling behavior. The zero value
+// reproduces the legacy semantics: every append is written through to
+// the file immediately and never fsync'd.
+type StoreConfig struct {
+	// Fsync selects journal durability; "" means FsyncNever.
+	Fsync FsyncPolicy
+	// FlushInterval is the group-commit flusher period; <= 0 picks
+	// 100ms. Only meaningful when buffering or interval-syncing.
+	FlushInterval time.Duration
+	// FlushBytes is the per-session buffered-byte threshold that
+	// forces a flush between ticks; 0 disables buffering entirely
+	// (write-through appends, as before group commit).
+	FlushBytes int
+}
+
 // Store owns the daemon's sessions: creation, lookup, deletion, and
 // durability. With a data directory every session is journaled and
 // OpenStore resumes all of them after a restart; with an empty
-// directory the store is purely in-memory (tests, examples).
+// directory the store is purely in-memory (tests, examples). The
+// session map is lock-striped (storeShards shards keyed by id) so
+// session CRUD from many workers never funnels through one mutex.
 type Store struct {
 	dir string
+	cfg StoreConfig
 
-	mu       sync.RWMutex
-	sessions map[string]*Session
+	shards [storeShards]storeShard
+
+	flushStop chan struct{} // non-nil iff the flusher goroutine runs
+	flushDone chan struct{}
+	stopOnce  sync.Once
 }
 
 // ErrNotFound reports an unknown session id.
@@ -39,9 +71,27 @@ var validID = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
 
 // OpenStore opens (creating if needed) a session store rooted at dir
 // and resumes every journaled session found there. dir == "" yields a
-// volatile in-memory store.
+// volatile in-memory store. Journal appends are written through
+// immediately (no group commit, no fsync — the zero StoreConfig); use
+// OpenStoreWithConfig to enable group-committed journaling.
 func OpenStore(dir string) (*Store, error) {
-	st := &Store{dir: dir, sessions: make(map[string]*Session)}
+	return OpenStoreWithConfig(dir, StoreConfig{})
+}
+
+// OpenStoreWithConfig is OpenStore with explicit journaling behavior.
+func OpenStoreWithConfig(dir string, cfg StoreConfig) (*Store, error) {
+	policy, err := ParseFsyncPolicy(string(cfg.Fsync))
+	if err != nil {
+		return nil, err
+	}
+	cfg.Fsync = policy
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 100 * time.Millisecond
+	}
+	st := &Store{dir: dir, cfg: cfg}
+	for i := range st.shards {
+		st.shards[i].sessions = make(map[string]*Session)
+	}
 	if dir == "" {
 		return st, nil
 	}
@@ -60,10 +110,72 @@ func OpenStore(dir string) (*Store, error) {
 			return nil, fmt.Errorf("server: resuming %s: %w", e.Name(), err)
 		}
 	}
+	if cfg.FlushBytes > 0 || cfg.Fsync == FsyncInterval {
+		st.flushStop = make(chan struct{})
+		st.flushDone = make(chan struct{})
+		go st.flushLoop()
+	}
 	return st, nil
 }
 
-// resume rebuilds one session from its journal.
+// shard maps a session id to its lock stripe (FNV-1a).
+func (st *Store) shard(id string) *storeShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return &st.shards[h%storeShards]
+}
+
+// flushLoop is the group-commit ticker: every FlushInterval it drains
+// all buffered journal appends (and fsyncs under FsyncInterval).
+func (st *Store) flushLoop() {
+	defer close(st.flushDone)
+	t := time.NewTicker(st.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.flushStop:
+			return
+		case <-t.C:
+			st.Flush()
+		}
+	}
+}
+
+// Flush drains every session's buffered journal appends to disk,
+// fsyncing under the interval and always policies. It never takes a
+// session lock, so in-flight suggest/observe calls are not blocked.
+func (st *Store) Flush() error {
+	sync := st.cfg.Fsync != FsyncNever
+	var first error
+	for _, s := range st.all() {
+		if s.sink == nil {
+			continue
+		}
+		if err := s.sink.Flush(sync); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// all snapshots the live sessions across every shard, unsorted.
+func (st *Store) all() []*Session {
+	var out []*Session
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			out = append(out, s)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// resume rebuilds one session from its journal. Only called from
+// OpenStoreWithConfig, before the store is shared.
 func (st *Store) resume(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -87,8 +199,9 @@ func (st *Store) resume(path string) error {
 			sess.close()
 			return err
 		}
+		sess.publishLocked(time.Now())
 	}
-	st.sessions[hdr.ID] = sess
+	st.shard(hdr.ID).sessions[hdr.ID] = sess
 	return nil
 }
 
@@ -117,13 +230,14 @@ func (st *Store) CreateWithSpace(name string, sp *space.Space, spaceJSON json.Ra
 	if name != "" && !validID.MatchString(name) {
 		return nil, fmt.Errorf("server: invalid session name %q (want %s)", name, validID)
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	id := name
 	if id == "" {
 		id = newID()
 	}
-	if _, dup := st.sessions[id]; dup {
+	sh := st.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.sessions[id]; dup {
 		return nil, fmt.Errorf("%w: %s", ErrExists, id)
 	}
 	created := time.Now()
@@ -135,7 +249,7 @@ func (st *Store) CreateWithSpace(name string, sp *space.Space, spaceJSON json.Ra
 	if err != nil {
 		return nil, err
 	}
-	st.sessions[id] = sess
+	sh.sessions[id] = sess
 	return sess, nil
 }
 
@@ -152,19 +266,27 @@ func (st *Store) newSession(id string, sp *space.Space, opts httpapi.SessionOpti
 		if err != nil {
 			return nil, err
 		}
+		sink := newJournalSink(f, st.cfg.FlushBytes, st.cfg.Fsync)
 		if fresh {
-			if err := writeHeader(f, journalHeader{
+			// The create header is durable before the create returns —
+			// group commit only ever defers events, never the session's
+			// existence.
+			err := writeHeader(sink, journalHeader{
 				ID:        id,
 				Space:     spaceJSON,
 				Options:   opts,
 				CreatedAt: created.UTC().Format(time.RFC3339),
-			}); err != nil {
-				f.Close()
+			})
+			if err == nil {
+				err = sink.Flush(st.cfg.Fsync != FsyncNever)
+			}
+			if err != nil {
+				sink.Close()
 				return nil, err
 			}
 		}
-		sess.file = f
-		sess.rec = core.NewRecorder(f, sp)
+		sess.sink = sink
+		sess.rec = core.NewRecorder(sink, sp)
 		coreOpts.OnStep = sess.rec.OnStep
 	}
 	// The objective lives on the workers' side of the wire; the tuner
@@ -173,20 +295,22 @@ func (st *Store) newSession(id string, sp *space.Space, opts httpapi.SessionOpti
 		panic("server: remote session objective must not be called")
 	}, coreOpts)
 	if err != nil {
-		if sess.file != nil {
-			sess.file.Close()
+		if sess.sink != nil {
+			sess.sink.Close()
 		}
 		return nil, err
 	}
 	sess.at = core.NewAskTell(t)
+	sess.publishLocked(created) // not shared yet: no lock needed
 	return sess, nil
 }
 
 // Get looks up a session.
 func (st *Store) Get(id string) (*Session, error) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	s, ok := st.sessions[id]
+	sh := st.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s, ok := sh.sessions[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -195,42 +319,56 @@ func (st *Store) Get(id string) (*Session, error) {
 
 // List returns every session, sorted by id.
 func (st *Store) List() []*Session {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make([]*Session, 0, len(st.sessions))
-	for _, s := range st.sessions {
-		out = append(out, s)
-	}
+	out := st.all()
 	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
 	return out
 }
 
 // Len returns the number of live sessions.
 func (st *Store) Len() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.sessions)
-}
-
-// Evaluations sums evaluation counts across sessions.
-func (st *Store) Evaluations() int64 {
-	var n int64
-	for _, s := range st.List() {
-		s.mu.RLock()
-		n += int64(s.at.Tuner().Evaluations())
-		s.mu.RUnlock()
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sessions)
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
+// Evaluations sums evaluation counts across sessions. It reads each
+// session's lock-free snapshot, so scraping /metrics never contends
+// with the ask/tell hot path.
+func (st *Store) Evaluations() int64 {
+	var n int64
+	for _, s := range st.all() {
+		n += int64(s.Snapshot().Evaluations)
+	}
+	return n
+}
+
+// JournalErrors reports sessions whose journal writes have failed, as
+// "id: error" strings sorted by id — the /healthz degraded payload.
+func (st *Store) JournalErrors() []string {
+	var out []string
+	for _, s := range st.all() {
+		if err := s.JournalErr(); err != nil {
+			out = append(out, fmt.Sprintf("%s: %v", s.id, err))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Delete removes a session and its journal.
 func (st *Store) Delete(id string) error {
-	st.mu.Lock()
-	s, ok := st.sessions[id]
+	sh := st.shard(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if ok {
-		delete(st.sessions, id)
+		delete(sh.sessions, id)
 	}
-	st.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -243,18 +381,27 @@ func (st *Store) Delete(id string) error {
 	return err
 }
 
-// Close flushes and closes every session journal. The store must not
-// be used afterwards.
+// Close stops the flusher, then flushes and closes every session
+// journal. The store must not be used afterwards.
 func (st *Store) Close() error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	var first error
-	for _, s := range st.sessions {
-		if err := s.close(); err != nil && first == nil {
-			first = err
+	st.stopOnce.Do(func() {
+		if st.flushStop != nil {
+			close(st.flushStop)
+			<-st.flushDone
 		}
+	})
+	var first error
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			if err := s.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		sh.sessions = make(map[string]*Session)
+		sh.mu.Unlock()
 	}
-	st.sessions = make(map[string]*Session)
 	return first
 }
 
