@@ -32,9 +32,10 @@ import (
 	"github.com/hpcautotune/hiperbot/internal/report"
 	"github.com/hpcautotune/hiperbot/internal/space"
 
-	// Registers the "geist" engine so -strategy geist works over the
-	// finite measurement tables.
+	// Registers the "geist" and "gp" engines so -strategy geist/gp
+	// works over the finite measurement tables.
 	_ "github.com/hpcautotune/hiperbot/internal/geist"
+	_ "github.com/hpcautotune/hiperbot/internal/gp"
 )
 
 func builtinModels() map[string]*apps.Model {

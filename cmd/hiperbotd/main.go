@@ -32,8 +32,9 @@ import (
 	// Engines register themselves with the core registry; the blank
 	// import decides which strategy names this daemon accepts at
 	// session create ("ranking", "proposal", "random" are compiled
-	// into core; "geist" comes from this import).
+	// into core; "geist" and "gp" come from these imports).
 	_ "github.com/hpcautotune/hiperbot/internal/geist"
+	_ "github.com/hpcautotune/hiperbot/internal/gp"
 )
 
 func main() {

@@ -32,9 +32,10 @@ import (
 	"github.com/hpcautotune/hiperbot/internal/report"
 	"github.com/hpcautotune/hiperbot/internal/space"
 
-	// Registers the "geist" engine so -strategy geist works on the
-	// finite kernel spaces.
+	// Registers the "geist" and "gp" engines so -strategy geist/gp
+	// works on the finite kernel spaces.
 	_ "github.com/hpcautotune/hiperbot/internal/geist"
+	_ "github.com/hpcautotune/hiperbot/internal/gp"
 	"github.com/hpcautotune/hiperbot/miniapps/amg"
 	"github.com/hpcautotune/hiperbot/miniapps/chares"
 	"github.com/hpcautotune/hiperbot/miniapps/hydro"

@@ -31,6 +31,9 @@ var goldenSequences = map[string][]int{
 	"kripke-exec-prop-s42-b30":     {2871, 49, 2777, 1938, 3498, 672, 2716, 2133, 1001, 2934, 1462, 995, 2539, 2874, 2705, 729, 3008, 354, 3452, 3394, 1516, 1522, 1636, 1396, 1402, 1390, 1276, 1456, 1504, 1336},
 	"lulesh-flags-prop-s9-b30":     {383, 539, 558, 986, 2369, 1353, 3191, 4381, 1600, 5146, 64, 4306, 5362, 4355, 344, 1743, 4625, 3205, 1827, 3621, 4110, 4302, 4206, 4210, 5454, 3054, 5262, 5310, 4218, 750},
 	"kripke-exec-geist-s5-b60":     {825, 459, 1253, 906, 1293, 1600, 1188, 1095, 1311, 401, 774, 1160, 1327, 1036, 568, 610, 1401, 959, 580, 805, 1578, 618, 1271, 1302, 1462, 1017, 1022, 1107, 933, 508, 1186, 749, 564, 1576, 1577, 1291, 1016, 139, 950, 707, 84, 215, 541, 1169, 1239, 482, 1179, 619, 225, 1580, 1211, 125, 1456, 1200, 344, 1227, 1284, 1175, 356, 1409},
+	// Captured at the introduction of the "gp" engine (incremental
+	// GP-EI over the candidate pool, ranking acquisition).
+	"kripke-exec-gpeng-s42-b40": {135, 610, 1094, 1487, 1594, 1236, 1155, 1364, 1221, 935, 1093, 465, 1281, 513, 1136, 1401, 984, 1357, 1127, 1593, 1095, 1151, 1087, 303, 1561, 1565, 587, 578, 589, 572, 548, 570, 113, 49, 831, 58, 53, 757, 221, 208},
 }
 
 func assertGolden(t *testing.T, name string, got []int) {
@@ -70,6 +73,32 @@ func tableRun(t *testing.T, tbl *dataset.Table, seed uint64, budget, batch int) 
 		_, err = tn.Run(budget)
 	}
 	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+// engineRun drives a named registered engine over a table's candidate
+// pool, returning the selected table rows.
+func engineRun(t *testing.T, tbl *dataset.Table, engine string, seed uint64, budget int) []int {
+	t.Helper()
+	cands := make([]space.Config, tbl.Len())
+	for i := 0; i < tbl.Len(); i++ {
+		cands[i] = tbl.Config(i)
+	}
+	var seq []int
+	tn, err := core.NewTuner(tbl.Space, tbl.Objective(), core.Options{
+		Seed:       seed,
+		Engine:     engine,
+		Candidates: cands,
+		OnStep: func(iter int, obs core.Observation) {
+			seq = append(seq, tbl.IndexOf(obs.Config))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.Run(budget); err != nil {
 		t.Fatal(err)
 	}
 	return seq
@@ -154,6 +183,61 @@ func TestGoldenIncrementalMatchesColdSelections(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			if err := cold.Resume(tn.History()); err != nil {
+				t.Fatal(err)
+			}
+			coldPicks, err := cold.SelectBatch(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if coldPick := tbl.IndexOf(coldPicks[0]); coldPick != incPick {
+				t.Fatalf("step %d: incremental fit picked index %d, cold rebuild picked %d",
+					tn.Evaluations(), incPick, coldPick)
+			}
+		}
+		if _, err := tn.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGoldenGPEngineSequence pins the "gp" engine's Tuner-driven
+// selections; TestGoldenGPEngineIncrementalMatchesCold additionally
+// proves its incremental fits (Cholesky row extension + pool-cache
+// rows) select bit-identically to a cold rebuild from the same
+// history prefix at every model-guided step.
+func TestGoldenGPEngineSequence(t *testing.T) {
+	ke := kripke.Exec().Table()
+	assertGolden(t, "kripke-exec-gpeng-s42-b40", engineRun(t, ke, "gp", 42, 40))
+}
+
+func TestGoldenGPEngineIncrementalMatchesCold(t *testing.T) {
+	tbl := kripke.Exec().Table()
+	cands := make([]space.Config, tbl.Len())
+	for i := 0; i < tbl.Len(); i++ {
+		cands[i] = tbl.Config(i)
+	}
+	newGP := func() *core.Tuner {
+		tn, err := core.NewTuner(tbl.Space, tbl.Objective(), core.Options{
+			Seed:       42,
+			Engine:     "gp",
+			Candidates: cands,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tn
+	}
+	tn := newGP()
+	for tn.Evaluations() < 40 {
+		if tn.Evaluations() >= tn.InitialSamples() {
+			picks, err := tn.SelectBatch(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			incPick := tbl.IndexOf(picks[0])
+
+			cold := newGP()
 			if err := cold.Resume(tn.History()); err != nil {
 				t.Fatal(err)
 			}

@@ -120,6 +120,15 @@ func (m *TPEModel) Marginals() []MarginalReport {
 // the first Fit), for analyses that need the concrete densities.
 func (m *TPEModel) Surrogate() *Surrogate { return m.s }
 
+// RankingAcquirer returns the pool-scoring acquirer used by the
+// "ranking" engine — argmax over all unevaluated candidates at k = 1,
+// top-k diversified by Hamming distance otherwise — for engines
+// registered outside this package (e.g. the GP-EI engine) whose
+// selection rule is "score every remaining candidate, pick the best".
+// It shares the tuner's generation-keyed score caches, so any model
+// with a cheap ScoreBatch gets the allocation-free warm path.
+func RankingAcquirer() Acquirer { return rankingAcquirer{} }
+
 // rankingAcquirer scores every remaining pool candidate and picks the
 // argmax (k = 1) or the top-k diversified by Hamming distance.
 type rankingAcquirer struct{}

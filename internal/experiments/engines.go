@@ -7,9 +7,11 @@ import (
 	"github.com/hpcautotune/hiperbot/internal/apps"
 	"github.com/hpcautotune/hiperbot/internal/harness"
 
-	// The shootout is name-driven; make sure the geist engine is
-	// registered even when the caller forgot the blank import.
+	// The shootout is name-driven; make sure the geist and gp
+	// engines are registered even when the caller forgot the blank
+	// imports.
 	_ "github.com/hpcautotune/hiperbot/internal/geist"
+	_ "github.com/hpcautotune/hiperbot/internal/gp"
 )
 
 // EngineShootout runs the Fig. 2-6 selection protocol with one curve

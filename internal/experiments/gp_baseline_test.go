@@ -13,7 +13,7 @@ import (
 // directly checkable on the Kripke study.
 func TestTransitiveOrderingHiPerBOtGeistGP(t *testing.T) {
 	if testing.Short() {
-		t.Skip("GP refits are O(n^3)")
+		t.Skip("multi-repetition selection curves; skipped in -short")
 	}
 	tbl := kripke.Exec().Table()
 	spec := harness.CurveSpec{

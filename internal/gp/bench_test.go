@@ -1,0 +1,129 @@
+package gp_test
+
+// Benchmarks for the GP hot path: fitting (cold and per-tell) and a
+// full 200-eval Kripke-table Select run. EXPERIMENTS.md records the
+// before/after numbers for the incremental-Cholesky/kernel-cache
+// rewrite; CI runs these at -benchtime=1x as a smoke test.
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/apps/kripke"
+	"github.com/hpcautotune/hiperbot/internal/gp"
+	"github.com/hpcautotune/hiperbot/internal/linalg"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// benchTraining returns n synthetic training rows of width d.
+func benchTraining(n, d int) ([][]float64, []float64) {
+	r := stats.NewRNG(99)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+		xs[i] = row
+		ys[i] = r.Float64() * 10
+	}
+	return xs, ys
+}
+
+// BenchmarkGPFit measures a cold fit of 200 observations.
+func BenchmarkGPFit(b *testing.B) {
+	xs, ys := benchTraining(200, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gp.Fit(xs, ys, gp.Kernel{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPSelect measures the full 200-eval active-learning run on
+// the 1612-row Kripke execution-time table — the acceptance-criteria
+// workload (≥10× over the pre-rewrite baseline, bit-identical
+// selections).
+func BenchmarkGPSelect(b *testing.B) {
+	tbl := kripke.Exec().Table()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := gp.Select(tbl, 200, gp.Options{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h.Len() != 200 {
+			b.Fatalf("history %d", h.Len())
+		}
+	}
+}
+
+// BenchmarkGPPredict measures single-point posterior queries against
+// a 200-observation fit.
+func BenchmarkGPPredict(b *testing.B) {
+	xs, ys := benchTraining(200, 24)
+	g, err := gp.Fit(xs, ys, gp.Kernel{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := xs[57]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu, sd := g.Predict(q)
+		_, _ = mu, sd
+	}
+}
+
+// BenchmarkGPPredictBatch measures the multi-RHS batch posterior over
+// 1612 query rows (one Kripke pool's worth) against a 200-observation
+// fit — the chunk-parallel path behind EIBatch.
+func BenchmarkGPPredictBatch(b *testing.B) {
+	xs, ys := benchTraining(200, 24)
+	g, err := gp.Fit(xs, ys, gp.Kernel{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := linalg.NewMatrix(1612, 24)
+	r := stats.NewRNG(5)
+	for i := 0; i < q.Rows; i++ {
+		row := q.Row(i)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+	}
+	mu := make([]float64, q.Rows)
+	sd := make([]float64, q.Rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PredictBatch(q, mu, sd, 0)
+	}
+}
+
+// BenchmarkGPEIBatch measures the batch expected-improvement sweep
+// over the same workload.
+func BenchmarkGPEIBatch(b *testing.B) {
+	xs, ys := benchTraining(200, 24)
+	g, err := gp.Fit(xs, ys, gp.Kernel{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := linalg.NewMatrix(1612, 24)
+	r := stats.NewRNG(5)
+	for i := 0; i < q.Rows; i++ {
+		row := q.Row(i)
+		for j := range row {
+			row[j] = r.Float64()
+		}
+	}
+	dst := make([]float64, q.Rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.EIBatch(q, 0.5, dst, 0)
+	}
+}

@@ -6,15 +6,22 @@
 // so the baseline suite is complete and the paper's transitive claim
 // (HiPerBOt > GEIST > GP) can be checked directly.
 //
-// Everything is hand-rolled on internal/linalg (Cholesky); inputs are
-// the one-hot/normalized feature encodings of configurations.
+// Everything is hand-rolled on internal/linalg; inputs are the
+// one-hot/normalized feature encodings of configurations. The hot
+// path is incremental (DESIGN.md §9): fits extend a growable Cholesky
+// factor one row per observation (linalg.Chol), model selection reuses
+// one pairwise-distance matrix across the length-scale grid, and
+// batch prediction runs a multi-RHS triangular solve chunked over
+// internal/par — all bit-identical to the scalar paths.
 package gp
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"github.com/hpcautotune/hiperbot/internal/linalg"
+	"github.com/hpcautotune/hiperbot/internal/par"
 )
 
 // Kernel parameters of the squared-exponential (RBF) kernel
@@ -39,21 +46,34 @@ func (k Kernel) withDefaults() Kernel {
 	return k
 }
 
-func (k Kernel) eval(a, b []float64) float64 {
+// sqDist returns ||a-b||².
+func sqDist(a, b []float64) float64 {
 	var d2 float64
 	for i := range a {
 		d := a[i] - b[i]
 		d2 += d * d
 	}
+	return d2
+}
+
+// fromSqDist evaluates the kernel from a precomputed squared
+// distance — the seam that lets model selection cache distances
+// across the length-scale grid.
+func (k Kernel) fromSqDist(d2 float64) float64 {
 	return k.Variance * math.Exp(-d2/(2*k.LengthScale*k.LengthScale))
+}
+
+func (k Kernel) eval(a, b []float64) float64 {
+	return k.fromSqDist(sqDist(a, b))
 }
 
 // GP is a fitted Gaussian-process posterior over standardized targets.
 type GP struct {
 	kernel Kernel
+	jitter float64 // adaptive diagonal noise adopted during fitting (0 normally)
 	xs     [][]float64
 	alpha  []float64 // (K+σ²I)⁻¹ y
-	chol   *linalg.Matrix
+	chol   *linalg.Chol
 	yMean  float64
 	yStd   float64
 	z      []float64 // standardized training targets
@@ -61,14 +81,38 @@ type GP struct {
 
 // Fit conditions a GP on the observations (xs rows, ys values).
 // Targets are standardized internally; Predict undoes the transform.
+// A numerically singular kernel matrix (e.g. duplicated rows with
+// tiny noise) is recovered by escalating diagonal jitter rather than
+// failing the fit.
 func Fit(xs [][]float64, ys []float64, kernel Kernel) (*GP, error) {
 	if len(xs) == 0 || len(xs) != len(ys) {
 		return nil, fmt.Errorf("gp: %d inputs, %d targets", len(xs), len(ys))
 	}
 	kernel = kernel.withDefaults()
-	n := len(xs)
+	tr := newTrainer(kernel, len(xs), kernelRows(kernel, &xs))
+	if err := tr.grow(len(xs)); err != nil {
+		return nil, fmt.Errorf("gp: kernel matrix: %w", err)
+	}
+	return tr.posterior(xs, ys), nil
+}
 
-	var mean float64
+// kernelRows is the trainer row source evaluating the RBF kernel
+// directly from feature rows. It takes a pointer to the slice so
+// callers may keep appending rows between grow calls.
+func kernelRows(kernel Kernel, xs *[][]float64) rowSource {
+	return func(i int, dst []float64) {
+		rows := *xs
+		xi := rows[i]
+		for j := 0; j <= i; j++ {
+			dst[j] = kernel.eval(xi, rows[j])
+		}
+	}
+}
+
+// standardize fills z with the standardized targets and returns the
+// mean and (population) standard deviation used.
+func standardize(ys, z []float64) (mean, std float64) {
+	n := len(ys)
 	for _, y := range ys {
 		mean += y
 	}
@@ -78,44 +122,20 @@ func Fit(xs [][]float64, ys []float64, kernel Kernel) (*GP, error) {
 		d := y - mean
 		ss += d * d
 	}
-	std := math.Sqrt(ss / float64(n))
+	std = math.Sqrt(ss / float64(n))
 	if std == 0 {
 		std = 1
 	}
-
-	k := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			v := kernel.eval(xs[i], xs[j])
-			k.Set(i, j, v)
-			k.Set(j, i, v)
-		}
-		k.Set(i, i, k.At(i, i)+kernel.Noise)
-	}
-	chol, err := linalg.Cholesky(k)
-	if err != nil {
-		return nil, fmt.Errorf("gp: kernel matrix: %w", err)
-	}
-	z := make([]float64, n)
 	for i, y := range ys {
 		z[i] = (y - mean) / std
 	}
-	return &GP{
-		kernel: kernel,
-		xs:     xs,
-		alpha:  linalg.CholeskySolve(chol, z),
-		chol:   chol,
-		yMean:  mean,
-		yStd:   std,
-		z:      z,
-	}, nil
+	return mean, std
 }
 
 // Predict returns the posterior mean and standard deviation at x, in
 // the original target units.
 func (g *GP) Predict(x []float64) (mean, std float64) {
-	n := len(g.xs)
-	kstar := make([]float64, n)
+	kstar := make([]float64, len(g.xs))
 	for i, xi := range g.xs {
 		kstar[i] = g.kernel.eval(x, xi)
 	}
@@ -124,9 +144,9 @@ func (g *GP) Predict(x []float64) (mean, std float64) {
 		mu += kstar[i] * a
 	}
 	// Variance: k(x,x) - k*ᵀ (K+σ²I)⁻¹ k* via v = L⁻¹k*.
-	v := forwardSolve(g.chol, kstar)
-	varz := g.kernel.Variance + g.kernel.Noise
-	for _, vi := range v {
+	g.chol.ForwardSolveInPlace(kstar)
+	varz := g.kernel.Variance + g.kernel.Noise + g.jitter
+	for _, vi := range kstar {
 		varz -= vi * vi
 	}
 	if varz < 0 {
@@ -135,10 +155,59 @@ func (g *GP) Predict(x []float64) (mean, std float64) {
 	return g.yMean + mu*g.yStd, math.Sqrt(varz) * g.yStd
 }
 
-// ExpectedImprovement returns the classic EI acquisition for
-// minimization at x given the best observed value so far.
-func (g *GP) ExpectedImprovement(x []float64, best float64) float64 {
-	mu, sd := g.Predict(x)
+// batchParallelCutoff is the mu·n work size below which PredictBatch
+// stays on the calling goroutine: chunk results are bit-identical at
+// any worker count, so the cutoff is purely a spawn-cost tradeoff.
+const batchParallelCutoff = 1 << 15
+
+// PredictBatch computes the posterior mean and standard deviation for
+// every row of x into mu and sd (both length x.Rows), chunking the
+// query rows over up to workers goroutines (0 = GOMAXPROCS) with a
+// multi-RHS triangular solve per chunk. Per-row results are
+// bit-identical to Predict at any worker count.
+func (g *GP) PredictBatch(x *linalg.Matrix, mu, sd []float64, workers int) {
+	m, n := x.Rows, len(g.xs)
+	if len(mu) != m || len(sd) != m {
+		panic(fmt.Sprintf("gp: PredictBatch buffers %d/%d, want %d", len(mu), len(sd), m))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if m*n < batchParallelCutoff {
+		workers = 1
+	}
+	par.Chunks(m, workers, func(_, lo, hi int) {
+		ks := linalg.NewMatrix(hi-lo, n)
+		for r := lo; r < hi; r++ {
+			row := ks.Row(r - lo)
+			xq := x.Row(r)
+			for i, xi := range g.xs {
+				row[i] = g.kernel.eval(xq, xi)
+			}
+			var m0 float64
+			for i, a := range g.alpha {
+				m0 += row[i] * a
+			}
+			mu[r] = m0
+		}
+		g.chol.ForwardSolveRows(ks, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			varz := g.kernel.Variance + g.kernel.Noise + g.jitter
+			for _, vi := range ks.Row(r - lo) {
+				varz -= vi * vi
+			}
+			if varz < 0 {
+				varz = 0
+			}
+			sd[r] = math.Sqrt(varz) * g.yStd
+			mu[r] = g.yMean + mu[r]*g.yStd
+		}
+	})
+}
+
+// eiFromMoments is the expected-improvement formula shared by the
+// scalar, batch, and pool-cached paths (minimization, classic EI).
+func eiFromMoments(mu, sd, best float64) float64 {
 	if sd <= 0 {
 		if mu < best {
 			return best - mu
@@ -149,6 +218,28 @@ func (g *GP) ExpectedImprovement(x []float64, best float64) float64 {
 	return (best-mu)*normCDF(z) + sd*normPDF(z)
 }
 
+// ExpectedImprovement returns the classic EI acquisition for
+// minimization at x given the best observed value so far.
+func (g *GP) ExpectedImprovement(x []float64, best float64) float64 {
+	mu, sd := g.Predict(x)
+	return eiFromMoments(mu, sd, best)
+}
+
+// EIBatch computes the expected improvement for every row of x into
+// dst (length x.Rows), chunk-parallel and bit-identical to row-wise
+// ExpectedImprovement.
+func (g *GP) EIBatch(x *linalg.Matrix, best float64, dst []float64, workers int) {
+	if len(dst) != x.Rows {
+		panic(fmt.Sprintf("gp: EIBatch dst length %d, want %d", len(dst), x.Rows))
+	}
+	mu := make([]float64, x.Rows)
+	sd := make([]float64, x.Rows)
+	g.PredictBatch(x, mu, sd, workers)
+	for i := range dst {
+		dst[i] = eiFromMoments(mu[i], sd[i], best)
+	}
+}
+
 // LogMarginalLikelihood returns the log evidence of the fitted data
 // under the GP prior (up to the constant -n/2·log 2π):
 // -½ zᵀα - ½ log|K+σ²I|, with z the standardized targets.
@@ -157,26 +248,50 @@ func (g *GP) LogMarginalLikelihood() float64 {
 	for i, a := range g.alpha {
 		fit += g.z[i] * a
 	}
-	return -0.5*fit - 0.5*linalg.CholeskyLogDet(g.chol)
+	return -0.5*fit - 0.5*g.chol.LogDet()
 }
+
+// Jitter reports the adaptive diagonal noise adopted while fitting
+// (0 when the kernel matrix was positive definite as configured).
+func (g *GP) Jitter() float64 { return g.jitter }
 
 // FitWithModelSelection fits one GP per candidate length scale and
 // returns the one maximizing the log marginal likelihood — the
 // standard lightweight alternative to gradient-based hyperparameter
-// optimization.
+// optimization. The pairwise squared-distance matrix is computed once
+// and shared across the grid: each candidate only rescales the same
+// distances, so per-candidate cost drops from O(n²·d) to O(n²).
 func FitWithModelSelection(xs [][]float64, ys []float64, lengthScales []float64) (*GP, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("gp: %d inputs, %d targets", len(xs), len(ys))
+	}
 	if len(lengthScales) == 0 {
 		lengthScales = []float64{0.25, 0.5, 1, 2, 4}
+	}
+	n := len(xs)
+	d2 := linalg.NewMatrix(n, n) // lower triangle used
+	for i := 0; i < n; i++ {
+		row := d2.Row(i)
+		for j := 0; j <= i; j++ {
+			row[j] = sqDist(xs[i], xs[j])
+		}
 	}
 	var best *GP
 	bestLML := math.Inf(-1)
 	var lastErr error
 	for _, ls := range lengthScales {
-		g, err := Fit(xs, ys, Kernel{LengthScale: ls})
-		if err != nil {
-			lastErr = err
+		kernel := Kernel{LengthScale: ls}.withDefaults()
+		tr := newTrainer(kernel, n, func(i int, dst []float64) {
+			drow := d2.Row(i)
+			for j := 0; j <= i; j++ {
+				dst[j] = kernel.fromSqDist(drow[j])
+			}
+		})
+		if err := tr.grow(n); err != nil {
+			lastErr = fmt.Errorf("gp: kernel matrix: %w", err)
 			continue
 		}
+		g := tr.posterior(xs, ys)
 		if lml := g.LogMarginalLikelihood(); lml > bestLML {
 			bestLML, best = lml, g
 		}
@@ -185,21 +300,6 @@ func FitWithModelSelection(xs [][]float64, ys []float64, lengthScales []float64)
 		return nil, fmt.Errorf("gp: no length scale produced a valid fit: %w", lastErr)
 	}
 	return best, nil
-}
-
-// forwardSolve solves L y = b for lower-triangular L.
-func forwardSolve(l *linalg.Matrix, b []float64) []float64 {
-	n := l.Rows
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		sum := b[i]
-		row := l.Row(i)
-		for k := 0; k < i; k++ {
-			sum -= row[k] * y[k]
-		}
-		y[i] = sum / row[i]
-	}
-	return y
 }
 
 func normPDF(z float64) float64 {

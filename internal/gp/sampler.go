@@ -2,6 +2,7 @@ package gp
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/dataset"
@@ -17,11 +18,17 @@ type Options struct {
 	// Kernel parameterizes the RBF covariance.
 	Kernel Kernel
 	// Refit controls how often the GP is refit: every Refit
-	// evaluations (default 1 — every step; O(n³) each time). Raising
-	// it trades model freshness for speed on large budgets.
+	// evaluations (default 1 — every step). Fits are incremental
+	// (O(n²) per new observation, DESIGN.md §9), so raising this now
+	// mostly trades model freshness for skipping the O(n²) weight
+	// re-solve.
 	Refit int
 	// Seed drives the bootstrap.
 	Seed uint64
+	// Parallelism caps the worker goroutines used for the pooled
+	// kernel/EI sweeps (0 = GOMAXPROCS). Results are bit-identical at
+	// any setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -31,6 +38,9 @@ func (o Options) withDefaults() Options {
 	if o.Refit == 0 {
 		o.Refit = 1
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	o.Kernel = o.Kernel.withDefaults()
 	return o
 }
@@ -38,6 +48,13 @@ func (o Options) withDefaults() Options {
 // Select runs GP-EI active learning over a dataset: bootstrap with
 // random configurations, then repeatedly fit the GP and evaluate the
 // unevaluated configuration with the highest expected improvement.
+//
+// The hot path is fully incremental: each refit extends the Cholesky
+// factor by the new rows (O(n²) apiece), extends the cached pool
+// cross-kernel/forward-solve matrices by one row per observation, and
+// re-solves only the weight vector; the per-step acquisition sweep is
+// then O(tbl.Len()). Selections are bit-identical to fitting a fresh
+// GP per refit and scoring every candidate with Predict.
 func Select(tbl *dataset.Table, budget int, opts Options) (*core.History, error) {
 	opts = opts.withDefaults()
 	if opts.InitialSamples < 2 {
@@ -56,8 +73,8 @@ func Select(tbl *dataset.Table, budget int, opts Options) (*core.History, error)
 	r := stats.NewRNG(opts.Seed)
 	h := core.NewHistory(tbl.Space)
 	evaluated := make(map[int]bool, budget)
-	var xs [][]float64
-	var ys []float64
+	xs := make([][]float64, 0, budget)
+	ys := make([]float64, 0, budget)
 	evalRow := func(idx int) error {
 		evaluated[idx] = true
 		xs = append(xs, features.Row(idx))
@@ -70,25 +87,33 @@ func Select(tbl *dataset.Table, budget int, opts Options) (*core.History, error)
 		}
 	}
 
-	var model *GP
+	tr := newTrainer(opts.Kernel, budget, kernelRows(opts.Kernel, &xs))
+	pe := newPoolEI(features, opts.Kernel, opts.Parallelism)
+	z := make([]float64, 0, budget)
+	alpha := make([]float64, 0, budget)
+
+	fitted := false
 	sinceFit := opts.Refit // force a fit on the first model step
 	for h.Len() < budget {
-		if sinceFit >= opts.Refit || model == nil {
-			m, err := Fit(xs, ys, opts.Kernel)
-			if err != nil {
+		if sinceFit >= opts.Refit || !fitted {
+			if err := foldInto(tr, pe, xs); err != nil {
 				return nil, err
 			}
-			model = m
+			n := len(ys)
+			z, alpha = z[:n], alpha[:n] // fully overwritten by solveAlpha
+			mean, std := tr.solveAlpha(ys, z, alpha)
+			pe.refreshMoments(alpha, mean, std)
+			fitted = true
 			sinceFit = 0
 		}
-		best := h.Best().Value
+		ei := pe.refreshEI(h.Best().Value)
 		bestIdx, bestEI := -1, -1.0
 		for i := 0; i < tbl.Len(); i++ {
 			if evaluated[i] {
 				continue
 			}
-			if ei := model.ExpectedImprovement(features.Row(i), best); ei > bestEI {
-				bestEI, bestIdx = ei, i
+			if ei[i] > bestEI {
+				bestEI, bestIdx = ei[i], i
 			}
 		}
 		if bestIdx < 0 {

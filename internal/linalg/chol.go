@@ -1,0 +1,147 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chol is a growable lower-triangular Cholesky factor L of a
+// symmetric positive-definite matrix A = L·Lᵀ. Unlike Cholesky, which
+// factorizes a complete matrix in one shot, a Chol is extended one
+// matrix row at a time: appending row n costs one forward solve plus
+// a square root (O(n²)), which is what makes incremental GP fits
+// O(n²) per observation instead of O(n³).
+//
+// Append performs exactly one iteration of the row-Cholesky recurrence
+// used by Cholesky, in the same operation order, so a factor built by
+// n Appends is bit-identical to Cholesky of the full matrix — there is
+// one factorization code path, not two that could drift.
+type Chol struct {
+	n      int
+	stride int       // row capacity
+	data   []float64 // stride*stride, row-major; row i occupies data[i*stride : i*stride+i+1]
+}
+
+// NewChol allocates an empty factor with room for capacity rows;
+// appending beyond the capacity reallocates (doubling).
+func NewChol(capacity int) *Chol {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Chol{stride: capacity, data: make([]float64, capacity*capacity)}
+}
+
+// N returns the current number of factor rows.
+func (c *Chol) N() int { return c.n }
+
+// Reset empties the factor, keeping the allocation.
+func (c *Chol) Reset() { c.n = 0 }
+
+// Row returns factor row i (length i+1) as a slice view.
+func (c *Chol) Row(i int) []float64 { return c.data[i*c.stride : i*c.stride+i+1] }
+
+// At returns L(i, j) for j <= i.
+func (c *Chol) At(i, j int) float64 { return c.data[i*c.stride+j] }
+
+// grow doubles the row capacity, repacking the existing rows.
+func (c *Chol) grow() {
+	ns := 2 * c.stride
+	nd := make([]float64, ns*ns)
+	for i := 0; i < c.n; i++ {
+		copy(nd[i*ns:i*ns+i+1], c.data[i*c.stride:i*c.stride+i+1])
+	}
+	c.stride, c.data = ns, nd
+}
+
+// Append extends the factor by one matrix row: row[j] = A(n, j) for
+// j < n and row[n] = A(n, n), where n = N(). It returns an error (and
+// leaves the factor unchanged) when the extended matrix is not
+// numerically positive definite.
+func (c *Chol) Append(row []float64) error {
+	n := c.n
+	if len(row) != n+1 {
+		panic(fmt.Sprintf("linalg: Chol.Append row length %d, want %d", len(row), n+1))
+	}
+	if n == c.stride {
+		c.grow()
+	}
+	dst := c.data[n*c.stride : n*c.stride+n+1]
+	for j := 0; j < n; j++ {
+		sum := row[j]
+		jrow := c.data[j*c.stride : j*c.stride+j]
+		for k, v := range jrow {
+			sum -= dst[k] * v
+		}
+		dst[j] = sum / c.data[j*c.stride+j]
+	}
+	sum := row[n]
+	for _, v := range dst[:n] {
+		sum -= v * v
+	}
+	if sum <= 0 || math.IsNaN(sum) {
+		return fmt.Errorf("linalg: matrix not positive definite at pivot %d (%v)", n, sum)
+	}
+	dst[n] = math.Sqrt(sum)
+	c.n = n + 1
+	return nil
+}
+
+// ForwardSolveInPlace solves L y = b in place (b becomes y).
+func (c *Chol) ForwardSolveInPlace(b []float64) {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("linalg: Chol.ForwardSolveInPlace rhs length %d, want %d", len(b), c.n))
+	}
+	for i := 0; i < c.n; i++ {
+		row := c.data[i*c.stride : i*c.stride+i]
+		sum := b[i]
+		for k, v := range row {
+			sum -= v * b[k]
+		}
+		b[i] = sum / c.data[i*c.stride+i]
+	}
+}
+
+// BackSolveInPlace solves Lᵀ x = y in place (y becomes x).
+func (c *Chol) BackSolveInPlace(y []float64) {
+	if len(y) != c.n {
+		panic(fmt.Sprintf("linalg: Chol.BackSolveInPlace rhs length %d, want %d", len(y), c.n))
+	}
+	for i := c.n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < c.n; k++ {
+			sum -= c.data[k*c.stride+i] * y[k]
+		}
+		y[i] = sum / c.data[i*c.stride+i]
+	}
+}
+
+// SolveInPlace solves A x = b in place given the factor (A = L·Lᵀ),
+// by forward then backward substitution — the in-place counterpart of
+// CholeskySolve, producing bit-identical results.
+func (c *Chol) SolveInPlace(b []float64) {
+	c.ForwardSolveInPlace(b)
+	c.BackSolveInPlace(b)
+}
+
+// ForwardSolveRows solves L yᵀ = bᵀ for every row b in rows [lo, hi)
+// of B, in place — the triangular-solve-with-multiple-right-hand-sides
+// kernel behind batch GP prediction. Rows are independent solves, so
+// callers may partition [0, B.Rows) across goroutines; each row's
+// result is bit-identical to a standalone ForwardSolveInPlace.
+func (c *Chol) ForwardSolveRows(b *Matrix, lo, hi int) {
+	if b.Cols != c.n {
+		panic(fmt.Sprintf("linalg: Chol.ForwardSolveRows rhs width %d, want %d", b.Cols, c.n))
+	}
+	for r := lo; r < hi; r++ {
+		c.ForwardSolveInPlace(b.Row(r))
+	}
+}
+
+// LogDet returns log|A| from the factor: 2·Σ log L_ii.
+func (c *Chol) LogDet() float64 {
+	var sum float64
+	for i := 0; i < c.n; i++ {
+		sum += math.Log(c.data[i*c.stride+i])
+	}
+	return 2 * sum
+}

@@ -1,0 +1,183 @@
+package linalg
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// randSPD returns a random symmetric positive-definite n×n matrix
+// (MᵀM plus a diagonal bump) from a deterministic LCG — the linalg
+// package sits below internal/stats, so tests roll their own noise.
+func randSPD(n int, seed uint64) *Matrix {
+	s := seed
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / float64(1<<53)
+	}
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, next()-0.5)
+		}
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += m.At(k, i) * m.At(k, j)
+			}
+			if i == j {
+				sum += float64(n)
+			}
+			a.Set(i, j, sum)
+		}
+	}
+	return a
+}
+
+// appendAll builds a Chol from matrix a by successive row appends.
+func appendAll(t *testing.T, c *Chol, a *Matrix) {
+	t.Helper()
+	row := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j <= i; j++ {
+			row[j] = a.At(i, j)
+		}
+		if err := c.Append(row[:i+1]); err != nil {
+			t.Fatalf("append row %d: %v", i, err)
+		}
+	}
+}
+
+// TestCholAppendMatchesCholesky: a factor grown one row at a time is
+// bit-identical to the one-shot Cholesky of the full matrix — the
+// single-code-path guarantee the incremental GP fit rests on.
+func TestCholAppendMatchesCholesky(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 24} {
+		a := randSPD(n, uint64(n)*1234567)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewChol(4)
+		appendAll(t, c, a)
+		if c.N() != n {
+			t.Fatalf("n=%d: factor has %d rows", n, c.N())
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				if math.Float64bits(c.At(i, j)) != math.Float64bits(l.At(i, j)) {
+					t.Fatalf("n=%d: L(%d,%d) = %v incremental vs %v one-shot", n, i, j, c.At(i, j), l.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestCholSolveMatchesCholeskySolve: SolveInPlace is bit-identical to
+// the allocating CholeskySolve, and LogDet to CholeskyLogDet.
+func TestCholSolveMatchesCholeskySolve(t *testing.T) {
+	n := 17
+	a := randSPD(n, 99)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChol(1) // exercises capacity growth too
+	appendAll(t, c, a)
+
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i*i%13) - 6
+	}
+	want := CholeskySolve(l, b)
+	got := make([]float64, n)
+	copy(got, b)
+	c.SolveInPlace(got)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("solve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if gd, wd := c.LogDet(), CholeskyLogDet(l); math.Float64bits(gd) != math.Float64bits(wd) {
+		t.Fatalf("LogDet = %v, want %v", gd, wd)
+	}
+}
+
+// TestCholForwardSolveRows: the multi-RHS forward solve matches
+// per-vector ForwardSolveInPlace row by row.
+func TestCholForwardSolveRows(t *testing.T) {
+	n := 12
+	a := randSPD(n, 5)
+	c := NewChol(n)
+	appendAll(t, c, a)
+
+	rows := 9
+	b := NewMatrix(rows, n)
+	for r := 0; r < rows; r++ {
+		for j := 0; j < n; j++ {
+			b.Set(r, j, float64((r*31+j*7)%11)-5)
+		}
+	}
+	want := NewMatrix(rows, n)
+	for r := 0; r < rows; r++ {
+		copy(want.Row(r), b.Row(r))
+		c.ForwardSolveInPlace(want.Row(r))
+	}
+	c.ForwardSolveRows(b, 0, rows)
+	for r := 0; r < rows; r++ {
+		for j := 0; j < n; j++ {
+			if math.Float64bits(b.At(r, j)) != math.Float64bits(want.At(r, j)) {
+				t.Fatalf("row %d col %d: %v, want %v", r, j, b.At(r, j), want.At(r, j))
+			}
+		}
+	}
+}
+
+// TestCholAppendRejectsNonPD: appending a row that makes the matrix
+// indefinite fails and leaves the factor usable.
+func TestCholAppendRejectsNonPD(t *testing.T) {
+	c := NewChol(2)
+	if err := c.Append([]float64{4}); err != nil {
+		t.Fatal(err)
+	}
+	// Row [4, 4] makes the matrix [[4,4],[4,4]] singular: pivot
+	// 4 - (4/2)² = 0.
+	if err := c.Append([]float64{4, 4}); err == nil {
+		t.Fatal("expected a non-positive-definite error")
+	} else if !strings.Contains(err.Error(), "not positive definite") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if c.N() != 1 {
+		t.Fatalf("failed append mutated the factor: n=%d", c.N())
+	}
+	// The factor still extends with a valid row.
+	if err := c.Append([]float64{4, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 2 {
+		t.Fatalf("n=%d after recovery append", c.N())
+	}
+}
+
+// TestCholGrowth: appends far beyond the initial capacity repack
+// correctly (values stay bit-identical to a fresh one-shot factor).
+func TestCholGrowth(t *testing.T) {
+	n := 33
+	a := randSPD(n, 321)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChol(2)
+	appendAll(t, c, a)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if math.Float64bits(c.At(i, j)) != math.Float64bits(l.At(i, j)) {
+				t.Fatalf("after growth: L(%d,%d) drifted", i, j)
+			}
+		}
+	}
+}

@@ -6,10 +6,11 @@ import (
 
 	"github.com/hpcautotune/hiperbot/internal/httpapi"
 
-	// Register the geist engine so the daemon-shaped strategy set
-	// ("ranking", "proposal", "random", "geist") is what this test
-	// exercises.
+	// Register the geist and gp engines so the daemon-shaped strategy
+	// set ("ranking", "proposal", "random", "geist", "gp") is what
+	// this test exercises.
 	_ "github.com/hpcautotune/hiperbot/internal/geist"
+	_ "github.com/hpcautotune/hiperbot/internal/gp"
 )
 
 // TestSessionStrategySelection creates one session per registered
@@ -19,7 +20,7 @@ func TestSessionStrategySelection(t *testing.T) {
 	srv, store := newTestServer(t, "")
 	defer store.Close()
 
-	for _, strat := range []string{"ranking", "proposal", "random", "geist"} {
+	for _, strat := range []string{"ranking", "proposal", "random", "geist", "gp"} {
 		id := createTestSession(t, srv, "strat-"+strat, httpapi.SessionOptions{
 			Seed: 5, InitialSamples: 4, Strategy: strat,
 		})
