@@ -11,6 +11,15 @@
 //	hiperbot -app kripke-exec -budget 96
 //	hiperbot -app lulesh -budget 150 -importance
 //
+// The "huge" app is a ~1.3e8-point constrained grid that exercises
+// the large-space mode: it is tuned directly against its analytic
+// objective (no table is ever materialized), with -pool-cap and
+// -candidate-samples steering the sampled-pool / sampling-engine
+// behavior:
+//
+//	hiperbot -app huge -budget 200
+//	hiperbot -app huge -budget 200 -strategy gp -pool-cap 2048
+//
 // The tool prints the best configuration found, the evaluation trace,
 // and (with -importance) the JS-divergence parameter ranking.
 package main
@@ -23,6 +32,7 @@ import (
 	"strings"
 
 	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/apps/huge"
 	"github.com/hpcautotune/hiperbot/internal/apps/hypre"
 	"github.com/hpcautotune/hiperbot/internal/apps/kripke"
 	"github.com/hpcautotune/hiperbot/internal/apps/lulesh"
@@ -51,11 +61,13 @@ func builtinModels() map[string]*apps.Model {
 func main() {
 	var (
 		csvPath    = flag.String("csv", "", "CSV file of measurements to tune over")
-		appName    = flag.String("app", "", "built-in app model (kripke-exec, kripke-energy, hypre, lulesh, openatom)")
+		appName    = flag.String("app", "", "built-in app model (kripke-exec, kripke-energy, hypre, lulesh, openatom, huge)")
 		budget     = flag.Int("budget", 150, "total objective evaluations (including initial samples)")
 		initial    = flag.Int("init", 20, "initial random samples")
 		quantile   = flag.Float64("quantile", 0.20, "good/bad split quantile α")
 		strategy   = flag.String("strategy", "", "selection engine: "+strings.Join(core.EngineNames(), ", ")+" (default: paper choice)")
+		poolCap    = flag.Int("pool-cap", 0, "sampled candidate pool size on spaces too large to enumerate (0 = default, <0 = disable large-space mode)")
+		candSamp   = flag.Int("candidate-samples", 0, "good-density draws per step of the pool-free sampling engine (0 = default)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		importance = flag.Bool("importance", false, "print the parameter-importance ranking")
 		trace      = flag.Bool("trace", false, "print every evaluation")
@@ -64,6 +76,15 @@ func main() {
 		logPath    = flag.String("log", "", "stream one JSON line per evaluation to this file")
 	)
 	flag.Parse()
+
+	if *appName == huge.Name {
+		tuneHuge(hugeOptions{
+			budget: *budget, initial: *initial, quantile: *quantile,
+			strategy: *strategy, poolCap: *poolCap, candidateSamples: *candSamp,
+			seed: *seed, importance: *importance, trace: *trace,
+		})
+		return
+	}
 
 	tbl, err := loadTable(*csvPath, *appName)
 	if err != nil {
@@ -108,6 +129,7 @@ func main() {
 		Surrogate:      core.SurrogateConfig{Quantile: *quantile},
 		Seed:           *seed,
 		Candidates:     candidates,
+		PoolCap:        *poolCap,
 		OnStep:         onStep,
 	})
 	if err != nil {
@@ -243,4 +265,63 @@ func printImportance(sp *space.Space, imp []float64) {
 		tbl.Add(p.name, fmt.Sprintf("%.4f", p.js))
 	}
 	tbl.Render(os.Stdout)
+}
+
+// hugeOptions carries the flag subset the huge app understands.
+type hugeOptions struct {
+	budget, initial           int
+	quantile                  float64
+	strategy                  string
+	poolCap, candidateSamples int
+	seed                      uint64
+	importance, trace         bool
+}
+
+// tuneHuge drives the large-space demo app directly against its
+// analytic objective: the ~1.3e8-point grid is never materialized, so
+// there is no table, no exhaustive best, and no -csv-style loading —
+// memory stays bounded by the pool cap (or by CandidateSamples for
+// the pool-free sampling engine).
+func tuneHuge(o hugeOptions) {
+	sp := huge.Space()
+	var onStep func(int, core.Observation)
+	if o.trace {
+		onStep = func(i int, obs core.Observation) {
+			fmt.Printf("%4d  %-90s %.6g\n", i+1, sp.Describe(obs.Config), obs.Value)
+		}
+	}
+	tn, err := core.NewTuner(sp, huge.Evaluate, core.Options{
+		InitialSamples:   o.initial,
+		Engine:           o.strategy,
+		Surrogate:        core.SurrogateConfig{Quantile: o.quantile},
+		Seed:             o.seed,
+		PoolCap:          o.poolCap,
+		CandidateSamples: o.candidateSamples,
+		OnStep:           onStep,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiperbot:", err)
+		os.Exit(1)
+	}
+	best, err := tn.Run(o.budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiperbot:", err)
+		os.Exit(1)
+	}
+	grid, _ := sp.GridSize64()
+	report.Section(os.Stdout, "Tuning %s (%d-point grid, large-space mode, %s engine)",
+		huge.Name, grid, tn.EngineName())
+	fmt.Printf("evaluations: %d (%.2g%% of the grid)\n", tn.Evaluations(), 100*float64(tn.Evaluations())/float64(grid))
+	if n := tn.SampledPoolSize(); n > 0 {
+		fmt.Printf("sampled pool: %d candidates\n", n)
+	}
+	fmt.Printf("best found:  %.6g\n  %s\n", best.Value, sp.Describe(best.Config))
+	if o.importance {
+		imp, err := tn.Importance()
+		if err != nil || imp == nil {
+			fmt.Fprintln(os.Stderr, "hiperbot: the", tn.EngineName(), "engine produced no importance scores")
+			os.Exit(1)
+		}
+		printImportance(sp, imp)
+	}
 }

@@ -47,6 +47,7 @@ func main() {
 		fsync      = flag.String("fsync", "interval", "journal fsync policy: never (leave it to the OS), interval (sync once per flush tick), always (sync every append)")
 		flushEvery = flag.Duration("flush-interval", 100*time.Millisecond, "group-commit period for buffered journal appends")
 		flushBytes = flag.Int("flush-bytes", 64<<10, "buffered journal bytes that force a flush before the next tick (0 = write every append through immediately)")
+		poolCap    = flag.Int("pool-cap", 0, "default sampled-pool size for sessions on spaces too large to enumerate (0 = built-in default; sessions may override per create)")
 	)
 	flag.Parse()
 
@@ -57,9 +58,10 @@ func main() {
 		logger.Fatalf("hiperbotd: %v", err)
 	}
 	store, err := server.OpenStoreWithConfig(*data, server.StoreConfig{
-		Fsync:         policy,
-		FlushInterval: *flushEvery,
-		FlushBytes:    *flushBytes,
+		Fsync:          policy,
+		FlushInterval:  *flushEvery,
+		FlushBytes:     *flushBytes,
+		DefaultPoolCap: *poolCap,
 	})
 	if err != nil {
 		logger.Fatalf("hiperbotd: %v", err)

@@ -161,6 +161,8 @@ func main() {
 		strategy  = flag.String("strategy", "", "selection engine: "+strings.Join(core.EngineNames(), ", ")+" (default: paper choice)")
 		serverURL = flag.String("server", "", "hiperbotd base URL; tune through the daemon instead of in-process")
 		batch     = flag.Int("batch", 4, "candidates leased per suggest call (with -server)")
+		poolCap   = flag.Int("pool-cap", 0, "sampled candidate pool size on spaces too large to enumerate (0 = default, <0 = disable large-space mode)")
+		candSamp  = flag.Int("candidate-samples", 0, "good-density draws per step of the pool-free sampling engine (0 = default)")
 	)
 	flag.Parse()
 
@@ -187,12 +189,16 @@ func main() {
 	}
 
 	if *serverURL != "" {
-		tuneRemote(*serverURL, *name, k, objective, *budget, *batch, *seed, *strategy, &evals)
+		tuneRemote(*serverURL, *name, k, objective, *budget, *batch, client.SessionOptions{
+			Seed: *seed, Strategy: *strategy, PoolCap: *poolCap, CandidateSamples: *candSamp,
+		}, &evals)
 		return
 	}
 
 	start := time.Now()
-	tn, err := core.NewTuner(k.space, objective, core.Options{Seed: *seed, Engine: *strategy})
+	tn, err := core.NewTuner(k.space, objective, core.Options{
+		Seed: *seed, Engine: *strategy, PoolCap: *poolCap, CandidateSamples: *candSamp,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "livetune:", err)
 		os.Exit(1)
@@ -223,14 +229,14 @@ func main() {
 // tuneRemote drives the same measured objective through a hiperbotd
 // daemon: candidates arrive as wire configs, are parsed against the
 // locally known space, measured, and reported back.
-func tuneRemote(baseURL, kernelName string, k kernel, objective func(space.Config) float64, budget, batch int, seed uint64, strategy string, evals *int) {
+func tuneRemote(baseURL, kernelName string, k kernel, objective func(space.Config) float64, budget, batch int, opts client.SessionOptions, evals *int) {
 	ctx := context.Background()
 	cl, err := client.New(baseURL)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "livetune:", err)
 		os.Exit(1)
 	}
-	id, err := cl.CreateSessionFromSpace(ctx, "", k.space, client.SessionOptions{Seed: seed, Strategy: strategy})
+	id, err := cl.CreateSessionFromSpace(ctx, "", k.space, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "livetune:", err)
 		os.Exit(1)

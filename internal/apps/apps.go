@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/par"
 	"github.com/hpcautotune/hiperbot/internal/space"
 	"github.com/hpcautotune/hiperbot/internal/stats"
 )
@@ -95,14 +96,48 @@ func (m *Model) Expert() (space.Config, string) {
 }
 
 // calibrate computes the affine map raw → [TargetMin, TargetMax] by
-// scanning the raw value over the whole space once.
+// scanning the raw value over the whole space once. The scan streams
+// chunk-parallel grid index ranges (space.EachRange over par.Chunks)
+// without ever materializing the configuration list.
 func (m *Model) calibrate() {
 	m.calOnce.Do(func() {
-		configs := m.spec.Space.Enumerate()
-		if len(configs) == 0 {
+		sp := m.spec.Space
+		grid := sp.GridSize()
+		workers := runtime.GOMAXPROCS(0)
+		los := make([]float64, par.NumChunks(grid, workers))
+		his := make([]float64, len(los))
+		any := make([]bool, len(los))
+		par.Chunks(grid, workers, func(chunk, lo, hi int) {
+			buf := make(space.Config, sp.NumParams())
+			sp.EachRange(uint64(lo), uint64(hi), func(_ uint64, c space.Config) bool {
+				copy(buf, c) // Raw may retain or mutate; hand it a stable copy
+				v := m.spec.Raw(buf)
+				if !any[chunk] || v < los[chunk] {
+					los[chunk] = v
+				}
+				if !any[chunk] || v > his[chunk] {
+					his[chunk] = v
+				}
+				any[chunk] = true
+				return true
+			})
+		})
+		lo, hi, seen := 0.0, 0.0, false
+		for i := range los {
+			if !any[i] {
+				continue
+			}
+			if !seen || los[i] < lo {
+				lo = los[i]
+			}
+			if !seen || his[i] > hi {
+				hi = his[i]
+			}
+			seen = true
+		}
+		if !seen {
 			panic(fmt.Sprintf("apps: %s: constraint leaves an empty space", m.spec.Name))
 		}
-		lo, hi := parallelMinMax(configs, m.spec.Raw)
 		if hi == lo {
 			panic(fmt.Sprintf("apps: %s: raw model is constant", m.spec.Name))
 		}
@@ -121,65 +156,22 @@ func (m *Model) Evaluate(c space.Config) float64 {
 	return m.calA*m.spec.Raw(c) + m.calB
 }
 
-// Table enumerates, evaluates, and caches the full dataset.
+// Table enumerates, evaluates, and caches the full dataset. The
+// configuration list comes from the flat-backed streaming Enumerate;
+// values are computed chunk-parallel over it via internal/par.
 func (m *Model) Table() *dataset.Table {
 	m.tblOnce.Do(func() {
 		m.calibrate()
 		configs := m.spec.Space.Enumerate()
-		values := parallelMap(configs, func(c space.Config) float64 {
-			return m.calA*m.spec.Raw(c) + m.calB
+		values := make([]float64, len(configs))
+		par.Chunks(len(configs), runtime.GOMAXPROCS(0), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				values[i] = m.calA*m.spec.Raw(configs[i]) + m.calB
+			}
 		})
 		m.tbl = dataset.MustNew(m.spec.Name, m.spec.Metric, m.spec.Space, configs, values)
 	})
 	return m.tbl
-}
-
-// parallelMap evaluates f over configs with one worker per core.
-func parallelMap(configs []space.Config, f func(space.Config) float64) []float64 {
-	out := make([]float64, len(configs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(configs) {
-		workers = len(configs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (len(configs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(configs) {
-			hi = len(configs)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = f(configs[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
-}
-
-// parallelMinMax computes min and max of f over configs in parallel.
-func parallelMinMax(configs []space.Config, f func(space.Config) float64) (lo, hi float64) {
-	vals := parallelMap(configs, f)
-	lo, hi = vals[0], vals[0]
-	for _, v := range vals[1:] {
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	return lo, hi
 }
 
 // DropoutFilter returns a constraint predicate that deterministically

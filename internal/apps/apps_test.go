@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"math"
 	"testing"
 
 	"github.com/hpcautotune/hiperbot/internal/space"
@@ -170,15 +171,40 @@ func TestCards(t *testing.T) {
 	}
 }
 
-func TestParallelMapMatchesSerial(t *testing.T) {
-	sp := space.New(space.DiscreteInts("a", 0, 1, 2, 3, 4, 5, 6, 7))
-	configs := sp.Enumerate()
-	f := func(c space.Config) float64 { return c[0] * 2 }
-	got := parallelMap(configs, f)
-	for i, c := range configs {
-		if got[i] != f(c) {
-			t.Fatalf("parallelMap mismatch at %d", i)
+// The chunk-parallel streaming calibration must anchor exactly the
+// values a serial scan would: Table rows hit TargetMin/TargetMax and
+// every value is f(config) under one affine map.
+func TestStreamingCalibrationMatchesSerial(t *testing.T) {
+	sp := space.New(
+		space.DiscreteInts("a", 0, 1, 2, 3, 4, 5, 6, 7),
+		space.DiscreteInts("b", 0, 1, 2, 3),
+	).WithConstraint(func(c space.Config) bool { return int(c[0]+c[1])%3 != 0 })
+	raw := func(c space.Config) float64 { return 1 + c[0]*2 + c[1]*c[0] }
+	m := NewModel(Spec{
+		Name: "cal-test", Metric: "t", Space: sp, Raw: raw,
+		TargetMin: 10, TargetMax: 20, Expert: space.Config{1, 0},
+	})
+	tbl := m.Table()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range sp.Enumerate() {
+		v := raw(c)
+		if v < lo {
+			lo = v
 		}
+		if v > hi {
+			hi = v
+		}
+	}
+	a := (20.0 - 10.0) / (hi - lo)
+	b := 10.0 - a*lo
+	for i := 0; i < tbl.Len(); i++ {
+		c := tbl.Config(i)
+		if got, want := m.Evaluate(c), a*raw(c)+b; got != want {
+			t.Fatalf("config %v: calibrated %v, serial reference %v", c, got, want)
+		}
+	}
+	if _, _, best := tbl.Best(); best != 10 {
+		t.Fatalf("best table value %v, want TargetMin 10", best)
 	}
 }
 

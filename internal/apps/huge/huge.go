@@ -1,0 +1,125 @@
+// Package huge provides a synthetic tuning problem whose grid
+// (~1.27×10⁸ unconstrained points) is far past any enumerate limit —
+// the BoGraph-style systems setting where materializing the
+// configuration table is impossible and only the large-space mode
+// (pool-free sampling TPE, or a capped sampled pool) can run.
+//
+// The performance model reuses the Kripke interaction structure — a
+// penalty sum over layout, set granularity, core occupancy, and a
+// sparse communication-overlap interaction — extended with a
+// tile/block cache term and a power-cap throttle so every parameter
+// matters. Unlike the paper-scale apps it deliberately does NOT use
+// apps.NewModel: calibration scans the full space, which is exactly
+// what this space exists to forbid. Evaluate returns raw model
+// seconds.
+package huge
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Parameter positions.
+const (
+	iNest = iota
+	iGset
+	iDset
+	iOMP
+	iRanks
+	iCap
+	iTile
+	iBlock
+)
+
+// Name is the app's registry name in cmd/hiperbot.
+const Name = "huge"
+
+// Space returns the constrained configuration space:
+// 6·8·8·12·12·9·16·16 = 127,401,984 unconstrained grid points,
+// restricted to total core counts in [16, 4096].
+var Space = sync.OnceValue(func() *space.Space {
+	sp := space.New(
+		space.Discrete("Nesting", "DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD"),
+		space.DiscreteInts("Gset", 1, 2, 4, 8, 16, 32, 64, 128),
+		space.DiscreteInts("Dset", 8, 16, 32, 64, 128, 256, 512, 1024),
+		space.DiscreteInts("OMP", 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64),
+		space.DiscreteInts("Ranks", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048),
+		space.DiscreteInts("PKG_LIMIT", 50, 60, 65, 70, 75, 80, 90, 100, 115),
+		space.DiscreteInts("Tile", 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64, 80, 96, 112, 128),
+		space.DiscreteInts("Block", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768),
+	)
+	return sp.WithConstraint(func(c space.Config) bool {
+		omp := sp.Param(iOMP).NumericValue(int(c[iOMP]))
+		ranks := sp.Param(iRanks).NumericValue(int(c[iRanks]))
+		cores := omp * ranks
+		return cores >= 16 && cores <= 4096
+	})
+})
+
+// Evaluate returns the synthetic execution time (seconds) of c. It
+// panics on invalid configurations: tuners must only query valid
+// points.
+func Evaluate(c space.Config) float64 {
+	sp := Space()
+	if !sp.Valid(c) {
+		panic(fmt.Sprintf("huge: Evaluate on invalid configuration %v", c))
+	}
+	nest := int(c[iNest])
+	gset := sp.Param(iGset).NumericValue(int(c[iGset]))
+	dset := sp.Param(iDset).NumericValue(int(c[iDset]))
+	omp := sp.Param(iOMP).NumericValue(int(c[iOMP]))
+	ranks := sp.Param(iRanks).NumericValue(int(c[iRanks]))
+	cap := sp.Param(iCap).NumericValue(int(c[iCap]))
+	tile := sp.Param(iTile).NumericValue(int(c[iTile]))
+	block := sp.Param(iBlock).NumericValue(int(c[iBlock]))
+
+	var pen float64
+
+	// Domain decomposition: at this scale 256 ranks balance message
+	// cost against pipeline depth.
+	pen += 0.20 * math.Pow(math.Abs(math.Log2(ranks/256.0)), 1.15)
+
+	// Thread team: sweet spot at 16 per rank; beyond 32 the socket is
+	// oversubscribed.
+	if omp > 32 {
+		pen += 0.17
+	} else {
+		pen += 0.10 * math.Abs(math.Log2(omp/16.0))
+	}
+
+	// Data layout (same vectorization ordering as kripke).
+	pen += [...]float64{0.04, 0.10, 0.00, 0.22, 0.12, 0.25}[nest]
+
+	// Set granularity.
+	pen += 0.06 * math.Abs(math.Log2(gset/16.0))
+	pen += 0.05 * math.Abs(math.Log2(dset/64.0))
+
+	// Communication overlap: many ranks starve without enough
+	// subsweeps (the sparse non-separable kripke term, scaled up).
+	if ranks >= 256 && gset*dset < 512 {
+		pen += 0.12
+	}
+
+	// Cache blocking: tile 32 fits L2; the block count interacts with
+	// the tile choice (large blocks of large tiles overflow LLC).
+	pen += 0.08 * math.Abs(math.Log2(tile/32.0))
+	if tile*block > 1<<14 {
+		pen += 0.05 * math.Log2(tile*block/float64(int(1)<<14))
+	}
+
+	// Power cap: throttling below 75 W slows the whole run; headroom
+	// above 90 W buys nothing.
+	switch {
+	case cap < 75:
+		pen += 0.015 * (75 - cap)
+	case cap > 90:
+		pen += 0.02
+	}
+
+	t := 1 + apps.BasinGap(pen, 0.6, 0.35)
+	return t * apps.Noise(0x4875, 0.02, c)
+}

@@ -1,0 +1,51 @@
+package huge
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+func TestSpaceIsOversized(t *testing.T) {
+	sp := Space()
+	grid, ok := sp.GridSize64()
+	if !ok {
+		t.Fatal("grid unexpectedly overflows 2^62")
+	}
+	if grid < 1e8 {
+		t.Fatalf("grid has %d points, want >= 1e8", grid)
+	}
+	if grid != 127401984 {
+		t.Fatalf("grid = %d, want 127401984", grid)
+	}
+}
+
+func TestEvaluateDeterministicOnSampledConfigs(t *testing.T) {
+	tn, err := core.NewTuner(Space(), Evaluate, core.Options{Seed: 42, InitialSamples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.EngineName() != "sampling" {
+		t.Fatalf("engine = %q, want sampling (large-space default)", tn.EngineName())
+	}
+	best, err := tn.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value <= 0 {
+		t.Fatalf("best value %v, want > 0", best.Value)
+	}
+	if got := Evaluate(best.Config); got != best.Value {
+		t.Fatalf("Evaluate not deterministic: %v vs %v", got, best.Value)
+	}
+}
+
+func TestEvaluatePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Evaluate on an invalid configuration did not panic")
+		}
+	}()
+	Evaluate(space.Config{0, 0, 0, 0, 0, 0, 0, 0}) // 1 core < 16: constraint fails
+}

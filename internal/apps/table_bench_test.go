@@ -1,0 +1,23 @@
+package apps_test
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/apps/kripke"
+)
+
+// BenchmarkEnergyTable measures the cold build of the 17 815-config
+// Kripke energy table: calibration scan + enumeration + evaluation.
+// Energy() and its Table are cached (sync.Once), so only the first
+// iteration of a fresh process does work — run with -benchtime 1x.
+// EXPERIMENTS.md records before/after numbers for the streaming
+// enumerator switch.
+func BenchmarkEnergyTable(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := kripke.Energy().Table()
+		if tbl.Len() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}

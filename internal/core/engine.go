@@ -59,6 +59,7 @@ type Acquisition struct {
 	RNG                *stats.RNG
 	Parallelism        int
 	ProposalCandidates int
+	CandidateSamples   int
 	Scratch            *Scratch
 }
 
@@ -196,6 +197,10 @@ const (
 type EngineSpec struct {
 	Name string
 	Pool PoolPolicy
+	// PoolBound marks engines that capture pool state at construction
+	// (e.g. geist's Hamming graph, gp's feature encoding): their pool
+	// cannot be swapped afterwards, so Tuner.RefreshPool refuses.
+	PoolBound bool
 	// New builds the engine for one tuning session. pool is non-nil
 	// exactly when the policy asked for one and the tuner could build
 	// it; opts carries the shared knobs (Surrogate hyperparameters,

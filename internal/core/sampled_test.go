@@ -1,0 +1,250 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// largeTestSpace is a ~4.3e9-point constrained grid (16^8, constraint
+// keeps half) — far past DefaultEnumerateLimit, cheap to evaluate.
+func largeTestSpace() *space.Space {
+	params := make([]space.Param, 8)
+	for i := range params {
+		levels := make([]int, 16)
+		for l := range levels {
+			levels[l] = l
+		}
+		params[i] = space.DiscreteInts(string(rune('a'+i)), levels...)
+	}
+	sp := space.New(params...)
+	return sp.WithConstraint(func(c space.Config) bool {
+		return (int(c[0])+int(c[1]))%2 == 0
+	})
+}
+
+func largeTestObjective(c space.Config) float64 {
+	v := 0.0
+	for i, x := range c {
+		v += x * float64(i+1)
+	}
+	return v
+}
+
+func TestLargeSpaceDefaultsToSamplingEngine(t *testing.T) {
+	tn, err := NewTuner(largeTestSpace(), largeTestObjective, Options{Seed: 1, InitialSamples: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.EngineName() != "sampling" {
+		t.Fatalf("engine = %q, want sampling", tn.EngineName())
+	}
+	if tn.SampledPoolSize() != 0 {
+		t.Fatalf("sampling engine built a pool of %d", tn.SampledPoolSize())
+	}
+	best, err := tn.Run(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Evaluations() != 30 {
+		t.Fatalf("evaluations = %d, want 30", tn.Evaluations())
+	}
+	if !tn.sp.Valid(best.Config) {
+		t.Fatalf("best config invalid: %v", best.Config)
+	}
+}
+
+func TestLargeSpaceSamplingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		tn, err := NewTuner(largeTestSpace(), largeTestObjective, Options{Seed: 7, InitialSamples: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tn.Run(25); err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, 0, 25)
+		for _, o := range tn.History().Observations() {
+			keys = append(keys, tn.sp.Key(o.Config))
+		}
+		return keys
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLargeSpacePoolRequiredGetsSampledPool(t *testing.T) {
+	tn, err := NewTuner(largeTestSpace(), largeTestObjective, Options{
+		Seed: 1, InitialSamples: 5, Engine: "ranking", PoolCap: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.EngineName() != "ranking" {
+		t.Fatalf("engine = %q, want ranking", tn.EngineName())
+	}
+	if got := tn.SampledPoolSize(); got != 128 {
+		t.Fatalf("sampled pool size = %d, want 128", got)
+	}
+	for _, c := range tn.pool.Candidates() {
+		if !tn.sp.Valid(c) {
+			t.Fatalf("sampled candidate invalid: %v", c)
+		}
+	}
+	if _, err := tn.Run(20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSpaceDisabledIsCleanError(t *testing.T) {
+	_, err := NewTuner(largeTestSpace(), largeTestObjective, Options{
+		Seed: 1, Engine: "ranking", PoolCap: -1,
+	})
+	if err == nil {
+		t.Fatal("expected an error with PoolCap < 0 on an oversized grid")
+	}
+	if !strings.Contains(err.Error(), "PoolCap") {
+		t.Fatalf("error does not mention the fix: %v", err)
+	}
+}
+
+func TestSmallSpaceRoutingUnchanged(t *testing.T) {
+	sp := space.New(
+		space.DiscreteInts("a", 0, 1, 2),
+		space.DiscreteInts("b", 0, 1, 2, 3),
+	)
+	tn, err := NewTuner(sp, largeTestObjective, Options{Seed: 1, InitialSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.EngineName() != "ranking" || tn.SampledPoolSize() != 0 {
+		t.Fatalf("small space: engine %q, sampled pool %d; want ranking with enumerated pool",
+			tn.EngineName(), tn.SampledPoolSize())
+	}
+	if tn.pool == nil || tn.pool.Size() != sp.GridSize() {
+		t.Fatal("small space did not enumerate the full grid")
+	}
+}
+
+func TestRefreshPool(t *testing.T) {
+	tn, err := NewTuner(largeTestSpace(), largeTestObjective, Options{
+		Seed: 3, InitialSamples: 4, Engine: "ranking", PoolCap: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	old := tn.pool
+	if err := tn.RefreshPool(); err != nil {
+		t.Fatal(err)
+	}
+	if tn.pool == old {
+		t.Fatal("RefreshPool did not swap the pool")
+	}
+	for _, c := range tn.pool.Candidates() {
+		if tn.History().Contains(c) {
+			t.Fatalf("refreshed pool contains evaluated config %v", c)
+		}
+	}
+	// Selection keeps working against the refreshed pool.
+	if _, err := tn.Run(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshPoolErrors(t *testing.T) {
+	// Enumerated pool: nothing to refresh.
+	sp := space.New(space.DiscreteInts("a", 0, 1, 2), space.DiscreteInts("b", 0, 1))
+	tn, err := NewTuner(sp, largeTestObjective, Options{Seed: 1, InitialSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.RefreshPool(); err == nil {
+		t.Fatal("RefreshPool on an enumerated pool did not error")
+	}
+	// Pool-bound engine: refresh must refuse.
+	spec, ok := LookupEngine("sampling")
+	if !ok || spec.Pool != PoolUnused {
+		t.Fatalf("sampling engine misregistered: %+v ok=%v", spec, ok)
+	}
+	tn2, err := NewTuner(largeTestSpace(), largeTestObjective, Options{
+		Seed: 1, InitialSamples: 4, Engine: "ranking", PoolCap: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn2.poolBound = true // simulate a gp/geist-style registration
+	if err := tn2.RefreshPool(); err == nil {
+		t.Fatal("RefreshPool on a pool-bound engine did not error")
+	}
+}
+
+func TestSampledPoolDistinctAndBounded(t *testing.T) {
+	rng := stats.NewRNG(11)
+	sp := largeTestSpace()
+	sampled, err := NewSampledPool(sp, 512, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sampled.Pool()
+	if p.Size() != 512 {
+		t.Fatalf("pool size = %d, want 512", p.Size())
+	}
+	seen := make(map[string]bool, p.Size())
+	for _, c := range p.Candidates() {
+		if !sp.Valid(c) {
+			t.Fatalf("invalid candidate %v", c)
+		}
+		key := sp.Key(c)
+		if seen[key] {
+			t.Fatalf("duplicate candidate %v", c)
+		}
+		seen[key] = true
+	}
+}
+
+// randGridIndex must stay inside the grid and hit both halves of a
+// two-point grid (a smoke test of the rejection step).
+func TestRandGridIndex(t *testing.T) {
+	r := stats.NewRNG(5)
+	counts := [2]int{}
+	for i := 0; i < 1000; i++ {
+		idx := randGridIndex(r, 2, true)
+		if idx > 1 {
+			t.Fatalf("index %d outside [0,2)", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("degenerate distribution: %v", counts)
+	}
+}
+
+// BenchmarkSampledSelect measures one warm model-guided step of the
+// pool-free sampling engine on a ~4.3e9-point grid: incremental fit +
+// CandidateSamples pg-draws + one columnar ScoreBatch. This is the
+// per-iteration cost that replaces enumerating the grid.
+func BenchmarkSampledSelect(b *testing.B) {
+	tn, err := NewTuner(largeTestSpace(), largeTestObjective, Options{Seed: 1, InitialSamples: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tn.Run(20); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tn.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

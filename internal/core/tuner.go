@@ -72,8 +72,20 @@ type Options struct {
 	ProposalCandidates int
 	// Candidates optionally fixes the candidate pool for pool-backed
 	// engines. When nil, the space is enumerated (requires a fully
-	// discrete space).
+	// discrete space) — unless the grid exceeds DefaultEnumerateLimit,
+	// in which case the large-space mode below takes over.
 	Candidates []space.Config
+	// PoolCap bounds the sampled candidate pool built for pool-backed
+	// engines on spaces too large to enumerate (> DefaultEnumerateLimit
+	// grid points): 0 means DefaultPoolCap, > 0 caps the pool at that
+	// many candidates, and < 0 disables large-space mode entirely, so
+	// asking for a pool-backed engine on an oversized space is a clean
+	// error. Spaces small enough to enumerate are unaffected.
+	PoolCap int
+	// CandidateSamples is the number of good-density draws the
+	// pool-free "sampling" engine scores per acquisition; 0 means
+	// DefaultCandidateSamples.
+	CandidateSamples int
 	// Seed drives all pseudo-randomness; runs are reproducible.
 	Seed uint64
 	// OnStep, when non-nil, observes every evaluation (including the
@@ -90,6 +102,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProposalCandidates == 0 {
 		o.ProposalCandidates = 100
+	}
+	if o.CandidateSamples == 0 {
+		o.CandidateSamples = DefaultCandidateSamples
 	}
 	if o.Parallelism == 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
@@ -110,12 +125,14 @@ type Tuner struct {
 	rng     *stats.RNG
 	history *History
 
-	pool     *Pool // nil for pool-less engines
-	engine   string
-	model    Model
-	acquirer Acquirer
-	strategy Strategy
-	iter     int
+	pool      *Pool        // nil for pool-less engines
+	sampled   *SampledPool // non-nil when pool is a capped sample of the grid
+	poolBound bool         // engine bound pool state at construction (no refresh)
+	engine    string
+	model     Model
+	acquirer  Acquirer
+	strategy  Strategy
+	iter      int
 
 	acq     Acquisition // reused per-acquisition view (no per-Ask alloc)
 	scratch Scratch     // reusable buffers + generation-keyed caches
@@ -135,12 +152,21 @@ func NewTuner(sp *space.Space, obj Objective, opts Options) (*Tuner, error) {
 		return nil, err
 	}
 	name := strings.ToLower(opts.Engine)
-	if name == "" {
+	defaulted := name == ""
+	if defaulted {
 		name = opts.Strategy.String()
 	}
 	if name == Ranking.String() && opts.Candidates == nil && !sp.AllDiscrete() {
 		// Ranking needs a finite candidate set; fall back to Proposal.
 		name = Proposal.String()
+	}
+	// Large-space mode: a discrete grid past the enumerate limit is
+	// never materialized. The default TPE choice becomes the pool-free
+	// "sampling" engine; explicitly requested pool-backed engines get a
+	// capped SampledPool below.
+	largeGrid := opts.Candidates == nil && sp.AllDiscrete() && gridTooLarge(sp)
+	if largeGrid && defaulted && name == Ranking.String() && opts.PoolCap >= 0 {
+		name = "sampling"
 	}
 	spec, ok := LookupEngine(name)
 	if !ok {
@@ -148,28 +174,45 @@ func NewTuner(sp *space.Space, obj Objective, opts Options) (*Tuner, error) {
 			name, strings.Join(EngineNames(), ", "))
 	}
 	t := &Tuner{
-		sp:      sp,
-		obj:     obj,
-		opts:    opts,
-		rng:     stats.NewRNG(opts.Seed),
-		history: NewHistory(sp),
-		engine:  name,
+		sp:        sp,
+		obj:       obj,
+		opts:      opts,
+		rng:       stats.NewRNG(opts.Seed),
+		history:   NewHistory(sp),
+		engine:    name,
+		poolBound: spec.PoolBound,
 	}
 	buildPool := spec.Pool == PoolRequired ||
-		(spec.Pool == PoolPreferred && (opts.Candidates != nil || sp.AllDiscrete()))
+		(spec.Pool == PoolPreferred && (opts.Candidates != nil || (sp.AllDiscrete() && !largeGrid)))
 	if buildPool {
 		cands := opts.Candidates
-		if cands == nil {
-			if !sp.AllDiscrete() {
-				return nil, fmt.Errorf("core: engine %q needs a finite candidate set: set Options.Candidates or use a fully discrete space", name)
+		switch {
+		case cands == nil && !sp.AllDiscrete():
+			return nil, fmt.Errorf("core: engine %q needs a finite candidate set: set Options.Candidates or use a fully discrete space", name)
+		case cands == nil && largeGrid:
+			// The pool RNG draws happen before any initial sample, so a
+			// journal replay that reconstructs the tuner reproduces the
+			// exact pool and therefore the exact selection sequence.
+			if opts.PoolCap < 0 {
+				return nil, fmt.Errorf("core: engine %q needs a candidate pool but the grid has %s points (enumerate limit %d): raise Options.PoolCap to sample one, or pass Options.Candidates",
+					name, gridSizeString(sp), DefaultEnumerateLimit)
 			}
+			sampled, err := NewSampledPool(sp, opts.PoolCap, t.rng)
+			if err != nil {
+				return nil, err
+			}
+			t.sampled = sampled
+			t.pool = sampled.Pool()
+		case cands == nil:
 			cands = sp.Enumerate()
+			fallthrough
+		default:
+			pool, err := NewPool(sp, cands)
+			if err != nil {
+				return nil, err
+			}
+			t.pool = pool
 		}
-		pool, err := NewPool(sp, cands)
-		if err != nil {
-			return nil, err
-		}
-		t.pool = pool
 	}
 	model, acquirer, err := spec.New(sp, opts, t.pool)
 	if err != nil {
@@ -244,6 +287,7 @@ func (t *Tuner) acquisition() *Acquisition {
 		RNG:                t.rng,
 		Parallelism:        t.opts.Parallelism,
 		ProposalCandidates: t.opts.ProposalCandidates,
+		CandidateSamples:   t.opts.CandidateSamples,
 		Scratch:            &t.scratch,
 	}
 	return &t.acq
@@ -415,4 +459,36 @@ func (t *Tuner) markEvaluated(c space.Config) {
 	if t.pool != nil {
 		t.pool.MarkEvaluated(c)
 	}
+}
+
+// SampledPoolSize reports the size of the sampled candidate pool, or
+// 0 when the tuner runs on an enumerated pool or no pool at all — the
+// observable guarantee that large-space memory is bounded by the cap.
+func (t *Tuner) SampledPoolSize() int {
+	if t.sampled == nil {
+		return 0
+	}
+	return t.sampled.Pool().Size()
+}
+
+// RefreshPool redraws the sampled candidate pool (excluding evaluated
+// configurations) so a long session explores beyond the initial cap's
+// horizon. It errors when the tuner has no sampled pool, or when the
+// engine bound pool state at construction (gp, geist) and so cannot
+// follow a swap.
+func (t *Tuner) RefreshPool() error {
+	if t.sampled == nil {
+		return fmt.Errorf("core: RefreshPool without a sampled pool (engine %q)", t.engine)
+	}
+	if t.poolBound {
+		return fmt.Errorf("core: engine %q binds its candidate pool at construction and cannot refresh it", t.engine)
+	}
+	if err := t.sampled.Refresh(func(c space.Config) bool { return t.history.Contains(c) }); err != nil {
+		return err
+	}
+	t.pool = t.sampled.Pool()
+	// The scratch score/rank caches are keyed by history generation,
+	// which a pool swap does not bump — drop them explicitly.
+	t.scratch.invalidate()
+	return nil
 }

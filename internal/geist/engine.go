@@ -19,9 +19,10 @@ import (
 
 func init() {
 	core.RegisterEngine(core.EngineSpec{
-		Name: "geist",
-		Pool: core.PoolRequired,
-		New:  newEngine,
+		Name:      "geist",
+		Pool:      core.PoolRequired,
+		PoolBound: true,
+		New:       newEngine,
 	})
 }
 

@@ -24,9 +24,10 @@ import (
 
 func init() {
 	core.RegisterEngine(core.EngineSpec{
-		Name: "gp",
-		Pool: core.PoolRequired,
-		New:  newEngine,
+		Name:      "gp",
+		Pool:      core.PoolRequired,
+		PoolBound: true,
+		New:       newEngine,
 	})
 }
 

@@ -27,6 +27,14 @@ type SessionOptions struct {
 	Strategy string `json:"strategy,omitempty"`
 	// ProposalCandidates is the pg-sample count per proposal step.
 	ProposalCandidates int `json:"proposal_candidates,omitempty"`
+	// PoolCap bounds the sampled candidate pool on spaces too large
+	// to enumerate: 0 uses the server default, > 0 caps the pool, < 0
+	// disables large-space mode (oversized spaces then fail creation
+	// with 400 for pool-backed strategies). See core.Options.PoolCap.
+	PoolCap int `json:"pool_cap,omitempty"`
+	// CandidateSamples is the per-acquisition good-density draw count
+	// of the pool-free sampling engine (0 = server default).
+	CandidateSamples int `json:"candidate_samples,omitempty"`
 	// Quantile is α, the good fraction of the history.
 	Quantile float64 `json:"quantile,omitempty"`
 	// Smoothing is the Laplace pseudo-count for discrete histograms.

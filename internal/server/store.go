@@ -42,6 +42,12 @@ type StoreConfig struct {
 	// forces a flush between ticks; 0 disables buffering entirely
 	// (write-through appends, as before group commit).
 	FlushBytes int
+	// DefaultPoolCap is applied to sessions created without an
+	// explicit pool_cap (see httpapi.SessionOptions.PoolCap). The
+	// effective value is resolved at create time and journaled in the
+	// session header, so later restarts with a different default do
+	// not change resumed sessions.
+	DefaultPoolCap int
 }
 
 // Store owns the daemon's sessions: creation, lookup, deletion, and
@@ -230,6 +236,11 @@ func (st *Store) CreateWithSpace(name string, sp *space.Space, spaceJSON json.Ra
 	if name != "" && !validID.MatchString(name) {
 		return nil, fmt.Errorf("server: invalid session name %q (want %s)", name, validID)
 	}
+	if opts.PoolCap == 0 {
+		// Resolve the store default now so the journal header records
+		// the effective cap; resume replays the header verbatim.
+		opts.PoolCap = st.cfg.DefaultPoolCap
+	}
 	id := name
 	if id == "" {
 		id = newID()
@@ -282,6 +293,7 @@ func (st *Store) newSession(id string, sp *space.Space, opts httpapi.SessionOpti
 			}
 			if err != nil {
 				sink.Close()
+				os.Remove(journalPath)
 				return nil, err
 			}
 		}
@@ -297,6 +309,13 @@ func (st *Store) newSession(id string, sp *space.Space, opts httpapi.SessionOpti
 	if err != nil {
 		if sess.sink != nil {
 			sess.sink.Close()
+			if fresh {
+				// The session never existed: leaving its header-only
+				// journal behind would poison the next boot's resume
+				// scan (the store fails fast on journals it cannot
+				// rebuild a tuner from).
+				os.Remove(journalPath)
+			}
 		}
 		return nil, err
 	}
@@ -424,19 +443,26 @@ func coreOptions(o httpapi.SessionOptions) (core.Options, error) {
 		InitialSamples:     o.InitialSamples,
 		Seed:               o.Seed,
 		ProposalCandidates: o.ProposalCandidates,
+		PoolCap:            o.PoolCap,
+		CandidateSamples:   o.CandidateSamples,
 		Surrogate:          coreSurrogateConfig(o),
+	}
+	if o.CandidateSamples < 0 {
+		return core.Options{}, fmt.Errorf("server: candidate_samples must be >= 0, got %d", o.CandidateSamples)
 	}
 	// Strategy selects any registered engine by name ("ranking",
 	// "proposal", "random", "geist" when compiled in, ...). The empty
-	// string keeps the paper default. Validate here so session
-	// creation fails with a 400 rather than deep inside NewTuner.
+	// string is passed through so NewTuner applies the paper default —
+	// ranking on enumerable spaces, the pool-free sampling engine on
+	// grids past the enumerate limit. Non-empty names are validated
+	// here so session creation fails with a 400 rather than deep
+	// inside NewTuner.
 	name := strings.ToLower(o.Strategy)
-	if name == "" {
-		name = core.Ranking.String()
-	}
-	if _, ok := core.LookupEngine(name); !ok {
-		return core.Options{}, fmt.Errorf("server: unknown strategy %q (registered: %s)",
-			o.Strategy, strings.Join(core.EngineNames(), ", "))
+	if name != "" {
+		if _, ok := core.LookupEngine(name); !ok {
+			return core.Options{}, fmt.Errorf("server: unknown strategy %q (registered: %s)",
+				o.Strategy, strings.Join(core.EngineNames(), ", "))
+		}
 	}
 	opts.Engine = name
 	return opts, nil

@@ -43,7 +43,19 @@ type Space struct {
 	params     []Param
 	constraint func(Config) bool // nil means everything is valid
 	byName     map[string]int
+
+	// Grid geometry, computed once in New so the index/decode hot
+	// paths (FromGridIndex, EachRange) never recompute the O(d)
+	// cardinality product per configuration.
+	discrete bool   // every parameter is discrete
+	cards    []int  // per-parameter cardinalities (discrete spaces)
+	grid64   uint64 // unconstrained grid size, valid when gridOK
+	gridOK   bool   // grid64 did not overflow maxGridSize
 }
+
+// maxGridSize bounds the indexable grid: 2^62 leaves headroom for
+// signed-int index arithmetic on every supported platform.
+const maxGridSize = uint64(1) << 62
 
 // New builds a Space from the given parameters. Parameter names must
 // be unique and non-empty.
@@ -61,13 +73,40 @@ func New(params ...Param) *Space {
 		}
 		s.byName[p.Name] = i
 	}
+	s.initGrid()
 	return s
+}
+
+// initGrid caches the discrete-grid geometry: per-parameter
+// cardinalities and the (overflow-checked) unconstrained grid size.
+func (s *Space) initGrid() {
+	s.discrete = true
+	for _, p := range s.params {
+		if p.Kind != DiscreteKind {
+			s.discrete = false
+			return
+		}
+	}
+	s.cards = make([]int, len(s.params))
+	s.grid64, s.gridOK = 1, true
+	for i, p := range s.params {
+		k := p.Cardinality()
+		s.cards[i] = k
+		if s.gridOK && s.grid64 <= maxGridSize/uint64(k) {
+			s.grid64 *= uint64(k)
+		} else {
+			s.gridOK = false
+		}
+	}
 }
 
 // WithConstraint returns a copy of the space restricted by valid. The
 // predicate must be pure and deterministic.
 func (s *Space) WithConstraint(valid func(Config) bool) *Space {
-	out := &Space{params: s.params, constraint: valid, byName: s.byName}
+	out := &Space{
+		params: s.params, constraint: valid, byName: s.byName,
+		discrete: s.discrete, cards: s.cards, grid64: s.grid64, gridOK: s.gridOK,
+	}
 	return out
 }
 
@@ -90,29 +129,30 @@ func (s *Space) IndexOf(name string) int {
 
 // AllDiscrete reports whether every parameter is discrete, i.e. the
 // space is finite and the Ranking selection strategy applies.
-func (s *Space) AllDiscrete() bool {
-	for _, p := range s.params {
-		if p.Kind != DiscreteKind {
-			return false
-		}
+func (s *Space) AllDiscrete() bool { return s.discrete }
+
+// GridSize64 returns the size of the unconstrained cross product of
+// all discrete levels, with ok=false when the product exceeds 2^62
+// (the indexable range). It panics when the space has continuous
+// parameters; overflow is a value, not a panic, so callers can route
+// oversized spaces to the sampled large-space path.
+func (s *Space) GridSize64() (size uint64, ok bool) {
+	if !s.discrete {
+		panic("space: GridSize64 on a space with continuous parameters")
 	}
-	return true
+	return s.grid64, s.gridOK
 }
 
 // GridSize returns the size of the unconstrained cross product of all
-// discrete levels. It panics when the space has continuous parameters.
+// discrete levels. It panics when the space has continuous parameters
+// or when the product overflows the indexable range; size-tolerant
+// callers should use GridSize64 instead.
 func (s *Space) GridSize() int {
-	if !s.AllDiscrete() {
-		panic("space: GridSize on a space with continuous parameters")
+	size, ok := s.GridSize64()
+	if !ok {
+		panic("space: grid size exceeds 2^62 (use GridSize64)")
 	}
-	size := 1
-	for _, p := range s.params {
-		size *= p.Cardinality()
-		if size < 0 {
-			panic("space: grid size overflow")
-		}
-	}
-	return size
+	return int(size)
 }
 
 // Valid reports whether c satisfies domain bounds and the constraint.
@@ -149,33 +189,6 @@ func (s *Space) Check(c Config) error {
 	return nil
 }
 
-// Enumerate returns every valid configuration of a fully discrete
-// space, in mixed-radix order (last parameter varies fastest). It
-// panics on spaces with continuous parameters.
-func (s *Space) Enumerate() []Config {
-	if !s.AllDiscrete() {
-		panic("space: Enumerate on a space with continuous parameters")
-	}
-	total := s.GridSize()
-	out := make([]Config, 0, total)
-	c := make(Config, len(s.params))
-	var rec func(dim int)
-	rec = func(dim int) {
-		if dim == len(s.params) {
-			if s.constraint == nil || s.constraint(c) {
-				out = append(out, c.Clone())
-			}
-			return
-		}
-		for l := 0; l < s.params[dim].Cardinality(); l++ {
-			c[dim] = float64(l)
-			rec(dim + 1)
-		}
-	}
-	rec(0)
-	return out
-}
-
 // GridIndex maps a fully discrete configuration to its mixed-radix
 // index in the unconstrained grid (the inverse of FromGridIndex).
 func (s *Space) GridIndex(c Config) int {
@@ -194,16 +207,34 @@ func (s *Space) GridIndex(c Config) int {
 
 // FromGridIndex decodes a mixed-radix grid index into a configuration.
 func (s *Space) FromGridIndex(idx int) Config {
-	if idx < 0 || idx >= s.GridSize() {
-		panic(fmt.Sprintf("space: grid index %d outside [0,%d)", idx, s.GridSize()))
+	if idx < 0 {
+		panic(fmt.Sprintf("space: grid index %d outside [0,%d)", idx, s.grid64))
+	}
+	return s.FromGridIndex64(uint64(idx))
+}
+
+// FromGridIndex64 decodes a mixed-radix grid index into a freshly
+// allocated configuration. The grid size is cached at construction, so
+// decoding costs one pass over the parameters — no per-call product.
+func (s *Space) FromGridIndex64(idx uint64) Config {
+	grid, ok := s.GridSize64()
+	if ok && idx >= grid {
+		panic(fmt.Sprintf("space: grid index %d outside [0,%d)", idx, grid))
 	}
 	c := make(Config, len(s.params))
-	for i := len(s.params) - 1; i >= 0; i-- {
-		k := s.params[i].Cardinality()
+	s.decodeGridIndex(idx, c)
+	return c
+}
+
+// decodeGridIndex writes the mixed-radix digits of idx into c (which
+// must have NumParams entries) without allocating. Bounds checking is
+// the caller's responsibility.
+func (s *Space) decodeGridIndex(idx uint64, c Config) {
+	for i := len(s.cards) - 1; i >= 0; i-- {
+		k := uint64(s.cards[i])
 		c[i] = float64(idx % k)
 		idx /= k
 	}
-	return c
 }
 
 // Sample draws a uniformly random valid configuration. For constrained

@@ -1,0 +1,96 @@
+package space
+
+// Streaming enumeration. The recursive Enumerate walk cloned one
+// Config per valid grid point, which dominates both time and
+// allocation on the paper-scale tables and is impossible on the
+// 10^6–10^9-point spaces the large-space mode targets. The walkers
+// below visit the same mixed-radix order (last parameter varies
+// fastest) with a single reused buffer and an in-place odometer
+// increment, so a full pass costs zero per-configuration allocations.
+
+// Each visits every valid configuration of a fully discrete space in
+// mixed-radix order. The Config passed to fn is a buffer REUSED
+// between visits: callers that retain it must Clone it. Return false
+// from fn to stop early. It panics on spaces with continuous
+// parameters or with a grid larger than 2^62 points (gate on
+// GridSize64 first; such spaces cannot be walked to completion).
+func (s *Space) Each(fn func(c Config) bool) {
+	grid, ok := s.GridSize64()
+	if !ok {
+		panic("space: Each on a grid larger than 2^62 points (check GridSize64)")
+	}
+	s.EachRange(0, grid, func(_ uint64, c Config) bool { return fn(c) })
+}
+
+// EachRange visits the valid configurations whose unconstrained grid
+// indices fall in [lo, hi), in index order. hi is clamped to the grid
+// size. The start point is decoded once from lo; every subsequent
+// configuration is produced by an in-place odometer increment, so the
+// walk performs no recursion, no per-configuration allocation, and no
+// repeated cardinality products. Like Each, the Config passed to fn is
+// reused between visits. Disjoint ranges are independent, which is
+// what makes chunk-parallel sweeps over par.Chunks possible.
+func (s *Space) EachRange(lo, hi uint64, fn func(idx uint64, c Config) bool) {
+	if !s.discrete {
+		panic("space: EachRange on a space with continuous parameters")
+	}
+	if grid, ok := s.GridSize64(); ok && hi > grid {
+		hi = grid
+	}
+	if lo >= hi {
+		return
+	}
+	c := make(Config, len(s.params))
+	s.decodeGridIndex(lo, c)
+	for idx := lo; ; {
+		if s.constraint == nil || s.constraint(c) {
+			if !fn(idx, c) {
+				return
+			}
+		}
+		if idx++; idx >= hi {
+			return
+		}
+		for d := len(s.cards) - 1; d >= 0; d-- {
+			c[d]++
+			if int(c[d]) < s.cards[d] {
+				break
+			}
+			c[d] = 0
+		}
+	}
+}
+
+// enumerateCapHint bounds Enumerate's up-front backing reservation so
+// a sparse constraint over a large grid does not allocate the whole
+// cross product; beyond it the backing grows amortized.
+const enumerateCapHint = 1 << 20
+
+// Enumerate returns every valid configuration of a fully discrete
+// space, in mixed-radix order (last parameter varies fastest). It is
+// built on the streaming walk: values accumulate in one flat backing
+// slice and the Config headers are cut from it afterwards, so the
+// result costs a handful of allocations instead of one Clone per
+// configuration. It panics on spaces with continuous parameters or
+// with a grid larger than 2^62 points.
+func (s *Space) Enumerate() []Config {
+	grid, ok := s.GridSize64()
+	if !ok {
+		panic("space: Enumerate on a grid larger than 2^62 points (use Each/EachRange or a sampled pool)")
+	}
+	d := len(s.params)
+	hint := grid
+	if hint > enumerateCapHint {
+		hint = enumerateCapHint
+	}
+	flat := make([]float64, 0, int(hint)*d)
+	s.Each(func(c Config) bool {
+		flat = append(flat, c...)
+		return true
+	})
+	out := make([]Config, len(flat)/d)
+	for i := range out {
+		out[i] = Config(flat[i*d : (i+1)*d : (i+1)*d])
+	}
+	return out
+}

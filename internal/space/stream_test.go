@@ -1,0 +1,261 @@
+package space
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+// referenceEnumerate is the seed-era recursive walk, kept as the
+// oracle: Enumerate/Each/EachRange must visit exactly this sequence.
+func referenceEnumerate(s *Space) []Config {
+	var out []Config
+	c := make(Config, s.NumParams())
+	var rec func(dim int)
+	rec = func(dim int) {
+		if dim == s.NumParams() {
+			if s.constraint == nil || s.constraint(c) {
+				out = append(out, c.Clone())
+			}
+			return
+		}
+		for l := 0; l < s.Param(dim).Cardinality(); l++ {
+			c[dim] = float64(l)
+			rec(dim + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// randomConstrainedSpace builds a random fully discrete space, about
+// half the time with a pseudorandom constraint over a hash of the
+// levels, so the walkers are exercised on sparse valid sets too.
+func randomConstrainedSpace(r *stats.RNG) *Space {
+	dims := 1 + r.Intn(5)
+	params := make([]Param, dims)
+	for i := range params {
+		card := 1 + r.Intn(6)
+		levels := make([]int, card)
+		for l := range levels {
+			levels[l] = i*10 + l
+		}
+		params[i] = DiscreteInts(string(rune('a'+i)), levels...)
+	}
+	sp := New(params...)
+	if r.Intn(2) == 0 {
+		salt, keep := r.Uint64(), 1+r.Intn(4)
+		sp = sp.WithConstraint(func(c Config) bool {
+			h := salt
+			for _, v := range c {
+				h = h*1099511628211 + uint64(v) + 1
+			}
+			return int(h%4) < keep
+		})
+	}
+	return sp
+}
+
+func TestStreamMatchesReference(t *testing.T) {
+	r := stats.NewRNG(7)
+	for trial := 0; trial < 200; trial++ {
+		sp := randomConstrainedSpace(r)
+		want := referenceEnumerate(sp)
+
+		got := sp.Enumerate()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Enumerate len %d, reference %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("trial %d: Enumerate[%d] = %v, reference %v", trial, i, got[i], want[i])
+			}
+		}
+
+		i := 0
+		sp.Each(func(c Config) bool {
+			if i >= len(want) || !c.Equal(want[i]) {
+				t.Fatalf("trial %d: Each visit %d = %v, reference %v", trial, i, c, want[i])
+			}
+			i++
+			return true
+		})
+		if i != len(want) {
+			t.Fatalf("trial %d: Each visited %d configs, reference %d", trial, i, len(want))
+		}
+
+		grid, ok := sp.GridSize64()
+		if !ok {
+			t.Fatalf("trial %d: unexpected overflow", trial)
+		}
+		i = 0
+		sp.EachRange(0, grid, func(idx uint64, c Config) bool {
+			if !c.Equal(want[i]) {
+				t.Fatalf("trial %d: EachRange visit %d = %v, reference %v", trial, i, c, want[i])
+			}
+			if got := sp.GridIndex(c.Clone()); uint64(got) != idx {
+				t.Fatalf("trial %d: EachRange idx %d but GridIndex says %d", trial, idx, got)
+			}
+			i++
+			return true
+		})
+		if i != len(want) {
+			t.Fatalf("trial %d: EachRange visited %d configs, reference %d", trial, i, len(want))
+		}
+	}
+}
+
+// Chunked EachRange over any partition of [0, grid) must concatenate
+// to exactly the full walk — the property chunk-parallel sweeps rely on.
+func TestEachRangeChunksConcatenate(t *testing.T) {
+	r := stats.NewRNG(11)
+	for trial := 0; trial < 100; trial++ {
+		sp := randomConstrainedSpace(r)
+		want := referenceEnumerate(sp)
+		grid, _ := sp.GridSize64()
+
+		var cuts []uint64
+		for lo := uint64(0); lo < grid; {
+			cuts = append(cuts, lo)
+			lo += 1 + uint64(r.Intn(int(grid)))
+		}
+		cuts = append(cuts, grid)
+
+		i := 0
+		for k := 0; k+1 < len(cuts); k++ {
+			sp.EachRange(cuts[k], cuts[k+1], func(idx uint64, c Config) bool {
+				if i >= len(want) || !c.Equal(want[i]) {
+					t.Fatalf("trial %d: chunked visit %d = %v, want %v", trial, i, c, want[i])
+				}
+				i++
+				return true
+			})
+		}
+		if i != len(want) {
+			t.Fatalf("trial %d: chunks visited %d configs, reference %d", trial, i, len(want))
+		}
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	sp := discreteSpace()
+	n := 0
+	sp.Each(func(Config) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("Each visited %d configs after early stop, want 5", n)
+	}
+}
+
+func TestEachRangeClampsHi(t *testing.T) {
+	sp := discreteSpace()
+	grid, _ := sp.GridSize64()
+	n := uint64(0)
+	sp.EachRange(0, grid+1000, func(uint64, Config) bool { n++; return true })
+	if n != grid {
+		t.Fatalf("EachRange visited %d configs, grid is %d", n, grid)
+	}
+}
+
+func TestGridSize64Overflow(t *testing.T) {
+	// 16 parameters with 16 levels each: 16^16 = 2^64 > 2^62.
+	params := make([]Param, 16)
+	for i := range params {
+		levels := make([]int, 16)
+		for l := range levels {
+			levels[l] = l
+		}
+		params[i] = DiscreteInts(string(rune('a'+i)), levels...)
+	}
+	sp := New(params...)
+	if _, ok := sp.GridSize64(); ok {
+		t.Fatal("GridSize64 did not flag a 2^64 grid as overflow")
+	}
+	for name, f := range map[string]func(){
+		"GridSize":  func() { sp.GridSize() },
+		"Enumerate": func() { sp.Enumerate() },
+		"Each":      func() { sp.Each(func(Config) bool { return true }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on an overflowing grid", name)
+				}
+			}()
+			f()
+		}()
+	}
+	// Range decoding stays valid on oversized grids: any uint64 index
+	// is inside the (overflowed) grid, so a bounded walk still works.
+	n := 0
+	sp.EachRange(1<<63, 1<<63+10, func(idx uint64, c Config) bool {
+		if err := sp.Check(c); err != nil {
+			t.Fatalf("EachRange produced invalid config: %v", err)
+		}
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("EachRange on oversized grid visited %d, want 10", n)
+	}
+}
+
+func TestFromGridIndex64RoundTrip(t *testing.T) {
+	r := stats.NewRNG(3)
+	for trial := 0; trial < 100; trial++ {
+		sp := randomConstrainedSpace(r)
+		grid, _ := sp.GridSize64()
+		for k := 0; k < 20; k++ {
+			idx := uint64(r.Intn(int(grid)))
+			c := sp.FromGridIndex64(idx)
+			if got := uint64(sp.GridIndex(c)); got != idx {
+				t.Fatalf("round trip %d → %v → %d", idx, c, got)
+			}
+		}
+	}
+}
+
+// benchEnergySpace mirrors the kripke energy-tuning table shape:
+// a 32,400-point grid constrained to 4 ≤ OMP·Ranks ≤ 128.
+func benchEnergySpace() *Space {
+	sp := New(
+		Discrete("Nesting", "DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD"),
+		DiscreteInts("Gset", 1, 2, 4, 8, 16),
+		DiscreteInts("Dset", 8, 16, 32, 64),
+		DiscreteInts("OMP", 1, 2, 4, 8, 12),
+		DiscreteInts("Ranks", 1, 2, 4, 8, 16, 32),
+		DiscreteInts("PKG_LIMIT", 50, 60, 65, 70, 75, 80, 90, 100, 115),
+	)
+	return sp.WithConstraint(func(c Config) bool {
+		omp := sp.Param(3).NumericValue(int(c[3]))
+		ranks := sp.Param(4).NumericValue(int(c[4]))
+		cores := omp * ranks
+		return cores >= 4 && cores <= 128
+	})
+}
+
+func BenchmarkEnumerate(b *testing.B) {
+	sp := benchEnergySpace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfgs := sp.Enumerate()
+		if len(cfgs) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkEachRange(b *testing.B) {
+	sp := benchEnergySpace()
+	grid, _ := sp.GridSize64()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		sp.EachRange(0, grid, func(uint64, Config) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
