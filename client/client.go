@@ -199,11 +199,30 @@ func (c *Client) Metrics(ctx context.Context) (*MetricsResponse, error) {
 // Lower values are better.
 type Objective func(config map[string]string) (float64, error)
 
+// MetricObjective evaluates one suggested configuration and reports
+// named metrics alongside the scalar value, for sessions created with
+// SessionOptions.Objectives. The metrics map must contain every
+// metric the session's objectives read; a nil map makes every
+// objective fall back to value (the legacy contract).
+type MetricObjective func(config map[string]string) (value float64, metrics map[string]float64, err error)
+
 // Tune drives the whole remote ask/tell loop: lease up to batch
 // candidates, evaluate them with obj, report the results, and repeat
 // until the session holds budget evaluations or the space is
 // exhausted. It returns the final session status.
 func (c *Client) Tune(ctx context.Context, id string, obj Objective, budget, batch int, lease time.Duration) (*SessionInfo, error) {
+	return c.TuneMetrics(ctx, id, func(cfg map[string]string) (float64, map[string]float64, error) {
+		v, err := obj(cfg)
+		return v, nil, err
+	}, budget, batch, lease)
+}
+
+// TuneMetrics is Tune for multi-metric objectives: each evaluation
+// reports its named metrics alongside the scalar value, so sessions
+// created with SessionOptions.Objectives can derive their objective
+// vectors (and, with two or more objectives, their Pareto front —
+// read it from the returned SessionInfo.ParetoFront).
+func (c *Client) TuneMetrics(ctx context.Context, id string, obj MetricObjective, budget, batch int, lease time.Duration) (*SessionInfo, error) {
 	if batch < 1 {
 		batch = 1
 	}
@@ -228,11 +247,11 @@ func (c *Client) Tune(ctx context.Context, id string, obj Objective, budget, bat
 		}
 		results := make([]Result, 0, len(sug.Candidates))
 		for _, cfg := range sug.Candidates {
-			v, err := obj(cfg)
+			v, metrics, err := obj(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("client: objective: %w", err)
 			}
-			results = append(results, Result{Config: cfg, Value: v})
+			results = append(results, Result{Config: cfg, Value: v, Metrics: metrics})
 		}
 		if _, err := c.Observe(ctx, id, results); err != nil {
 			return nil, err

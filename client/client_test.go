@@ -88,6 +88,50 @@ func TestClientEndToEndTune(t *testing.T) {
 	}
 }
 
+// TestClientTuneMetricsParetoFront drives a two-objective session
+// through TuneMetrics and reads the Pareto front off the final status.
+func TestClientTuneMetricsParetoFront(t *testing.T) {
+	ts, _ := newDaemon(t)
+	cl, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sp := testSpace()
+	id, err := cl.CreateSessionFromSpace(ctx, "mo", sp, SessionOptions{
+		Seed:           1,
+		InitialSamples: 4,
+		Objectives:     []string{"p95_latency_ms", "cost"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.TuneMetrics(ctx, id, func(cfg map[string]string) (float64, map[string]float64, error) {
+		c, err := sp.FromLabels(cfg)
+		if err != nil {
+			return 0, nil, err
+		}
+		return 0, map[string]float64{
+			"p95_latency_ms": c[0] + c[1],         // wants small x+y
+			"cost":           (3 - c[0]) + c[1]*2, // wants large x, small y
+		}, nil
+	}, 12, 3, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Strategy != "motpe" {
+		t.Fatalf("strategy = %q, want motpe", info.Strategy)
+	}
+	if len(info.ParetoFront) == 0 {
+		t.Fatalf("no pareto front in final status: %+v", info)
+	}
+	for _, r := range info.ParetoFront {
+		if len(r.Metrics) != 2 {
+			t.Fatalf("front member missing metrics: %+v", r)
+		}
+	}
+}
+
 func TestClientRetriesTransientFailures(t *testing.T) {
 	var calls atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

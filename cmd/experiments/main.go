@@ -33,7 +33,9 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the DESIGN.md ablations (selection strategy, threshold, prior weight, joint vs factorized, batch size)")
 		verify   = flag.Bool("verify", false, "evaluate every paper claim and print a PASS/FAIL verdict table")
 		engines  = flag.String("engines", "", "comma-separated engine names (or \"all\") to race on -dataset using the Fig. 2-6 protocol")
-		ds       = flag.String("dataset", "kripke-exec", "dataset for -engines (kripke-exec, kripke-energy, hypre, lulesh, openatom)")
+		ds       = flag.String("dataset", "kripke-exec", "dataset for -engines (kripke-exec, kripke-energy, hypre, lulesh, openatom, service)")
+		pareto   = flag.Bool("pareto", false, "multi-objective evaluation: motpe vs random Pareto fronts on the service app")
+		budget   = flag.Int("budget", 120, "evaluation budget per seed for -pareto")
 		reps     = flag.Int("reps", 50, "repetitions per method (the paper uses 50)")
 		seed     = flag.Uint64("seed", 20200518, "base random seed")
 		jobs     = flag.Int("j", 0, "concurrent repetitions (0 = GOMAXPROCS); results are identical at any setting")
@@ -94,6 +96,13 @@ func main() {
 		ran = true
 		if err := engineShootout(*ds, *engines, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: engines: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *pareto {
+		ran = true
+		if err := paretoStudy(*budget, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: pareto: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -233,6 +242,48 @@ func engineShootout(ds, names string, cfg experiments.Config) error {
 		func(cfg experiments.Config) (*experiments.SelectionResult, error) {
 			return experiments.EngineShootout(model, list, checkpoints, cfg)
 		}, cfg)
+}
+
+// paretoStudy renders the multi-objective evaluation: motpe vs random
+// search on the two-objective service app, scored on Pareto fronts.
+func paretoStudy(budget int, cfg experiments.Config) error {
+	res, err := experiments.ParetoComparison(budget, cfg)
+	if err != nil {
+		return err
+	}
+	report.Section(os.Stdout, "Multi-objective: motpe vs random on %s (budget %d, %d seeds)",
+		res.Dataset, res.Budget, res.Seeds)
+	fmt.Printf("space: %d configurations; exhaustive Pareto front: %d points (inside the %.0f ms reference box)\n\n",
+		res.SpaceSize, res.TrueFrontSize, experiments.RefLatencyMs)
+
+	tbl := report.Table{Columns: []string{"metric", "motpe", "random"}}
+	tbl.AddF("seeds whose front set-dominates the opponent's", res.MotpeDominates, res.RandomDominates)
+	tbl.AddF("mean coverage of opponent front (C-metric)", res.MotpeCoverageMean, res.RandomCoverageMean)
+	tbl.AddF("mean front size", res.MotpeFrontSizeMean, res.RandomFrontSizeMean)
+	tbl.AddF("mean exact true-front points found", res.MotpeTrueHitsMean, res.RandomTrueHitsMean)
+	tbl.Render(os.Stdout)
+	fmt.Println()
+
+	sc := report.Scatter{
+		Title:  fmt.Sprintf("Pareto fronts, seed %d", res.ExampleSeed),
+		XLabel: "p95 latency (ms)",
+		YLabel: "cost ($/h)",
+		Series: []report.PointSeries{
+			{Name: "exhaustive true front", Points: scatterPoints(res.TrueFront)},
+			{Name: "motpe", Points: scatterPoints(res.MotpeFront)},
+			{Name: "random", Points: scatterPoints(res.RandomFront)},
+		},
+	}
+	sc.Render(os.Stdout)
+	return nil
+}
+
+func scatterPoints(front []experiments.ParetoPoint) []report.Point {
+	out := make([]report.Point, len(front))
+	for i, p := range front {
+		out[i] = report.Point{X: p.Latency, Y: p.Cost}
+	}
+	return out
 }
 
 func fig7(cfg experiments.Config) error {

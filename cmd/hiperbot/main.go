@@ -20,6 +20,13 @@
 //	hiperbot -app huge -budget 200
 //	hiperbot -app huge -budget 200 -strategy gp -pool-cap 2048
 //
+// The "service" app carries two real objectives (p95 latency and
+// hourly cost); with -objectives the tuner optimizes the Pareto front
+// directly (default engine: motpe) and prints the front instead of a
+// single best:
+//
+//	hiperbot -app service -objectives p95_latency_ms,cost -budget 120
+//
 // The tool prints the best configuration found, the evaluation trace,
 // and (with -importance) the JS-divergence parameter ranking.
 package main
@@ -37,13 +44,16 @@ import (
 	"github.com/hpcautotune/hiperbot/internal/apps/kripke"
 	"github.com/hpcautotune/hiperbot/internal/apps/lulesh"
 	"github.com/hpcautotune/hiperbot/internal/apps/openatom"
+	"github.com/hpcautotune/hiperbot/internal/apps/service"
 	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/dataset"
+	"github.com/hpcautotune/hiperbot/internal/objective"
 	"github.com/hpcautotune/hiperbot/internal/report"
 	"github.com/hpcautotune/hiperbot/internal/space"
 
 	// Registers the "geist" and "gp" engines so -strategy geist/gp
-	// works over the finite measurement tables.
+	// works over the finite measurement tables ("motpe" rides in with
+	// the objective import above).
 	_ "github.com/hpcautotune/hiperbot/internal/geist"
 	_ "github.com/hpcautotune/hiperbot/internal/gp"
 )
@@ -55,13 +65,24 @@ func builtinModels() map[string]*apps.Model {
 		"hypre":         hypre.Selection(),
 		"lulesh":        lulesh.Flags(),
 		"openatom":      openatom.Decomposition(),
+		"service":       service.Blended(),
 	}
+}
+
+// appMetrics maps the apps that expose a multi-metric observation —
+// the ones -objectives can tune multi-objectively.
+func appMetrics(name string) func(space.Config) map[string]float64 {
+	if name == "service" {
+		return service.Metrics
+	}
+	return nil
 }
 
 func main() {
 	var (
 		csvPath    = flag.String("csv", "", "CSV file of measurements to tune over")
-		appName    = flag.String("app", "", "built-in app model (kripke-exec, kripke-energy, hypre, lulesh, openatom, huge)")
+		appName    = flag.String("app", "", "built-in app model (kripke-exec, kripke-energy, hypre, lulesh, openatom, service, huge)")
+		objectives = flag.String("objectives", "", "comma-separated objective specs for multi-objective tuning (e.g. p95_latency_ms,cost; needs a multi-metric app like service)")
 		budget     = flag.Int("budget", 150, "total objective evaluations (including initial samples)")
 		initial    = flag.Int("init", 20, "initial random samples")
 		quantile   = flag.Float64("quantile", 0.20, "good/bad split quantile α")
@@ -83,6 +104,11 @@ func main() {
 			strategy: *strategy, poolCap: *poolCap, candidateSamples: *candSamp,
 			seed: *seed, importance: *importance, trace: *trace,
 		})
+		return
+	}
+
+	if *objectives != "" {
+		tuneMulti(*appName, *objectives, *budget, *initial, *strategy, *seed, *trace)
 		return
 	}
 
@@ -265,6 +291,89 @@ func printImportance(sp *space.Space, imp []float64) {
 		tbl.Add(p.name, fmt.Sprintf("%.4f", p.js))
 	}
 	tbl.Render(os.Stdout)
+}
+
+// tuneMulti runs multi-objective tuning on an app that exposes a
+// multi-metric observation, printing the Pareto front instead of a
+// single best configuration. The default engine is motpe.
+func tuneMulti(appName, specs string, budget, initial int, strategy string, seed uint64, trace bool) {
+	metrics := appMetrics(appName)
+	if metrics == nil {
+		fmt.Fprintf(os.Stderr, "hiperbot: -objectives needs a multi-metric app (service), got %q\n", appName)
+		os.Exit(1)
+	}
+	var names []string
+	for _, s := range strings.Split(specs, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			names = append(names, s)
+		}
+	}
+	set, err := objective.ParseSet(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiperbot:", err)
+		os.Exit(1)
+	}
+	tbl := builtinModels()[appName].Table()
+	candidates := make([]space.Config, tbl.Len())
+	for i := range candidates {
+		candidates[i] = tbl.Config(i)
+	}
+	vector := func(c space.Config) []float64 {
+		vec, err := set.Vector(0, metrics(c))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hiperbot:", err)
+			os.Exit(1)
+		}
+		return vec
+	}
+	var onStep func(int, core.Observation)
+	if trace {
+		onStep = func(i int, o core.Observation) {
+			fmt.Printf("%4d  %-70s %v\n", i+1, tbl.Space.Describe(o.Config), vector(o.Config))
+		}
+	}
+	if strategy == "" {
+		strategy = "motpe"
+	}
+	tn, err := core.NewTuner(tbl.Space, func(c space.Config) float64 {
+		return set.Scalarize(vector(c))
+	}, core.Options{
+		InitialSamples:  initial,
+		Engine:          strategy,
+		Seed:            seed,
+		Candidates:      candidates,
+		VectorObjective: vector,
+		OnStep:          onStep,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hiperbot:", err)
+		os.Exit(1)
+	}
+	if _, err := tn.Run(budget); err != nil {
+		fmt.Fprintln(os.Stderr, "hiperbot:", err)
+		os.Exit(1)
+	}
+
+	report.Section(os.Stdout, "Tuning %s for {%s} (%d configurations, %s engine)",
+		appName, strings.Join(names, ", "), tbl.Len(), tn.EngineName())
+	fmt.Printf("evaluations: %d\n\n", tn.Evaluations())
+	h := tn.History()
+	vecs := objective.HistoryVectors(h, nil)
+	obs := h.Observations()
+	front := objective.FrontIndices(vecs)
+	out := report.Table{
+		Title:   fmt.Sprintf("Pareto front (%d points)", len(front)),
+		Columns: append([]string{"configuration"}, names...),
+	}
+	sort.Slice(front, func(a, b int) bool { return vecs[front[a]][0] < vecs[front[b]][0] })
+	for _, i := range front {
+		row := []string{tbl.Space.Describe(obs[i].Config)}
+		for _, v := range vecs[i] {
+			row = append(row, fmt.Sprintf("%.4g", v))
+		}
+		out.Add(row...)
+	}
+	out.Render(os.Stdout)
 }
 
 // hugeOptions carries the flag subset the huge app understands.

@@ -48,6 +48,7 @@ func main() {
 		flushEvery = flag.Duration("flush-interval", 100*time.Millisecond, "group-commit period for buffered journal appends")
 		flushBytes = flag.Int("flush-bytes", 64<<10, "buffered journal bytes that force a flush before the next tick (0 = write every append through immediately)")
 		poolCap    = flag.Int("pool-cap", 0, "default sampled-pool size for sessions on spaces too large to enumerate (0 = built-in default; sessions may override per create)")
+		objectives = flag.String("objectives", "", "default objective specs for sessions created without any, comma-separated (e.g. \"p95_latency_ms,cost\"; two or more default the strategy to motpe)")
 	)
 	flag.Parse()
 
@@ -57,11 +58,18 @@ func main() {
 	if err != nil {
 		logger.Fatalf("hiperbotd: %v", err)
 	}
+	var defaultObjectives []string
+	for _, s := range strings.Split(*objectives, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			defaultObjectives = append(defaultObjectives, s)
+		}
+	}
 	store, err := server.OpenStoreWithConfig(*data, server.StoreConfig{
-		Fsync:          policy,
-		FlushInterval:  *flushEvery,
-		FlushBytes:     *flushBytes,
-		DefaultPoolCap: *poolCap,
+		Fsync:             policy,
+		FlushInterval:     *flushEvery,
+		FlushBytes:        *flushBytes,
+		DefaultPoolCap:    *poolCap,
+		DefaultObjectives: defaultObjectives,
 	})
 	if err != nil {
 		logger.Fatalf("hiperbotd: %v", err)

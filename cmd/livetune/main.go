@@ -32,10 +32,11 @@ import (
 	"github.com/hpcautotune/hiperbot/internal/report"
 	"github.com/hpcautotune/hiperbot/internal/space"
 
-	// Registers the "geist" and "gp" engines so -strategy geist/gp
-	// works on the finite kernel spaces.
+	// Registers the "geist", "gp", and "motpe" engines so -strategy
+	// lists them on the finite kernel spaces.
 	_ "github.com/hpcautotune/hiperbot/internal/geist"
 	_ "github.com/hpcautotune/hiperbot/internal/gp"
+	_ "github.com/hpcautotune/hiperbot/internal/objective"
 	"github.com/hpcautotune/hiperbot/miniapps/amg"
 	"github.com/hpcautotune/hiperbot/miniapps/chares"
 	"github.com/hpcautotune/hiperbot/miniapps/hydro"
@@ -160,6 +161,7 @@ func main() {
 		marginals = flag.Bool("marginals", false, "print the surrogate's per-parameter beliefs")
 		strategy  = flag.String("strategy", "", "selection engine: "+strings.Join(core.EngineNames(), ", ")+" (default: paper choice)")
 		serverURL = flag.String("server", "", "hiperbotd base URL; tune through the daemon instead of in-process")
+		objSpecs  = flag.String("objectives", "", "comma-separated objective specs for a multi-objective session (with -server; e.g. p95_latency_ms,cost) — p95 is the worst rep, cost is worker-seconds")
 		batch     = flag.Int("batch", 4, "candidates leased per suggest call (with -server)")
 		poolCap   = flag.Int("pool-cap", 0, "sampled candidate pool size on spaces too large to enumerate (0 = default, <0 = disable large-space mode)")
 		candSamp  = flag.Int("candidate-samples", 0, "good-density draws per step of the pool-free sampling engine (0 = default)")
@@ -173,7 +175,7 @@ func main() {
 	}
 
 	evals := 0
-	objective := func(c space.Config) float64 {
+	measureSorted := func(c space.Config) []float64 {
 		evals++
 		times := make([]float64, 0, *reps)
 		for i := 0; i < *reps; i++ {
@@ -185,14 +187,24 @@ func main() {
 			times = append(times, d.Seconds())
 		}
 		sort.Float64s(times)
+		return times
+	}
+	objective := func(c space.Config) float64 {
+		times := measureSorted(c)
 		return times[len(times)/2]
 	}
 
 	if *serverURL != "" {
-		tuneRemote(*serverURL, *name, k, objective, *budget, *batch, client.SessionOptions{
+		objectives := splitSpecs(*objSpecs)
+		tuneRemote(*serverURL, *name, k, measureSorted, *budget, *batch, client.SessionOptions{
 			Seed: *seed, Strategy: *strategy, PoolCap: *poolCap, CandidateSamples: *candSamp,
+			Objectives: objectives,
 		}, &evals)
 		return
+	}
+	if *objSpecs != "" {
+		fmt.Fprintln(os.Stderr, "livetune: -objectives needs -server (the daemon owns multi-objective sessions)")
+		os.Exit(1)
 	}
 
 	start := time.Now()
@@ -226,10 +238,39 @@ func main() {
 	}
 }
 
+// splitSpecs parses a comma-separated -objectives value.
+func splitSpecs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// kernelMetrics builds the multi-metric observation for one measured
+// configuration: the median wall time as the legacy value, the worst
+// rep as the p95 proxy, and worker-seconds as the resource cost.
+func kernelMetrics(sp *space.Space, c space.Config, sorted []float64) (float64, map[string]float64) {
+	median := sorted[len(sorted)/2]
+	workers := 1.0
+	if i := sp.IndexOf("workers"); i >= 0 {
+		workers = sp.Param(i).NumericValue(int(c[i]))
+	}
+	return median, map[string]float64{
+		"value":          median,
+		"p95_latency_ms": sorted[len(sorted)-1] * 1e3,
+		"cost":           workers * median,
+	}
+}
+
 // tuneRemote drives the same measured objective through a hiperbotd
 // daemon: candidates arrive as wire configs, are parsed against the
-// locally known space, measured, and reported back.
-func tuneRemote(baseURL, kernelName string, k kernel, objective func(space.Config) float64, budget, batch int, opts client.SessionOptions, evals *int) {
+// locally known space, measured, and reported back. With
+// opts.Objectives the session is multi-objective and the measured
+// Pareto front is printed instead of a single fastest config.
+func tuneRemote(baseURL, kernelName string, k kernel, measureSorted func(space.Config) []float64, budget, batch int, opts client.SessionOptions, evals *int) {
 	ctx := context.Background()
 	cl, err := client.New(baseURL)
 	if err != nil {
@@ -244,12 +285,17 @@ func tuneRemote(baseURL, kernelName string, k kernel, objective func(space.Confi
 	fmt.Printf("tuning %s through %s (session %s)\n", kernelName, baseURL, id)
 
 	start := time.Now()
-	info, err := cl.Tune(ctx, id, func(cfg map[string]string) (float64, error) {
+	info, err := cl.TuneMetrics(ctx, id, func(cfg map[string]string) (float64, map[string]float64, error) {
 		c, err := k.space.FromLabels(cfg)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
-		return objective(c), nil
+		times := measureSorted(c)
+		if len(opts.Objectives) == 0 {
+			return times[len(times)/2], nil, nil
+		}
+		value, metrics := kernelMetrics(k.space, c, times)
+		return value, metrics, nil
 	}, budget, batch, 10*time.Minute)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "livetune:", err)
@@ -259,7 +305,22 @@ func tuneRemote(baseURL, kernelName string, k kernel, objective func(space.Confi
 	report.Section(os.Stdout, "Tuned %s kernel remotely by measured wall time", kernelName)
 	fmt.Printf("measured %d configurations in %v (session %s on %s)\n",
 		*evals, time.Since(start).Round(time.Millisecond), id, baseURL)
-	fmt.Printf("fastest: %v → %.3f ms\n", info.Best.Config, info.Best.Value*1e3)
+	if len(info.ParetoFront) > 0 {
+		tbl := report.Table{
+			Title:   fmt.Sprintf("Pareto front for {%s} (%d points)", strings.Join(info.Objectives, ", "), len(info.ParetoFront)),
+			Columns: append([]string{"configuration"}, info.Objectives...),
+		}
+		for _, r := range info.ParetoFront {
+			row := []string{fmt.Sprint(r.Config)}
+			for _, name := range info.Objectives {
+				row = append(row, fmt.Sprintf("%.4g", r.Metrics[name]))
+			}
+			tbl.Add(row...)
+		}
+		tbl.Render(os.Stdout)
+	} else {
+		fmt.Printf("fastest: %v → %.3f ms\n", info.Best.Config, info.Best.Value*1e3)
+	}
 	if len(info.Importance) > 0 {
 		fmt.Println("parameter importance (JS divergence):")
 		for _, e := range info.Importance {

@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,6 +45,7 @@ func main() {
 		lease     = flag.Duration("lease", time.Minute, "candidate lease duration")
 		seed      = flag.Uint64("seed", 1, "base session seed")
 		strategy  = flag.String("strategy", "", "session strategy (empty = server default)")
+		objSpecs  = flag.String("objectives", "", "comma-separated objective specs; sessions post multi-metric observations (e.g. p95_latency_ms,cost)")
 		keep      = flag.Bool("keep", false, "keep the sessions on the daemon after the run")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile (covers the in-process daemon too)")
 	)
@@ -90,12 +92,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	var objectives []string
+	for _, s := range strings.Split(*objSpecs, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			objectives = append(objectives, s)
+		}
+	}
+
 	ctx := context.Background()
 	ids := make([]string, *sessions)
 	for i := range ids {
 		id, err := cl.CreateSessionFromSpace(ctx, "", sp, client.SessionOptions{
-			Seed:     *seed + uint64(i)*7919,
-			Strategy: *strategy,
+			Seed:       *seed + uint64(i)*7919,
+			Strategy:   *strategy,
+			Objectives: objectives,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: create session %d: %v\n", i, err)
@@ -163,7 +173,11 @@ func main() {
 							fail(fmt.Errorf("parse candidate %s: %w", id, err))
 							return
 						}
-						results = append(results, client.Result{Config: cfg, Value: objective(c)})
+						r := client.Result{Config: cfg, Value: objective(c)}
+						if len(objectives) > 0 {
+							r.Metrics = metrics(c)
+						}
+						results = append(results, r)
 					}
 					t1 := time.Now()
 					resp, err := cl.Observe(ctx, id, results)
@@ -241,6 +255,27 @@ func poolSize(params, levels int) int {
 		size *= levels
 	}
 	return size
+}
+
+// metrics derives a deterministic multi-metric observation from the
+// synthetic objective so -objectives sessions exercise the full
+// multi-objective hot path (vector derivation, Pareto front
+// maintenance, journaling) under load: every registered metric name
+// is present, so any -objectives combination is servable.
+func metrics(c space.Config) map[string]float64 {
+	v := objective(c)
+	var levels float64
+	for _, l := range c {
+		levels += l
+	}
+	return map[string]float64{
+		"value":          v,
+		"p95_latency_ms": 5 + 2*v,
+		"p99_latency_ms": 9 + 3*v,
+		"throughput_rps": 1000 / (1 + v),
+		"error_rate":     v / (100 + v),
+		"cost":           1 + levels/4,
+	}
 }
 
 // objective is a deterministic multimodal penalty sum: each dimension

@@ -1,0 +1,155 @@
+// Package service models a replicated request-serving microservice
+// with two competing objectives: p95 latency (ms) and hourly cost
+// ($/h). It is the demo workload for multi-objective sessions — the
+// conflict is structural (replicas, CPU, and cache buy latency with
+// money; compression buys egress cost with CPU time), so no single
+// configuration minimizes both and the interesting answer is a Pareto
+// front, not a best point.
+//
+// The model serves a fixed offered load through an M/M/1-style queue
+// per replica: service time shrinks with CPU and cache hit rate,
+// grows with compression CPU and batching delay, and blows up as
+// per-replica utilization approaches saturation. Cost is instance
+// price (CPU + cache memory) times replicas plus egress, which
+// compression compresses. Everything is deterministic, mirroring the
+// other apps packages.
+package service
+
+import (
+	"math"
+	"sync"
+
+	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Parameter positions.
+const (
+	iReplicas = iota
+	iCPU
+	iCache
+	iBatch
+	iCompress
+	iTimeout
+)
+
+// offeredLoad is the workload the service must absorb, requests/s.
+const offeredLoad = 800.0
+
+// Space returns the 4608-configuration service space (6·4·4·4·3·4).
+var Space = sync.OnceValue(func() *space.Space {
+	return space.New(
+		space.DiscreteInts("replicas", 1, 2, 4, 8, 16, 32),
+		space.DiscreteInts("cpu_millicores", 250, 500, 1000, 2000),
+		space.DiscreteInts("cache_mb", 0, 64, 256, 1024),
+		space.DiscreteInts("batch", 1, 4, 16, 64),
+		space.Discrete("compression", "off", "gzip", "zstd"),
+		space.DiscreteInts("timeout_ms", 50, 100, 200, 400),
+	)
+})
+
+// Objectives is the objective-spec list a tuning session for this app
+// should be created with.
+func Objectives() []string { return []string{"p95_latency_ms", "cost"} }
+
+// Latency returns the modeled p95 latency in milliseconds.
+func Latency(c space.Config) float64 {
+	sp := Space()
+	replicas := sp.Param(iReplicas).NumericValue(int(c[iReplicas]))
+	cpu := sp.Param(iCPU).NumericValue(int(c[iCPU]))
+	cache := sp.Param(iCache).NumericValue(int(c[iCache]))
+	batch := sp.Param(iBatch).NumericValue(int(c[iBatch]))
+	timeout := sp.Param(iTimeout).NumericValue(int(c[iTimeout]))
+
+	// Base service time: 20 ms of work at 1 core, sublinear CPU speedup.
+	st := 20.0 * math.Pow(1000.0/cpu, 0.8)
+	// Cache short-circuits part of the work (64 MB half-saturation).
+	st *= 1 - 0.55*cache/(cache+128)
+	// Compression burns CPU per request; zstd is much cheaper than gzip.
+	st += compressCPUMs[int(c[iCompress])] * (1000.0 / cpu)
+	// Batching amortizes per-request overhead but adds queueing-for-
+	// the-batch wait.
+	st += 4.0/math.Sqrt(batch) + 0.35*(batch-1)
+
+	// Queueing: per-replica utilization against the service rate. The
+	// saturation clamp keeps the model finite on overloaded configs —
+	// they are simply terrible, not undefined.
+	perReplica := offeredLoad / replicas
+	rho := perReplica * st / 1000.0
+	if rho > 0.95 {
+		rho = 0.95 + 0.045*(1-math.Exp((0.95-rho)/3)) // soft clamp, asymptote 0.995
+	}
+	lat := st * (1 + 2.5*rho/(1-rho))
+
+	// Timeouts: too tight a deadline retries stragglers into the p95;
+	// too loose exposes it to them. The penalty is mild but convex, so
+	// mid-range deadlines win.
+	lat *= 1 + 0.4*math.Exp(-timeout/(2*st+20)) + 0.0002*timeout
+	return lat
+}
+
+// compressCPUMs is the per-request compression cost at 1 core, and
+// compressRatio the payload shrink factor, indexed by compression
+// level (off, gzip, zstd).
+var (
+	compressCPUMs = []float64{0, 6.0, 2.2}
+	compressRatio = []float64{1.0, 0.42, 0.38}
+)
+
+// Cost returns the modeled hourly cost in dollars: instance price
+// scaled by replica count plus egress.
+func Cost(c space.Config) float64 {
+	sp := Space()
+	replicas := sp.Param(iReplicas).NumericValue(int(c[iReplicas]))
+	cpu := sp.Param(iCPU).NumericValue(int(c[iCPU]))
+	cache := sp.Param(iCache).NumericValue(int(c[iCache]))
+
+	instance := 0.048*cpu/1000 + 0.011*cache/256
+	egressGBPerHour := offeredLoad * 3600 * 8.0 / 1e6 * compressRatio[int(c[iCompress])]
+	return replicas*instance + 0.09*egressGBPerHour
+}
+
+// Metrics returns the multi-metric observation payload for c, in the
+// schema the registered objectives read.
+func Metrics(c space.Config) map[string]float64 {
+	return map[string]float64{
+		"p95_latency_ms": Latency(c),
+		"cost":           Cost(c),
+	}
+}
+
+// Vector returns the canonical (all-minimize) objective vector
+// [p95_latency_ms, cost] — both objectives already minimize, so no
+// sign flips.
+func Vector(c space.Config) []float64 {
+	return []float64{Latency(c), Cost(c)}
+}
+
+// Blended returns the scalarized single-objective view of the service
+// for the Fig. 2-6 selection protocol and the -engines shootout: an
+// SLO-burn score blending latency and cost at 12 $/h ≈ 1 ms parity,
+// calibrated onto [10, 100]. The multi-objective story lives in
+// experiments.ParetoComparison; this model is the bridge that lets
+// scalar engines race on the same application.
+var Blended = sync.OnceValue(func() *apps.Model {
+	sp := Space()
+	return apps.NewModel(apps.Spec{
+		Name:      "service",
+		Metric:    "blended latency+cost score",
+		Space:     sp,
+		Raw:       func(c space.Config) float64 { return Latency(c) + 12*Cost(c) },
+		TargetMin: 10,
+		TargetMax: 100,
+		Expert:    expert(sp),
+		ExpertNote: "8 replicas of a 1-core pod with a 256 MB cache, zstd " +
+			"egress compression, modest batching, 200 ms deadline",
+	})
+})
+
+func expert(sp *space.Space) space.Config {
+	c := space.Config{3, 2, 2, 1, 2, 2} // 8 replicas, 1000 mc, 256 MB, batch 4, zstd, 200 ms
+	if sp.Valid(c) {
+		return c
+	}
+	return sp.Enumerate()[0]
+}

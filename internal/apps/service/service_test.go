@@ -1,0 +1,94 @@
+package service
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/objective"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+func TestSpaceSizeAndFiniteMetrics(t *testing.T) {
+	sp := Space()
+	configs := sp.Enumerate()
+	if len(configs) != 4608 {
+		t.Fatalf("space holds %d configurations, want 4608", len(configs))
+	}
+	for _, c := range configs {
+		lat, cost := Latency(c), Cost(c)
+		if math.IsNaN(lat) || math.IsInf(lat, 0) || lat <= 0 {
+			t.Fatalf("latency(%v) = %v", c, lat)
+		}
+		if math.IsNaN(cost) || math.IsInf(cost, 0) || cost <= 0 {
+			t.Fatalf("cost(%v) = %v", c, cost)
+		}
+	}
+}
+
+// TestObjectivesConflict pins the design point of the app: no single
+// configuration minimizes both objectives, so the Pareto front holds
+// more than one point and the front spans a real latency range.
+func TestObjectivesConflict(t *testing.T) {
+	configs := Space().Enumerate()
+	vecs := make([][]float64, len(configs))
+	for i, c := range configs {
+		vecs[i] = Vector(c)
+	}
+	front := objective.FrontIndices(vecs)
+	if len(front) < 5 {
+		t.Fatalf("Pareto front has %d points; the objectives barely conflict", len(front))
+	}
+	minLat, maxLat := math.Inf(1), math.Inf(-1)
+	for _, i := range front {
+		minLat = math.Min(minLat, vecs[i][0])
+		maxLat = math.Max(maxLat, vecs[i][0])
+	}
+	if maxLat < 2*minLat {
+		t.Fatalf("front latency range [%v, %v] too narrow for a meaningful trade-off", minLat, maxLat)
+	}
+}
+
+// TestMonotoneKnobs sanity-checks the trade-off directions: buying
+// replicas lowers latency and raises cost; compression lowers cost and
+// raises latency.
+func TestMonotoneKnobs(t *testing.T) {
+	base := space.Config{1, 2, 2, 1, 0, 2} // 2 replicas, 1000 mc, 256 MB, batch 4, off, 200 ms
+	more := base.Clone()
+	more[iReplicas] = 4 // 16 replicas
+	if !(Latency(more) < Latency(base)) || !(Cost(more) > Cost(base)) {
+		t.Fatalf("replicas: lat %v→%v cost %v→%v", Latency(base), Latency(more), Cost(base), Cost(more))
+	}
+	zstd := base.Clone()
+	zstd[iCompress] = 2
+	if !(Cost(zstd) < Cost(base)) || !(Latency(zstd) > Latency(base)) {
+		t.Fatalf("compression: lat %v→%v cost %v→%v", Latency(base), Latency(zstd), Cost(base), Cost(zstd))
+	}
+}
+
+func TestMetricsMatchObjectiveRegistry(t *testing.T) {
+	set, err := objective.ParseSet(Objectives())
+	if err != nil {
+		t.Fatalf("Objectives() specs do not parse: %v", err)
+	}
+	c := Space().Enumerate()[100]
+	vec, err := set.Vector(0, Metrics(c))
+	if err != nil {
+		t.Fatalf("Vector: %v", err)
+	}
+	want := Vector(c)
+	if vec[0] != want[0] || vec[1] != want[1] {
+		t.Fatalf("registry vector %v != app vector %v", vec, want)
+	}
+}
+
+func TestBlendedModel(t *testing.T) {
+	m := Blended()
+	tbl := m.Table()
+	if tbl.Len() != 4608 {
+		t.Fatalf("blended table %d rows", tbl.Len())
+	}
+	expertCfg, _ := m.Expert()
+	if _, ok := tbl.Lookup(expertCfg); !ok {
+		t.Fatalf("expert config missing from table")
+	}
+}

@@ -126,15 +126,21 @@ func (a *AskTell) Ask(k int, ttl time.Duration, now time.Time) ([]space.Config, 
 // folded in too. Structurally invalid configurations error without
 // touching the history.
 func (a *AskTell) Tell(c space.Config, value float64) (added bool, err error) {
-	if err := a.t.sp.Check(c); err != nil {
+	return a.TellObs(Observation{Config: c, Value: value})
+}
+
+// TellObs is Tell for a full observation (raw metrics and canonical
+// objective vector included) — the wire path for multi-metric results.
+func (a *AskTell) TellObs(obs Observation) (added bool, err error) {
+	if err := a.t.sp.Check(obs.Config); err != nil {
 		return false, err
 	}
-	key := a.t.sp.Key(c)
-	if a.t.history.Contains(c) {
+	key := a.t.sp.Key(obs.Config)
+	if a.t.history.Contains(obs.Config) {
 		delete(a.leases, key)
 		return false, nil
 	}
-	if err := a.t.Observe(c, value); err != nil {
+	if err := a.t.ObserveObs(obs); err != nil {
 		return false, err
 	}
 	delete(a.leases, key)

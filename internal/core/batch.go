@@ -46,13 +46,26 @@ func (t *Tuner) SelectBatch(k int) ([]space.Config, error) {
 // Observe folds an externally evaluated observation into the history,
 // e.g. one produced from a SelectBatch candidate. Duplicates error.
 func (t *Tuner) Observe(c space.Config, value float64) error {
-	if err := t.history.Add(c, value); err != nil {
+	return t.ObserveObs(Observation{Config: c, Value: value})
+}
+
+// ObserveObs is Observe for a full observation, carrying raw metrics
+// and a canonical objective vector alongside the scalar value — the
+// fold-in path for multi-metric results reported over the wire. When
+// Options.VectorObjective is set and the observation has no vector
+// yet, one is derived, so external fold-ins match Step's behavior.
+func (t *Tuner) ObserveObs(obs Observation) error {
+	if obs.Objectives == nil && t.opts.VectorObjective != nil {
+		obs.Objectives = t.opts.VectorObjective(obs.Config)
+	}
+	if err := t.history.AddObs(obs); err != nil {
 		return err
 	}
-	t.markEvaluated(c)
-	t.model.Observe(Observation{Config: c, Value: value})
+	t.markEvaluated(obs.Config)
+	t.model.Observe(obs)
 	if t.opts.OnStep != nil {
-		t.opts.OnStep(t.iter, Observation{Config: c.Clone(), Value: value})
+		obs.Config = obs.Config.Clone()
+		t.opts.OnStep(t.iter, obs)
 	}
 	t.iter++
 	return nil

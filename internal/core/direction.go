@@ -1,0 +1,49 @@
+package core
+
+import "fmt"
+
+// Direction is the optimization sense of an objective. The framework's
+// internals always minimize — the paper's runtime/energy metrics are
+// lower-is-better — so maximize objectives are handled by canonical
+// sign-flipping at the edges (see Canonical) and by direction-aware
+// best-so-far tracking (Recorder.SetDirection). The zero value is
+// Minimize, preserving every legacy code path bit for bit.
+type Direction int
+
+const (
+	// Minimize: lower values are better (the default everywhere).
+	Minimize Direction = iota
+	// Maximize: higher values are better.
+	Maximize
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case Minimize:
+		return "minimize"
+	case Maximize:
+		return "maximize"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Better reports whether a is strictly better than b under d.
+func (d Direction) Better(a, b float64) bool {
+	if d == Maximize {
+		return a > b
+	}
+	return a < b
+}
+
+// Canonical maps a natural-unit value onto the framework's
+// minimize-oriented scale: the identity for Minimize, negation for
+// Maximize. It is its own inverse, so it also maps canonical values
+// back to natural units.
+func (d Direction) Canonical(v float64) float64 {
+	if d == Maximize {
+		return -v
+	}
+	return v
+}

@@ -129,6 +129,13 @@ func (m *TPEModel) Surrogate() *Surrogate { return m.s }
 // with a cheap ScoreBatch gets the allocation-free warm path.
 func RankingAcquirer() Acquirer { return rankingAcquirer{} }
 
+// ProposalAcquirer returns the pg-sampling acquirer used by the
+// "proposal" engine — draw candidates from the model's Sample, keep
+// the best-scoring unevaluated ones — for engines registered outside
+// this package that need pool-free acquisition (e.g. the motpe engine
+// on continuous or unenumerable spaces).
+func ProposalAcquirer() Acquirer { return proposalAcquirer{} }
+
 // rankingAcquirer scores every remaining pool candidate and picks the
 // argmax (k = 1) or the top-k diversified by Hamming distance.
 type rankingAcquirer struct{}

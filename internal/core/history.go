@@ -25,10 +25,24 @@ import (
 )
 
 // Observation pairs an evaluated configuration with its objective
-// value (lower is better).
+// value (lower is better). Multi-metric evaluations may additionally
+// carry the raw metric map they were derived from and a canonical
+// (all-minimize) objective vector for multi-objective engines; both
+// are nil for classic single-value observations.
 type Observation struct {
 	Config space.Config
-	Value  float64
+	// Value is the scalar objective driving Best, stall detection, and
+	// every scalar engine. For multi-objective sessions it is the
+	// scalarization of Objectives.
+	Value float64
+	// Metrics, when non-nil, holds the raw named measurements the
+	// result was reported with (e.g. "p95_latency_ms"). Journaled and
+	// replayed verbatim; never consulted by scalar engines.
+	Metrics map[string]float64
+	// Objectives, when non-nil, is the canonical minimize-oriented
+	// objective vector (one entry per session objective, maximize
+	// components sign-flipped) consumed by multi-objective engines.
+	Objectives []float64
 }
 
 // History is the observation history H_t: every configuration whose
@@ -52,13 +66,23 @@ func NewHistory(sp *space.Space) *History {
 // re-evaluating a noisy objective, which this framework models as
 // deterministic tables).
 func (h *History) Add(c space.Config, v float64) error {
-	key := h.sp.Key(c)
+	return h.AddObs(Observation{Config: c, Value: v})
+}
+
+// AddObs is Add for a full observation (metrics and objective vector
+// included). The config is cloned; best tracking remains scalar — the
+// minimum Value — so single-objective behavior is unchanged and
+// multi-objective sessions track the best scalarized value (the Pareto
+// front is derived from the stored vectors, not from best).
+func (h *History) AddObs(obs Observation) error {
+	key := h.sp.Key(obs.Config)
 	if h.seen[key] {
-		return fmt.Errorf("core: duplicate observation for %s", h.sp.Describe(c))
+		return fmt.Errorf("core: duplicate observation for %s", h.sp.Describe(obs.Config))
 	}
 	h.seen[key] = true
-	h.obs = append(h.obs, Observation{Config: c.Clone(), Value: v})
-	if h.best < 0 || v < h.obs[h.best].Value {
+	obs.Config = obs.Config.Clone()
+	h.obs = append(h.obs, obs)
+	if h.best < 0 || obs.Value < h.obs[h.best].Value {
 		h.best = len(h.obs) - 1
 	}
 	h.gen++

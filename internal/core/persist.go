@@ -73,7 +73,7 @@ func (t *Tuner) Resume(h *History) error {
 					t.sp.Describe(o.Config))
 			}
 		}
-		if err := t.history.Add(o.Config, o.Value); err != nil {
+		if err := t.history.AddObs(o); err != nil {
 			return err
 		}
 		t.markEvaluated(o.Config)

@@ -18,27 +18,50 @@ import (
 //	opts.OnStep = rec.OnStep
 //
 // Each line carries the iteration, the configuration (as a
-// name→label map), the measured value, and the best value so far.
+// name→label map), the measured value (plus its raw metrics when the
+// observation carried any), and the best value so far.
 type Recorder struct {
 	mu   sync.Mutex
 	enc  *json.Encoder
 	sp   *space.Space
+	dir  Direction
 	best float64
 	n    int
 	err  error
 }
 
-// RecorderEvent is the JSONL schema of one evaluation.
+// RecorderEvent is the JSONL schema of one evaluation. Metrics and
+// Objectives are present only when the observation carried them:
+// Metrics are the raw named measurements, Objectives the canonical
+// all-minimize vector — journaling the vector verbatim lets a restart
+// replay multi-objective histories bit-identically without
+// re-deriving them from the metrics.
 type RecorderEvent struct {
-	Iteration int               `json:"iteration"`
-	Config    map[string]string `json:"config"`
-	Value     float64           `json:"value"`
-	BestSoFar float64           `json:"best_so_far"`
+	Iteration  int                `json:"iteration"`
+	Config     map[string]string  `json:"config"`
+	Value      float64            `json:"value"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Objectives []float64          `json:"objectives,omitempty"`
+	BestSoFar  float64            `json:"best_so_far"`
 }
 
 // NewRecorder creates a recorder writing to w for configurations of sp.
+// The zero-value direction is Minimize — best_so_far is the running
+// minimum, exactly the legacy behavior.
 func NewRecorder(w io.Writer, sp *space.Space) *Recorder {
 	return &Recorder{enc: json.NewEncoder(w), sp: sp}
+}
+
+// SetDirection switches best-so-far tracking to the given objective
+// direction. It must be called before the first event; afterwards the
+// running best would be stale under the new sense.
+func (r *Recorder) SetDirection(d Direction) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n > 0 {
+		panic("core: Recorder.SetDirection after events were recorded")
+	}
+	r.dir = d
 }
 
 // OnStep is an Options.OnStep callback. Write errors are sticky and
@@ -46,7 +69,7 @@ func NewRecorder(w io.Writer, sp *space.Space) *Recorder {
 func (r *Recorder) OnStep(iteration int, obs Observation) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.n == 0 || obs.Value < r.best {
+	if r.n == 0 || r.dir.Better(obs.Value, r.best) {
 		r.best = obs.Value
 	}
 	r.n++
@@ -60,10 +83,12 @@ func (r *Recorder) OnStep(iteration int, obs Observation) {
 		}
 	}
 	if err := r.enc.Encode(RecorderEvent{
-		Iteration: iteration,
-		Config:    cfg,
-		Value:     obs.Value,
-		BestSoFar: r.best,
+		Iteration:  iteration,
+		Config:     cfg,
+		Value:      obs.Value,
+		Metrics:    obs.Metrics,
+		Objectives: obs.Objectives,
+		BestSoFar:  r.best,
 	}); err != nil && r.err == nil {
 		r.err = err
 	}

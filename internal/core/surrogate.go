@@ -148,6 +148,38 @@ func BuildSurrogate(h *History, cfg SurrogateConfig) (*Surrogate, error) {
 	return b.Fold(h)
 }
 
+// BuildMaskedSurrogate constructs a surrogate from an explicit
+// good/bad partition instead of the α-quantile value split — the seam
+// multi-objective engines use to feed a Pareto-derived "good" set into
+// the same factorized pg/pb density machinery (densities are assembled
+// through the identical surrogateBuilder path, so masked and quantile
+// builds cannot drift apart). len(goodMask) must equal h.Len(); the
+// reported Threshold is NaN (no scalar split value exists).
+func BuildMaskedSurrogate(h *History, goodMask []bool, cfg SurrogateConfig) (*Surrogate, error) {
+	if h.Len() == 0 {
+		return nil, fmt.Errorf("core: BuildMaskedSurrogate on empty history")
+	}
+	if len(goodMask) != h.Len() {
+		return nil, fmt.Errorf("core: mask has %d entries for %d observations", len(goodMask), h.Len())
+	}
+	b, err := newSurrogateBuilder(h.Space(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range h.Observations() {
+		good := goodMask[i]
+		b.goodMask = append(b.goodMask, good)
+		b.count(o.Config, good, +1)
+		if good {
+			b.nGood++
+		} else {
+			b.nBad++
+		}
+	}
+	b.n = h.Len()
+	return b.assemble(h, math.NaN())
+}
+
 // Threshold returns y_τ, the good/bad split value.
 func (s *Surrogate) Threshold() float64 { return s.threshold }
 

@@ -86,6 +86,12 @@ type Options struct {
 	// pool-free "sampling" engine scores per acquisition; 0 means
 	// DefaultCandidateSamples.
 	CandidateSamples int
+	// VectorObjective, when non-nil, computes the canonical
+	// (all-minimize) objective vector attached to every observation
+	// (Observation.Objectives) for multi-objective engines such as
+	// "motpe". The scalar Objective still supplies Value, which keeps
+	// driving Best, stall detection, and scalar engines.
+	VectorObjective func(space.Config) []float64
 	// Seed drives all pseudo-randomness; runs are reproducible.
 	Seed uint64
 	// OnStep, when non-nil, observes every evaluation (including the
@@ -318,12 +324,14 @@ func (t *Tuner) Step() (Observation, error) {
 		}
 		c = picks[0]
 	}
-	v := t.obj(c)
-	if err := t.history.Add(c, v); err != nil {
+	obs := Observation{Config: c, Value: t.obj(c)}
+	if t.opts.VectorObjective != nil {
+		obs.Objectives = t.opts.VectorObjective(c)
+	}
+	if err := t.history.AddObs(obs); err != nil {
 		return Observation{}, err
 	}
 	t.markEvaluated(c)
-	obs := Observation{Config: c, Value: v}
 	t.model.Observe(obs)
 	if t.opts.OnStep != nil {
 		t.opts.OnStep(t.iter, obs)

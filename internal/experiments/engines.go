@@ -5,11 +5,12 @@ import (
 	"sort"
 
 	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/apps/service"
 	"github.com/hpcautotune/hiperbot/internal/harness"
 
 	// The shootout is name-driven; make sure the geist and gp
 	// engines are registered even when the caller forgot the blank
-	// imports.
+	// imports (motpe rides in with internal/objective via pareto.go).
 	_ "github.com/hpcautotune/hiperbot/internal/geist"
 	_ "github.com/hpcautotune/hiperbot/internal/gp"
 )
@@ -62,6 +63,9 @@ func EngineShootout(model *apps.Model, engines []string, checkpoints []int, cfg 
 
 // ShootoutModel resolves a dataset name ("kripke-exec", ...) to its
 // model and the checkpoint schedule the corresponding figure uses.
+// "service" resolves to the blended single-objective view of the
+// two-objective service app (it is not in AllModels, which is pinned
+// to the paper's datasets).
 func ShootoutModel(name string) (*apps.Model, []int, error) {
 	schedules := map[string][]int{
 		"kripke-exec":   {32, 64, 96, 128, 160, 192},
@@ -69,6 +73,7 @@ func ShootoutModel(name string) (*apps.Model, []int, error) {
 		"hypre":         {41, 141, 241, 341, 441},
 		"lulesh":        {46, 146, 246, 346, 446},
 		"openatom":      {39, 139, 239, 339, 439},
+		"service":       {30, 60, 90, 120},
 	}
 	cps, ok := schedules[name]
 	if !ok {
@@ -78,6 +83,9 @@ func ShootoutModel(name string) (*apps.Model, []int, error) {
 		}
 		sort.Strings(names)
 		return nil, nil, fmt.Errorf("experiments: unknown dataset %q (available: %v)", name, names)
+	}
+	if name == "service" {
+		return service.Blended(), cps, nil
 	}
 	for _, m := range AllModels() {
 		if m.Name() == name {

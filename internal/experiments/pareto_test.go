@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/objective"
+)
+
+// TestParetoComparison is the multi-objective acceptance check: at the
+// paper-style budget, motpe's fronts are verified nondominated, beat
+// random search's on coverage, and set-dominate random's whole front
+// on at least one seed.
+func TestParetoComparison(t *testing.T) {
+	res, err := ParetoComparison(120, Config{Repetitions: 5, Seed: 20200518})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpaceSize != 4608 {
+		t.Fatalf("space size = %d", res.SpaceSize)
+	}
+	if res.TrueFrontSize < 5 {
+		t.Fatalf("true front inside the reference box has %d points", res.TrueFrontSize)
+	}
+
+	// The reported example front must be internally nondominated — the
+	// "verified Pareto front" part of the claim.
+	for _, front := range [][]ParetoPoint{res.MotpeFront, res.TrueFront} {
+		vecs := make([][]float64, len(front))
+		for i, p := range front {
+			vecs[i] = []float64{p.Latency, p.Cost}
+		}
+		if got := objective.FrontIndices(vecs); len(got) != len(front) {
+			t.Fatalf("front of %d points has only %d nondominated", len(front), len(got))
+		}
+		for _, p := range front {
+			if p.Latency > RefLatencyMs {
+				t.Fatalf("front point %+v outside the reference box", p)
+			}
+		}
+	}
+
+	if res.MotpeDominates < 1 {
+		t.Fatalf("motpe set-dominated random on %d/%d seeds, want >= 1", res.MotpeDominates, res.Seeds)
+	}
+	if res.RandomDominates != 0 {
+		t.Fatalf("random set-dominated motpe on %d seeds", res.RandomDominates)
+	}
+	if res.MotpeCoverageMean <= res.RandomCoverageMean {
+		t.Fatalf("coverage: motpe %.3f <= random %.3f", res.MotpeCoverageMean, res.RandomCoverageMean)
+	}
+	if res.MotpeTrueHitsMean <= res.RandomTrueHitsMean {
+		t.Fatalf("true-front hits: motpe %.2f <= random %.2f", res.MotpeTrueHitsMean, res.RandomTrueHitsMean)
+	}
+}

@@ -43,6 +43,14 @@ type SessionOptions struct {
 	Bandwidth float64 `json:"bandwidth,omitempty"`
 	// Bins discretizes continuous densities for importance analysis.
 	Bins int `json:"bins,omitempty"`
+	// Objectives names the session's objectives, each a registered
+	// objective name ("p95_latency_ms", "cost", ...) or a weighted-sum
+	// spec ("0.7*p95_latency_ms+0.3*cost"). Empty keeps the legacy
+	// single-objective behavior (minimize Result.Value). With two or
+	// more entries the session tracks a Pareto front and the default
+	// strategy becomes "motpe"; scalar engines optimize the equal-
+	// weight scalarization of the canonical (all-minimize) vector.
+	Objectives []string `json:"objectives,omitempty"`
 }
 
 // CreateSessionRequest creates a named tuning session.
@@ -64,10 +72,14 @@ type CreateSessionResponse struct {
 }
 
 // Result pairs a configuration with its measured objective value
-// (lower is better).
+// (lower is better) and, optionally, named metrics for multi-metric
+// sessions. When Metrics is present it must contain every metric the
+// session's objectives read; when absent every objective falls back
+// to Value (legacy single-metric clients keep working unchanged).
 type Result struct {
-	Config map[string]string `json:"config"`
-	Value  float64           `json:"value"`
+	Config  map[string]string  `json:"config"`
+	Value   float64            `json:"value"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // SuggestRequest leases candidates to evaluate.
@@ -106,6 +118,10 @@ type ObserveResponse struct {
 	Duplicates  int     `json:"duplicates"`
 	Evaluations int     `json:"evaluations"`
 	Best        *Result `json:"best,omitempty"`
+	// ParetoFront is the current nondominated set of a multi-objective
+	// session (absent on single-objective sessions, where Best is the
+	// whole answer).
+	ParetoFront []Result `json:"pareto_front,omitempty"`
 }
 
 // ImportanceEntry is one parameter's Jensen-Shannon importance score.
@@ -125,6 +141,12 @@ type SessionInfo struct {
 	Best           *Result           `json:"best,omitempty"`
 	Importance     []ImportanceEntry `json:"importance,omitempty"`
 	CreatedAt      string            `json:"created_at,omitempty"`
+	// Objectives echoes the session's objective specs (empty on
+	// legacy single-objective sessions).
+	Objectives []string `json:"objectives,omitempty"`
+	// ParetoFront is the current nondominated set of a multi-objective
+	// session, in history order.
+	ParetoFront []Result `json:"pareto_front,omitempty"`
 }
 
 // SessionListResponse lists all live sessions.

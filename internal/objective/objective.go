@@ -1,0 +1,146 @@
+// Package objective makes the tuning target a first-class, pluggable
+// citizen. The paper tunes one scalar (runtime, energy) and the rest
+// of the repo inherited that assumption; realistic service tuning
+// reports several metrics per run (tail latency, throughput, error
+// rate, cost) and wants to minimize some, maximize others, or trade
+// them off on a Pareto front.
+//
+// The package mirrors the engine registry idiom: an Objective is a
+// named, direction-aware extractor from a multi-metric observation,
+// registered in init and looked up by name (session options, CLI
+// -objectives flags). Weighted-sum scalarizations parse from
+// expressions like "0.7*p95_latency_ms+0.3*cost". A Set of objectives
+// canonicalizes every observation into an all-minimize vector that
+// the Pareto helpers and the "motpe" engine (see motpe.go) consume;
+// scalar engines get the Set's equal-weight scalarization as a
+// fallback.
+package objective
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+)
+
+// Direction re-exports the optimization sense (Minimize / Maximize)
+// shared with core, so callers of this package need only one import.
+type Direction = core.Direction
+
+// Minimize and Maximize are the two objective directions.
+const (
+	Minimize = core.Minimize
+	Maximize = core.Maximize
+)
+
+// Objective extracts one named, direction-aware value from a
+// multi-metric observation.
+type Objective interface {
+	// Name is the registry key ("p95_latency_ms", "cost", ...).
+	Name() string
+	// Direction is the optimization sense of the extracted value.
+	Direction() Direction
+	// Value extracts the objective's natural-unit value. value is the
+	// legacy scalar of the observation; metrics is the raw metric map,
+	// nil when the result carried none. The fallback contract: with a
+	// nil metrics map every objective falls back to value (a legacy
+	// single-value worker measured exactly the one thing the session
+	// tunes); with a non-nil map a missing key is an error, except for
+	// "value" itself which always reads the legacy scalar.
+	Value(value float64, metrics map[string]float64) (float64, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Objective{}
+)
+
+// Register adds an objective to the registry, keyed by lower-cased
+// name. It panics on empty or duplicate names: registration happens in
+// package init functions, where a clash is a programming error.
+func Register(o Objective) {
+	name := strings.ToLower(o.Name())
+	if name == "" {
+		panic("objective: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("objective: %q registered twice", name))
+	}
+	registry[name] = o
+}
+
+// Lookup fetches a registered objective by (case-insensitive) name.
+func Lookup(name string) (Objective, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	o, ok := registry[strings.ToLower(name)]
+	return o, ok
+}
+
+// Names lists the registered objective names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse resolves an objective spec: a registered name ("cost",
+// "throughput_rps"), or a weighted-sum expression of registered names
+// ("0.7*p95_latency_ms+0.3*cost", scalarized as a minimize objective
+// with maximize terms sign-flipped).
+func Parse(spec string) (Objective, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("objective: empty objective spec")
+	}
+	if o, ok := Lookup(spec); ok {
+		return o, nil
+	}
+	if strings.ContainsAny(spec, "*+") {
+		return parseWeightedSum(spec)
+	}
+	return nil, fmt.Errorf("objective: unknown objective %q (registered: %s)",
+		spec, strings.Join(Names(), ", "))
+}
+
+// metricObjective is a built-in single-metric objective.
+type metricObjective struct {
+	key string
+	dir Direction
+}
+
+func (m metricObjective) Name() string         { return m.key }
+func (m metricObjective) Direction() Direction { return m.dir }
+
+func (m metricObjective) Value(value float64, metrics map[string]float64) (float64, error) {
+	if m.key == "value" || metrics == nil {
+		return value, nil
+	}
+	v, ok := metrics[m.key]
+	if !ok {
+		return 0, fmt.Errorf("objective: result carries no metric %q", m.key)
+	}
+	return v, nil
+}
+
+func init() {
+	// The built-in metric vocabulary of service tuning. "value" is the
+	// legacy scalar itself (always minimize — the paper's runtime and
+	// energy metrics), the rest are the standard service metrics.
+	Register(metricObjective{key: "value", dir: Minimize})
+	Register(metricObjective{key: "p95_latency_ms", dir: Minimize})
+	Register(metricObjective{key: "p99_latency_ms", dir: Minimize})
+	Register(metricObjective{key: "mean_latency_ms", dir: Minimize})
+	Register(metricObjective{key: "throughput_rps", dir: Maximize})
+	Register(metricObjective{key: "error_rate", dir: Minimize})
+	Register(metricObjective{key: "cost", dir: Minimize})
+}

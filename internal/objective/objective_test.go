@@ -1,0 +1,153 @@
+package objective
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	for _, name := range []string{
+		"value", "p95_latency_ms", "p99_latency_ms", "mean_latency_ms",
+		"throughput_rps", "error_rate", "cost",
+	} {
+		o, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("builtin %q not registered", name)
+		}
+		if o.Name() != name {
+			t.Fatalf("Lookup(%q).Name() = %q", name, o.Name())
+		}
+	}
+	if o, _ := Lookup("throughput_rps"); o.Direction() != Maximize {
+		t.Fatalf("throughput_rps should maximize")
+	}
+	if o, _ := Lookup("cost"); o.Direction() != Minimize {
+		t.Fatalf("cost should minimize")
+	}
+	if _, ok := Lookup("COST"); !ok {
+		t.Fatalf("lookup should be case-insensitive")
+	}
+}
+
+func TestMetricExtraction(t *testing.T) {
+	metrics := map[string]float64{"p95_latency_ms": 42, "cost": 1.5}
+	p95, _ := Lookup("p95_latency_ms")
+	v, err := p95.Value(7, metrics)
+	if err != nil || v != 42 {
+		t.Fatalf("p95 extraction = %v, %v", v, err)
+	}
+	// A present metrics map missing the key is a client error.
+	if _, err := p95.Value(7, map[string]float64{"cost": 1}); err == nil {
+		t.Fatalf("missing metric should error")
+	}
+	// A nil metrics map falls back to the legacy scalar.
+	v, err = p95.Value(7, nil)
+	if err != nil || v != 7 {
+		t.Fatalf("nil-metrics fallback = %v, %v (want 7)", v, err)
+	}
+	// "value" always reads the legacy scalar, even with metrics present.
+	val, _ := Lookup("value")
+	v, err = val.Value(7, metrics)
+	if err != nil || v != 7 {
+		t.Fatalf("value extraction = %v, %v (want 7)", v, err)
+	}
+}
+
+func TestParseWeightedSum(t *testing.T) {
+	o, err := Parse("0.7*p95_latency_ms+0.3*cost")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if o.Direction() != Minimize {
+		t.Fatalf("weighted sums minimize")
+	}
+	v, err := o.Value(0, map[string]float64{"p95_latency_ms": 10, "cost": 2})
+	if err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	if want := 0.7*10 + 0.3*2; math.Abs(v-want) > 1e-12 {
+		t.Fatalf("weighted value = %v, want %v", v, want)
+	}
+
+	// Maximize terms contribute sign-flipped.
+	o, err = Parse("p95_latency_ms+2*throughput_rps")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	v, err = o.Value(0, map[string]float64{"p95_latency_ms": 10, "throughput_rps": 3})
+	if err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	if want := 10 - 2*3.0; math.Abs(v-want) > 1e-12 {
+		t.Fatalf("mixed-direction value = %v, want %v", v, want)
+	}
+
+	for _, bad := range []string{"", "2*", "*cost", "-1*cost", "cost+nope", "1e1000*cost+"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) should error", bad)
+		}
+	}
+	if _, err := Parse("unknown_metric"); err == nil || !strings.Contains(err.Error(), "registered") {
+		t.Fatalf("unknown objective should list registered names, got %v", err)
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	s, err := ParseSet(nil)
+	if err != nil || s.Len() != 0 || s.Multi() {
+		t.Fatalf("empty set = %v, %v", s, err)
+	}
+	s, err = ParseSet([]string{"p95_latency_ms", "cost"})
+	if err != nil {
+		t.Fatalf("ParseSet: %v", err)
+	}
+	if !s.Multi() || s.Len() != 2 {
+		t.Fatalf("set should be multi")
+	}
+	if got := s.Names(); got[0] != "p95_latency_ms" || got[1] != "cost" {
+		t.Fatalf("Names = %v", got)
+	}
+	if _, err := ParseSet([]string{"cost", "cost"}); err == nil {
+		t.Fatalf("duplicate objectives should error")
+	}
+}
+
+func TestSetVectorAndScalarize(t *testing.T) {
+	s, err := ParseSet([]string{"p95_latency_ms", "throughput_rps"})
+	if err != nil {
+		t.Fatalf("ParseSet: %v", err)
+	}
+	vec, err := s.Vector(0, map[string]float64{"p95_latency_ms": 12, "throughput_rps": 900})
+	if err != nil {
+		t.Fatalf("Vector: %v", err)
+	}
+	if vec[0] != 12 || vec[1] != -900 {
+		t.Fatalf("canonical vector = %v, want [12 -900]", vec)
+	}
+	if got := s.Scalarize(vec); math.Abs(got-(12-900)/2) > 1e-12 {
+		t.Fatalf("Scalarize = %v", got)
+	}
+	// Legacy result without metrics: everything falls back to value.
+	vec, err = s.Vector(5, nil)
+	if err != nil || vec[0] != 5 || vec[1] != -5 {
+		t.Fatalf("legacy fallback vector = %v, %v", vec, err)
+	}
+	// Single objective: Scalarize is the identity on the component.
+	one, _ := ParseSet([]string{"cost"})
+	if got := one.Scalarize([]float64{3.5}); got != 3.5 {
+		t.Fatalf("single Scalarize = %v", got)
+	}
+}
+
+func TestDirectionCanonical(t *testing.T) {
+	if Minimize.Canonical(4) != 4 || Maximize.Canonical(4) != -4 {
+		t.Fatalf("Canonical broken")
+	}
+	if !Maximize.Better(5, 4) || Maximize.Better(4, 5) {
+		t.Fatalf("Maximize.Better broken")
+	}
+	if !Minimize.Better(4, 5) || Minimize.Better(5, 4) {
+		t.Fatalf("Minimize.Better broken")
+	}
+}

@@ -1,0 +1,280 @@
+package objective
+
+import (
+	"math"
+	"sort"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+)
+
+// Pareto machinery over canonical (all-minimize) objective vectors:
+// dominance tests, nondominated fronts, and the good/bad split the
+// motpe engine feeds into the TPE density machinery (Watanabe's TPE
+// survey, §multi-objective: the nondominated set plays the role of
+// the α-quantile "good" partition).
+
+// Dominates reports whether a dominates b: a is no worse in every
+// component and strictly better in at least one (all-minimize).
+func Dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// epsDominates is additive ε-dominance: a - ε is no worse than b in
+// every component and strictly better in one. With ε > 0 a point
+// ε-dominates a neighborhood around everything it plainly dominates,
+// which is what makes it a useful coverage tie-break.
+func epsDominates(a, b, eps []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i]-eps[i] > b[i] {
+			return false
+		}
+		if a[i]-eps[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// FrontIndices returns the indices of the nondominated points, in
+// input order. O(n²·m) — fine for tuning histories (n is the number
+// of expensive evaluations, not candidates).
+func FrontIndices(points [][]float64) []int {
+	var out []int
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// nondominatedRanks assigns every point its front index: rank 0 is the
+// Pareto front, rank 1 the front after removing rank 0, and so on.
+func nondominatedRanks(points [][]float64) []int {
+	n := len(points)
+	ranks := make([]int, n)
+	assigned := make([]bool, n)
+	remaining := n
+	for rank := 0; remaining > 0; rank++ {
+		var front []int
+		for i := range points {
+			if assigned[i] {
+				continue
+			}
+			dominated := false
+			for j := range points {
+				if j == i || assigned[j] {
+					continue
+				}
+				if Dominates(points[j], points[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				front = append(front, i)
+			}
+		}
+		for _, i := range front {
+			ranks[i] = rank
+			assigned[i] = true
+		}
+		remaining -= len(front)
+	}
+	return ranks
+}
+
+// ParetoSplit partitions the points into a good set of (at least)
+// target members and the rest, by nondomination rank: whole fronts are
+// admitted in rank order, and the front that overflows the target is
+// tie-broken by ε-dominance coverage — points that ε-dominate more of
+// the remaining population enter first (ties by evaluation order, so
+// the split is deterministic). ε is 1e-6 of each dimension's observed
+// range. Returns the good mask.
+func ParetoSplit(points [][]float64, target int) []bool {
+	n := len(points)
+	mask := make([]bool, n)
+	if n == 0 {
+		return mask
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	ranks := nondominatedRanks(points)
+	maxRank := 0
+	for _, r := range ranks {
+		if r > maxRank {
+			maxRank = r
+		}
+	}
+	good := 0
+	for rank := 0; rank <= maxRank && good < target; rank++ {
+		var front []int
+		for i, r := range ranks {
+			if r == rank {
+				front = append(front, i)
+			}
+		}
+		if good+len(front) <= target {
+			for _, i := range front {
+				mask[i] = true
+			}
+			good += len(front)
+			continue
+		}
+		// Overflow front: admit the points with the widest ε-dominance
+		// coverage of the whole population first.
+		eps := epsRanges(points)
+		type cover struct{ idx, count int }
+		covers := make([]cover, len(front))
+		for k, i := range front {
+			c := 0
+			for j := range points {
+				if j != i && epsDominates(points[i], points[j], eps) {
+					c++
+				}
+			}
+			covers[k] = cover{idx: i, count: c}
+		}
+		sort.Slice(covers, func(a, b int) bool {
+			if covers[a].count != covers[b].count {
+				return covers[a].count > covers[b].count
+			}
+			return covers[a].idx < covers[b].idx
+		})
+		for _, cv := range covers[:target-good] {
+			mask[cv.idx] = true
+		}
+		good = target
+	}
+	return mask
+}
+
+// epsRanges returns the per-dimension ε used by the split's
+// ε-dominance tie-break: 1e-6 of the observed range (0 on degenerate
+// dimensions, falling back to plain dominance there).
+func epsRanges(points [][]float64) []float64 {
+	m := len(points[0])
+	lo := make([]float64, m)
+	hi := make([]float64, m)
+	for d := 0; d < m; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, p := range points {
+		for d, v := range p {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	eps := make([]float64, m)
+	for d := 0; d < m; d++ {
+		if hi[d] > lo[d] {
+			eps[d] = 1e-6 * (hi[d] - lo[d])
+		}
+	}
+	return eps
+}
+
+// HistoryVectors extracts the canonical objective vector of every
+// observation. Dominance needs uniform dimensionality, so the vectors
+// are used only when every observation carries one of the same length;
+// a history with any legacy (vector-less) observation degrades
+// uniformly to one-dimensional [Value] points, under which the Pareto
+// machinery reduces to the scalar ordering. dst is reused when large
+// enough.
+func HistoryVectors(h *core.History, dst [][]float64) [][]float64 {
+	obs := h.Observations()
+	if cap(dst) < len(obs) {
+		dst = make([][]float64, 0, len(obs))
+	}
+	dst = dst[:0]
+	uniform := len(obs) > 0 && obs[0].Objectives != nil
+	if uniform {
+		m := len(obs[0].Objectives)
+		for _, o := range obs {
+			if o.Objectives == nil || len(o.Objectives) != m {
+				uniform = false
+				break
+			}
+		}
+	}
+	for _, o := range obs {
+		if uniform {
+			dst = append(dst, o.Objectives)
+		} else {
+			dst = append(dst, []float64{o.Value})
+		}
+	}
+	return dst
+}
+
+// HistoryFront returns the indices of the history's Pareto-optimal
+// observations (canonical vectors; scalar observations reduce to the
+// single best value).
+func HistoryFront(h *core.History) []int {
+	return FrontIndices(HistoryVectors(h, nil))
+}
+
+// FrontDominates reports whether front a dominates front b in the
+// standard set sense: every point of b is weakly dominated (dominated
+// or equaled) by some point of a, and at least one point of b is
+// strictly dominated. Shared points — both methods finding the same
+// configuration — therefore do not block the verdict, but a point of
+// b outside a's dominated region does. Used by the experiments'
+// motpe-vs-random comparison.
+func FrontDominates(a, b [][]float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	strict := false
+	for _, q := range b {
+		covered := false
+		for _, p := range a {
+			if weaklyDominates(p, q) {
+				covered = true
+				if Dominates(p, q) {
+					strict = true
+				}
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return strict
+}
+
+// weaklyDominates reports a no worse than b in every component.
+func weaklyDominates(a, b []float64) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+package objective
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/core"
+	"github.com/hpcautotune/hiperbot/internal/space"
+	"github.com/hpcautotune/hiperbot/internal/stats"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: not strict
+		{[]float64{1, 2}, []float64{1, 3}, true},
+		{[]float64{3}, []float64{4}, true}, // scalar reduces to <
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFrontIndices(t *testing.T) {
+	points := [][]float64{
+		{1, 5}, // front
+		{2, 2}, // front
+		{5, 1}, // front
+		{3, 3}, // dominated by (2,2)
+		{2, 2.5},
+		{6, 6}, // dominated by everything
+	}
+	front := FrontIndices(points)
+	want := []int{0, 1, 2}
+	if len(front) != len(want) {
+		t.Fatalf("front = %v, want %v", front, want)
+	}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Fatalf("front = %v, want %v", front, want)
+		}
+	}
+	// Property: no front member dominates another; every non-member is
+	// dominated by some member.
+	inFront := map[int]bool{}
+	for _, i := range front {
+		inFront[i] = true
+	}
+	for _, i := range front {
+		for _, j := range front {
+			if i != j && Dominates(points[i], points[j]) {
+				t.Fatalf("front member %d dominates front member %d", i, j)
+			}
+		}
+	}
+	for i := range points {
+		if inFront[i] {
+			continue
+		}
+		dominated := false
+		for _, j := range front {
+			if Dominates(points[j], points[i]) {
+				dominated = true
+			}
+		}
+		if !dominated {
+			t.Fatalf("non-member %d not dominated by any front member", i)
+		}
+	}
+}
+
+func TestParetoSplit(t *testing.T) {
+	// Random-ish deterministic point cloud.
+	r := stats.NewRNG(17)
+	points := make([][]float64, 40)
+	for i := range points {
+		points[i] = []float64{r.Float64() * 10, r.Float64() * 10}
+	}
+	target := 8
+	mask := ParetoSplit(points, target)
+	good := 0
+	for _, g := range mask {
+		if g {
+			good++
+		}
+	}
+	if good != target {
+		t.Fatalf("split admitted %d, want %d", good, target)
+	}
+	// Every rank-0 point must be good (the front is admitted first)
+	// unless the front alone overflows the target.
+	front := FrontIndices(points)
+	if len(front) <= target {
+		for _, i := range front {
+			if !mask[i] {
+				t.Fatalf("Pareto-front point %d not in the good set", i)
+			}
+		}
+	}
+	// No bad point may dominate a good point: dominance rank ordering.
+	for i, gi := range mask {
+		if gi {
+			continue
+		}
+		for j, gj := range mask {
+			if gj && Dominates(points[i], points[j]) {
+				t.Fatalf("bad point %d dominates good point %d", i, j)
+			}
+		}
+	}
+	// Determinism.
+	mask2 := ParetoSplit(points, target)
+	for i := range mask {
+		if mask[i] != mask2[i] {
+			t.Fatalf("split not deterministic at %d", i)
+		}
+	}
+}
+
+func TestParetoSplitScalarDegenerates(t *testing.T) {
+	// One-dimensional points: the split must be the best-target prefix
+	// by value.
+	points := [][]float64{{5}, {1}, {4}, {2}, {3}}
+	mask := ParetoSplit(points, 2)
+	want := []bool{false, true, false, true, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("scalar split = %v, want %v", mask, want)
+		}
+	}
+}
+
+func TestHistoryVectorsMixedDegradesToScalar(t *testing.T) {
+	sp := space.New(space.DiscreteInts("x", 1, 2, 3, 4, 5, 6, 7, 8))
+	h := core.NewHistory(sp)
+	h.MustAdd(space.Config{0}, 3)
+	if err := h.AddObs(core.Observation{Config: space.Config{1}, Value: 1, Objectives: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	vecs := HistoryVectors(h, nil)
+	for i, v := range vecs {
+		if len(v) != 1 {
+			t.Fatalf("mixed history vector %d = %v, want scalar", i, v)
+		}
+	}
+	// Uniform vectors are passed through.
+	h2 := core.NewHistory(sp)
+	h2.AddObs(core.Observation{Config: space.Config{0}, Value: 0, Objectives: []float64{1, 2}})
+	h2.AddObs(core.Observation{Config: space.Config{1}, Value: 0, Objectives: []float64{2, 1}})
+	vecs = HistoryVectors(h2, nil)
+	if len(vecs) != 2 || len(vecs[0]) != 2 {
+		t.Fatalf("uniform history vectors = %v", vecs)
+	}
+	if got := HistoryFront(h2); len(got) != 2 {
+		t.Fatalf("both points are nondominated, front = %v", got)
+	}
+}
+
+func TestFrontDominates(t *testing.T) {
+	a := [][]float64{{1, 3}, {2, 1}}
+	b := [][]float64{{2, 4}, {3, 2}}
+	if !FrontDominates(a, b) {
+		t.Fatalf("a should dominate b")
+	}
+	if FrontDominates(b, a) {
+		t.Fatalf("b should not dominate a")
+	}
+	if FrontDominates(nil, b) || FrontDominates(a, nil) {
+		t.Fatalf("empty fronts never dominate")
+	}
+	// Set dominance: a shared point does not block the verdict as long
+	// as something else in b is strictly dominated...
+	shared := [][]float64{{1, 3}, {3, 2}}
+	if !FrontDominates(a, shared) {
+		t.Fatalf("a should dominate a front it partially overlaps")
+	}
+	// ...but identical fronts do not dominate each other (nothing is
+	// strictly dominated), and a point outside a's region still blocks.
+	if FrontDominates(a, a) {
+		t.Fatalf("a front must not dominate itself")
+	}
+	escape := [][]float64{{2, 4}, {0.5, 9}}
+	if FrontDominates(a, escape) {
+		t.Fatalf("b has a point outside a's dominated region")
+	}
+}

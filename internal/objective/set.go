@@ -1,0 +1,87 @@
+package objective
+
+import (
+	"fmt"
+)
+
+// Set is an ordered list of session objectives. The zero value is the
+// legacy single-scalar session (Len 0): no extraction, no vectors,
+// every observation is exactly its reported value.
+type Set struct {
+	objs []Objective
+}
+
+// ParseSet resolves a list of objective specs (see Parse). An empty
+// list yields the zero (legacy) set; duplicate names error.
+func ParseSet(specs []string) (Set, error) {
+	if len(specs) == 0 {
+		return Set{}, nil
+	}
+	s := Set{objs: make([]Objective, 0, len(specs))}
+	seen := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		o, err := Parse(spec)
+		if err != nil {
+			return Set{}, err
+		}
+		if seen[o.Name()] {
+			return Set{}, fmt.Errorf("objective: duplicate objective %q", o.Name())
+		}
+		seen[o.Name()] = true
+		s.objs = append(s.objs, o)
+	}
+	return s, nil
+}
+
+// Len returns the number of objectives (0 for the legacy set).
+func (s Set) Len() int { return len(s.objs) }
+
+// Multi reports whether the set is genuinely multi-objective.
+func (s Set) Multi() bool { return len(s.objs) > 1 }
+
+// At returns the i-th objective.
+func (s Set) At(i int) Objective { return s.objs[i] }
+
+// Names returns the objective names in declaration order.
+func (s Set) Names() []string {
+	out := make([]string, len(s.objs))
+	for i, o := range s.objs {
+		out[i] = o.Name()
+	}
+	return out
+}
+
+// Vector extracts the canonical (all-minimize) objective vector from
+// one observation: each objective's natural value mapped through its
+// direction. value is the legacy scalar, metrics the raw metric map
+// (nil for legacy results — every objective then falls back to value).
+func (s Set) Vector(value float64, metrics map[string]float64) ([]float64, error) {
+	out := make([]float64, len(s.objs))
+	for i, o := range s.objs {
+		v, err := o.Value(value, metrics)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = o.Direction().Canonical(v)
+	}
+	return out, nil
+}
+
+// Scalarize reduces a canonical vector to the scalar value a
+// single-objective engine minimizes: the single component for one
+// objective, the equal-weight mean otherwise (the documented fallback
+// for engines that only understand scalars — callers wanting tuned
+// weights should declare one weighted-sum objective instead).
+func (s Set) Scalarize(vec []float64) float64 {
+	switch len(vec) {
+	case 0:
+		return 0
+	case 1:
+		return vec[0]
+	}
+	var sum float64
+	for _, v := range vec {
+		sum += v
+	}
+	return sum / float64(len(vec))
+}

@@ -1,0 +1,74 @@
+package objective
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// weightedSum scalarizes several registered objectives into one
+// minimize objective: sum_i w_i * canonical_i, where canonical_i is
+// the term's value mapped onto the minimize scale (maximize terms
+// sign-flipped). This is the classic weighted-sum scalarization —
+// cheap, works with every scalar engine, but only reaches convex
+// parts of the Pareto front (use the "motpe" engine for the rest).
+type weightedSum struct {
+	name  string
+	terms []weightedTerm
+}
+
+type weightedTerm struct {
+	weight float64
+	obj    Objective
+}
+
+func (w weightedSum) Name() string         { return w.name }
+func (w weightedSum) Direction() Direction { return Minimize }
+
+func (w weightedSum) Value(value float64, metrics map[string]float64) (float64, error) {
+	var sum float64
+	for _, t := range w.terms {
+		v, err := t.obj.Value(value, metrics)
+		if err != nil {
+			return 0, err
+		}
+		sum += t.weight * t.obj.Direction().Canonical(v)
+	}
+	return sum, nil
+}
+
+// parseWeightedSum parses "0.7*p95_latency_ms+0.3*cost" (weights
+// optional: "p95_latency_ms+cost" weighs every term 1). Only '+'
+// combines terms; negative preferences are expressed by the term
+// objective's own direction, not by '-' signs.
+func parseWeightedSum(spec string) (Objective, error) {
+	parts := strings.Split(spec, "+")
+	w := weightedSum{name: spec}
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("objective: empty term in %q", spec)
+		}
+		term := weightedTerm{weight: 1}
+		name := part
+		if i := strings.Index(part, "*"); i >= 0 {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part[:i]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("objective: bad weight in term %q of %q", part, spec)
+			}
+			if f <= 0 {
+				return nil, fmt.Errorf("objective: weight in term %q of %q must be positive", part, spec)
+			}
+			term.weight = f
+			name = strings.TrimSpace(part[i+1:])
+		}
+		obj, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("objective: unknown objective %q in %q (registered: %s)",
+				name, spec, strings.Join(Names(), ", "))
+		}
+		term.obj = obj
+		w.terms = append(w.terms, term)
+	}
+	return w, nil
+}

@@ -166,6 +166,104 @@ func (c *Chart) Render(w io.Writer) {
 	}
 }
 
+// Point is one x/y sample of a scatter series.
+type Point struct {
+	X, Y float64
+}
+
+// PointSeries is one marker set of a scatter plot.
+type PointSeries struct {
+	Name   string
+	Points []Point
+}
+
+// Scatter renders point sets on a shared ASCII grid — the Pareto-front
+// companion to Chart: axes carry real units instead of checkpoint
+// indices, and overlapping series keep the first-drawn marker so the
+// reference front (drawn first) stays visible under approximations.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []PointSeries
+	Width  int // grid columns (default 60)
+	Height int // grid rows (default 16)
+}
+
+// Render writes the scatter grid and a legend to w.
+func (s *Scatter) Render(w io.Writer) {
+	if s.Width <= 0 {
+		s.Width = 60
+	}
+	if s.Height <= 0 {
+		s.Height = 16
+	}
+	var pts int
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, sr := range s.Series {
+		for _, p := range sr.Points {
+			pts++
+			xlo, xhi = math.Min(xlo, p.X), math.Max(xhi, p.X)
+			ylo, yhi = math.Min(ylo, p.Y), math.Max(yhi, p.Y)
+		}
+	}
+	if pts == 0 {
+		fmt.Fprintf(w, "%s\n(no data)\n", s.Title)
+		return
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	xpad, ypad := (xhi-xlo)*0.05, (yhi-ylo)*0.05
+	xlo, xhi = xlo-xpad, xhi+xpad
+	ylo, yhi = ylo-ypad, yhi+ypad
+
+	fmt.Fprintf(w, "%s\n", s.Title)
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	grid := make([][]byte, s.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", s.Width))
+	}
+	for si, sr := range s.Series {
+		mark := marks[si%len(marks)]
+		for _, p := range sr.Points {
+			col := int((p.X - xlo) / (xhi - xlo) * float64(s.Width-1))
+			row := int((yhi - p.Y) / (yhi - ylo) * float64(s.Height-1))
+			if col < 0 {
+				col = 0
+			}
+			if col >= s.Width {
+				col = s.Width - 1
+			}
+			if row < 0 {
+				row = 0
+			}
+			if row >= s.Height {
+				row = s.Height - 1
+			}
+			if grid[row][col] == ' ' {
+				grid[row][col] = mark
+			}
+		}
+	}
+	for r, line := range grid {
+		yval := yhi - (yhi-ylo)*float64(r)/float64(s.Height-1)
+		fmt.Fprintf(w, "%10.4g |%s\n", yval, string(line))
+	}
+	fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", s.Width))
+	fmt.Fprintf(w, "%10s  %-*.4g%*.4g\n", "", s.Width/2, xlo, s.Width-s.Width/2, xhi)
+	if s.XLabel != "" || s.YLabel != "" {
+		fmt.Fprintf(w, "%10s  x: %s, y: %s\n", "", s.XLabel, s.YLabel)
+	}
+	for si, sr := range s.Series {
+		fmt.Fprintf(w, "  %c %s (%d points)\n", marks[si%len(marks)], sr.Name, len(sr.Points))
+	}
+}
+
 // Section prints a underlined heading.
 func Section(w io.Writer, format string, args ...any) {
 	s := fmt.Sprintf(format, args...)

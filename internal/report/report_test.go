@@ -89,6 +89,46 @@ func TestChartConstantSeries(t *testing.T) {
 	}
 }
 
+func TestScatterRender(t *testing.T) {
+	sc := Scatter{
+		Title:  "Pareto fronts",
+		XLabel: "p95 latency (ms)",
+		YLabel: "cost ($/h)",
+		Series: []PointSeries{
+			{Name: "true front", Points: []Point{{X: 10, Y: 5}, {X: 20, Y: 2}, {X: 40, Y: 1}}},
+			{Name: "motpe", Points: []Point{{X: 12, Y: 5.5}, {X: 22, Y: 2.4}}},
+		},
+	}
+	var buf bytes.Buffer
+	sc.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Pareto fronts", "true front (3 points)", "motpe (2 points)", "p95 latency (ms)", "cost ($/h)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scatter missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("scatter marks missing:\n%s", out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	(&Scatter{Title: "empty"}).Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty scatter should say so")
+	}
+}
+
+func TestScatterSinglePoint(t *testing.T) {
+	sc := Scatter{Series: []PointSeries{{Name: "one", Points: []Point{{X: 3, Y: 7}}}}}
+	var buf bytes.Buffer
+	sc.Render(&buf) // degenerate ranges must not divide by zero
+	if !strings.Contains(buf.String(), "one (1 points)") {
+		t.Error("series missing")
+	}
+}
+
 func TestSection(t *testing.T) {
 	var buf bytes.Buffer
 	Section(&buf, "Figure %d", 2)

@@ -70,7 +70,13 @@ func readJournal(r io.Reader) (journalHeader, *space.Space, *core.History, error
 		if err != nil {
 			return journalHeader{}, nil, nil, fmt.Errorf("server: journal event %d: %w", ev.Iteration, err)
 		}
-		if err := h.Add(c, ev.Value); err != nil {
+		// Value, Metrics, and the canonical objective vector are
+		// replayed verbatim from the event — no re-derivation, so a
+		// resumed multi-objective history is bit-identical to the one
+		// that was journaled. Legacy events carry neither field and
+		// rebuild exactly the old scalar observations.
+		obs := core.Observation{Config: c, Value: ev.Value, Metrics: ev.Metrics, Objectives: ev.Objectives}
+		if err := h.AddObs(obs); err != nil {
 			return journalHeader{}, nil, nil, fmt.Errorf("server: journal event %d: %w", ev.Iteration, err)
 		}
 	}

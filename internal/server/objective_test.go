@@ -1,0 +1,319 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/objective"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// testMetrics is the two-metric evaluator over testSpace: p95 rewards
+// small x, cost rewards large x — a genuine trade-off, so the Pareto
+// front holds several points.
+func testMetrics(c space.Config) map[string]float64 {
+	return map[string]float64{
+		"p95_latency_ms": (c[0]-1)*(c[0]-1) + c[1],
+		"cost":           (3-c[0])*(3-c[0]) + (3-c[1])*0.5,
+	}
+}
+
+// driveMetrics runs the ask/tell loop posting multi-metric results
+// until the session holds budget evaluations, returning the last
+// observe response.
+func driveMetrics(t *testing.T, srv *Server, id string, budget, batch int) httpapi.ObserveResponse {
+	t.Helper()
+	sp := testSpace()
+	var last httpapi.ObserveResponse
+	for {
+		var info httpapi.SessionInfo
+		if code := doJSON(t, srv, "GET", "/v1/sessions/"+id, nil, &info); code != 200 {
+			t.Fatalf("status: HTTP %d", code)
+		}
+		if info.Evaluations >= budget {
+			return last
+		}
+		want := batch
+		if rem := budget - info.Evaluations; want > rem {
+			want = rem
+		}
+		var sug httpapi.SuggestResponse
+		if code := doJSON(t, srv, "POST", "/v1/sessions/"+id+"/suggest",
+			httpapi.SuggestRequest{Count: want}, &sug); code != 200 {
+			t.Fatalf("suggest: HTTP %d", code)
+		}
+		if len(sug.Candidates) == 0 {
+			t.Fatalf("suggest exhausted at %d/%d evaluations", info.Evaluations, budget)
+		}
+		var results []httpapi.Result
+		for _, cfg := range sug.Candidates {
+			c, err := sp.FromLabels(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, httpapi.Result{Config: cfg, Metrics: testMetrics(c)})
+		}
+		if code := doJSON(t, srv, "POST", "/v1/sessions/"+id+"/observe",
+			httpapi.ObserveRequest{Results: results}, &last); code != 200 {
+			t.Fatalf("observe: HTTP %d", code)
+		}
+	}
+}
+
+// TestMultiObjectiveSessionOverHTTP drives a two-objective session end
+// to end: the strategy defaults to motpe, observe responses and status
+// report a Pareto front, and the front is verified nondominated
+// against everything evaluated.
+func TestMultiObjectiveSessionOverHTTP(t *testing.T) {
+	srv, store := newTestServer(t, "")
+	defer store.Close()
+	id := createTestSession(t, srv, "pareto", httpapi.SessionOptions{
+		Seed:           3,
+		InitialSamples: 4,
+		Objectives:     []string{"p95_latency_ms", "cost"},
+	})
+	last := driveMetrics(t, srv, id, 12, 3)
+	if len(last.ParetoFront) == 0 {
+		t.Fatalf("observe response has no pareto front: %+v", last)
+	}
+
+	var info httpapi.SessionInfo
+	doJSON(t, srv, "GET", "/v1/sessions/"+id, nil, &info)
+	if info.Strategy != "motpe" {
+		t.Fatalf("multi-objective default strategy = %q, want motpe", info.Strategy)
+	}
+	if len(info.Objectives) != 2 || info.Objectives[0] != "p95_latency_ms" {
+		t.Fatalf("objectives = %v", info.Objectives)
+	}
+	if len(info.ParetoFront) == 0 {
+		t.Fatalf("status has no pareto front")
+	}
+
+	// Verify nondomination of the reported front against the full
+	// evaluated history, in metric space.
+	sess, err := store.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sess.at.Tuner().History()
+	vecs := objective.HistoryVectors(h, nil)
+	var frontVecs [][]float64
+	for _, r := range info.ParetoFront {
+		if len(r.Metrics) != 2 {
+			t.Fatalf("front member without metrics: %+v", r)
+		}
+		frontVecs = append(frontVecs, []float64{r.Metrics["p95_latency_ms"], r.Metrics["cost"]})
+	}
+	for _, fv := range frontVecs {
+		for _, v := range vecs {
+			if objective.Dominates(v, fv) {
+				t.Fatalf("front member %v dominated by evaluated point %v", fv, v)
+			}
+		}
+	}
+
+	// Best is the scalarized minimum and still present for legacy
+	// tooling.
+	if info.Best == nil {
+		t.Fatalf("multi-objective session should still report a best")
+	}
+}
+
+// TestObserveRejectsNonFinite is the validation satellite: NaN/±Inf
+// observations are rejected with 400 over HTTP (where they are not
+// even valid JSON) and with *InvalidResultError on the embedded path.
+func TestObserveRejectsNonFinite(t *testing.T) {
+	srv, store := newTestServer(t, "")
+	defer store.Close()
+	id := createTestSession(t, srv, "finite", httpapi.SessionOptions{Seed: 1, InitialSamples: 2})
+
+	// Over the wire NaN/Infinity are not valid JSON; the strict decoder
+	// rejects the body with 400 before validation even runs.
+	for _, body := range []string{
+		`{"results":[{"config":{"x":"0","y":"0"},"value":NaN}]}`,
+		`{"results":[{"config":{"x":"0","y":"0"},"value":1,"metrics":{"cost":Infinity}}]}`,
+	} {
+		req := httptest.NewRequest("POST", "/v1/sessions/"+id+"/observe", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("non-finite JSON body: HTTP %d, want 400", rec.Code)
+		}
+	}
+
+	// The embedded path bypasses JSON, so the server validates
+	// explicitly.
+	sess, err := store.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var invRes *InvalidResultError
+	cases := []struct {
+		value   float64
+		metrics map[string]float64
+	}{
+		{math.NaN(), nil},
+		{math.Inf(1), nil},
+		{math.Inf(-1), nil},
+		{1, map[string]float64{"cost": math.NaN()}},
+		{1, map[string]float64{"cost": math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		_, err := sess.ObserveResult(space.Config{0, 0}, tc.value, tc.metrics)
+		if err == nil {
+			t.Fatalf("ObserveResult(%v, %v) accepted a non-finite observation", tc.value, tc.metrics)
+		}
+		if !errors.As(err, &invRes) {
+			t.Fatalf("ObserveResult(%v, %v) = %v, want *InvalidResultError", tc.value, tc.metrics, err)
+		}
+	}
+	if n := sess.Snapshot().Evaluations; n != 0 {
+		t.Fatalf("rejected observations were recorded: %d evaluations", n)
+	}
+}
+
+// TestObserveMissingMetricRejected: a present metrics map missing a
+// key the session's objectives read is a client error (400), while an
+// absent map falls back to the legacy value for every objective.
+func TestObserveMissingMetricRejected(t *testing.T) {
+	srv, store := newTestServer(t, "")
+	defer store.Close()
+	id := createTestSession(t, srv, "missing", httpapi.SessionOptions{
+		Seed: 1, InitialSamples: 2,
+		Objectives: []string{"p95_latency_ms", "cost"},
+	})
+	bad := []httpapi.Result{{
+		Config:  map[string]string{"x": "0", "y": "0"},
+		Value:   1,
+		Metrics: map[string]float64{"cost": 2}, // p95_latency_ms missing
+	}}
+	if code := doJSON(t, srv, "POST", "/v1/sessions/"+id+"/observe",
+		httpapi.ObserveRequest{Results: bad}, nil); code != http.StatusBadRequest {
+		t.Fatalf("missing-metric observe: HTTP %d, want 400", code)
+	}
+	// Legacy Value-only results are accepted: every objective falls
+	// back to the scalar.
+	ok := []httpapi.Result{{Config: map[string]string{"x": "0", "y": "0"}, Value: 1}}
+	var resp httpapi.ObserveResponse
+	if code := doJSON(t, srv, "POST", "/v1/sessions/"+id+"/observe",
+		httpapi.ObserveRequest{Results: ok}, &resp); code != http.StatusOK || resp.Added != 1 {
+		t.Fatalf("legacy observe on multi-objective session: HTTP %d, %+v", code, resp)
+	}
+}
+
+// TestCreateRejectsBadObjectives: unknown objective specs fail session
+// creation with 400 and leave no journal behind.
+func TestCreateRejectsBadObjectives(t *testing.T) {
+	dir := t.TempDir()
+	srv, store := newTestServer(t, dir)
+	defer store.Close()
+	code := doJSON(t, srv, "POST", "/v1/sessions", httpapi.CreateSessionRequest{
+		Name: "bad-objs", Space: testSpaceJSON(t),
+		Options: httpapi.SessionOptions{Objectives: []string{"p95_latency_ms", "nope"}},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("create with unknown objective: HTTP %d, want 400", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad-objs.jsonl")); !os.IsNotExist(err) {
+		t.Fatalf("failed create left a journal behind: %v", err)
+	}
+}
+
+// TestMultiMetricJournalRestart is the durability satellite: a
+// restarted daemon replays multi-metric observations bit-identically —
+// values, metrics, and canonical objective vectors — and keeps serving
+// the same Pareto front.
+func TestMultiMetricJournalRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, store := newTestServer(t, dir)
+	id := createTestSession(t, srv, "durable-mo", httpapi.SessionOptions{
+		Seed:           5,
+		InitialSamples: 4,
+		Objectives:     []string{"p95_latency_ms", "cost"},
+	})
+	driveMetrics(t, srv, id, 9, 2)
+
+	sess, err := store.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sess.at.Tuner().History().Observations()
+	frontBefore := sess.Info().ParetoFront
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, store2 := newTestServer(t, dir)
+	defer store2.Close()
+	sess2, err := store2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sess2.at.Tuner().History().Observations()
+	if len(after) != len(before) {
+		t.Fatalf("resumed %d observations, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if !reflect.DeepEqual(before[i].Config, after[i].Config) ||
+			before[i].Value != after[i].Value ||
+			!reflect.DeepEqual(before[i].Metrics, after[i].Metrics) ||
+			!reflect.DeepEqual(before[i].Objectives, after[i].Objectives) {
+			t.Fatalf("observation %d not bit-identical:\nbefore %+v\nafter  %+v", i, before[i], after[i])
+		}
+	}
+	var info httpapi.SessionInfo
+	doJSON(t, srv2, "GET", "/v1/sessions/"+id, nil, &info)
+	if info.Strategy != "motpe" || len(info.Objectives) != 2 {
+		t.Fatalf("resumed session lost its objectives: %+v", info)
+	}
+	if !reflect.DeepEqual(info.ParetoFront, frontBefore) {
+		t.Fatalf("resumed front differs:\nbefore %+v\nafter  %+v", frontBefore, info.ParetoFront)
+	}
+	// And the loop keeps working.
+	driveMetrics(t, srv2, id, 11, 2)
+}
+
+// TestLegacyJournalStillResumes: a journal written before the
+// multi-metric fields existed (no metrics, no objectives on any line)
+// resumes into a plain single-objective session.
+func TestLegacyJournalStillResumes(t *testing.T) {
+	dir := t.TempDir()
+	journal := fmt.Sprintf(
+		`{"event":"create","id":"legacy","space":%s,"options":{"seed":1,"initial_samples":2},"created_at":"2026-01-01T00:00:00Z"}
+{"iteration":0,"config":{"x":"1","y":"2"},"value":0,"best_so_far":0}
+{"iteration":1,"config":{"x":"0","y":"0"},"value":5,"best_so_far":0}
+`, mustJSON(t, testSpace()))
+	if err := os.WriteFile(filepath.Join(dir, "legacy.jsonl"), []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, store := newTestServer(t, dir)
+	defer store.Close()
+	var info httpapi.SessionInfo
+	if code := doJSON(t, srv, "GET", "/v1/sessions/legacy", nil, &info); code != 200 {
+		t.Fatalf("status: HTTP %d", code)
+	}
+	if info.Evaluations != 2 || info.Best == nil || info.Best.Value != 0 {
+		t.Fatalf("legacy resume = %+v", info)
+	}
+	if len(info.Objectives) != 0 || len(info.ParetoFront) != 0 {
+		t.Fatalf("legacy session grew objectives: %+v", info)
+	}
+	sess, err := store.Get("legacy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range sess.at.Tuner().History().Observations() {
+		if o.Metrics != nil || o.Objectives != nil {
+			t.Fatalf("legacy observation %d grew fields: %+v", i, o)
+		}
+	}
+}

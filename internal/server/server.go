@@ -205,10 +205,11 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) (int, err
 	}
 	var resp httpapi.ObserveResponse
 	for i, c := range configs {
-		added, err := sess.Observe(c, req.Results[i].Value)
-		var inv *InvalidConfigError
+		added, err := sess.ObserveResult(c, req.Results[i].Value, req.Results[i].Metrics)
+		var invConfig *InvalidConfigError
+		var invResult *InvalidResultError
 		switch {
-		case errors.As(err, &inv):
+		case errors.As(err, &invConfig), errors.As(err, &invResult):
 			return http.StatusBadRequest, fmt.Errorf("server: result %d: %w", i, err)
 		case err != nil:
 			return http.StatusInternalServerError, err
@@ -223,6 +224,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) (int, err
 	info := sess.Snapshot()
 	resp.Evaluations = info.Evaluations
 	resp.Best = info.Best
+	resp.ParetoFront = info.ParetoFront
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 
 	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/objective"
 	"github.com/hpcautotune/hiperbot/internal/space"
 )
 
@@ -29,6 +31,7 @@ type Session struct {
 	id      string
 	sp      *space.Space
 	opts    httpapi.SessionOptions
+	objs    objective.Set // zero value: legacy single-objective (minimize Value)
 	created time.Time
 
 	mu sync.RWMutex
@@ -70,12 +73,36 @@ func (s *Session) Suggest(k int, ttl time.Duration) ([]space.Config, string, err
 // sticky journal error surfaces here (and on /healthz) even when the
 // failed write happened on an earlier call or an asynchronous flush.
 func (s *Session) Observe(c space.Config, value float64) (added bool, err error) {
+	return s.ObserveResult(c, value, nil)
+}
+
+// ObserveResult is Observe with named metrics. On a session created
+// with objectives, the canonical objective vector is derived from
+// (value, metrics) — nil metrics fall back to value for every
+// objective, the legacy-client contract — and the history Value
+// becomes the equal-weight scalarization, which scalar engines
+// minimize directly. Non-finite values or metrics, and a non-nil
+// metrics map missing an objective's key, return an
+// *InvalidResultError (HTTP 400).
+func (s *Session) ObserveResult(c space.Config, value float64, metrics map[string]float64) (added bool, err error) {
 	if err := s.checkValid(c); err != nil {
 		return false, err
 	}
+	if err := checkFinite(value, metrics); err != nil {
+		return false, err
+	}
+	obs := core.Observation{Config: c, Value: value, Metrics: metrics}
+	if s.objs.Len() > 0 {
+		vec, verr := s.objs.Vector(value, metrics)
+		if verr != nil {
+			return false, &InvalidResultError{Reason: verr}
+		}
+		obs.Objectives = vec
+		obs.Value = s.objs.Scalarize(vec)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	added, err = s.at.Tell(c, value)
+	added, err = s.at.TellObs(obs)
 	if err != nil {
 		return false, err
 	}
@@ -84,6 +111,21 @@ func (s *Session) Observe(c space.Config, value float64) (added bool, err error)
 		return added, fmt.Errorf("server: journal write failed: %w", jerr)
 	}
 	return added, nil
+}
+
+// checkFinite rejects NaN and ±Inf observations: they would poison
+// best-so-far tracking, quantile splits, and Pareto ranking, and a
+// journal replay could not round-trip them through JSON.
+func checkFinite(value float64, metrics map[string]float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return &InvalidResultError{Reason: fmt.Errorf("server: observation value %v is not finite", value)}
+	}
+	for k, v := range metrics {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &InvalidResultError{Reason: fmt.Errorf("server: observation metric %q = %v is not finite", k, v)}
+		}
+	}
+	return nil
 }
 
 // JournalErr returns the first journal write error, if any — from the
@@ -110,6 +152,17 @@ func (e *InvalidConfigError) Error() string { return e.Reason.Error() }
 
 // Unwrap exposes the underlying cause.
 func (e *InvalidConfigError) Unwrap() error { return e.Reason }
+
+// InvalidResultError marks a malformed result payload — a non-finite
+// value or metric, or a metrics map missing a key the session's
+// objectives read; the HTTP layer maps it to 400.
+type InvalidResultError struct{ Reason error }
+
+// Error implements error.
+func (e *InvalidResultError) Error() string { return e.Reason.Error() }
+
+// Unwrap exposes the underlying cause.
+func (e *InvalidResultError) Unwrap() error { return e.Reason }
 
 // checkValid enforces both structural validity and the space's
 // constraint predicate. Spaces decoded from JSON are always
@@ -168,12 +221,38 @@ func (s *Session) publishLocked(now time.Time) {
 		best := t.Best()
 		info.Best = &httpapi.Result{Config: s.sp.Labels(best.Config), Value: best.Value}
 	}
+	if s.objs.Len() > 0 {
+		info.Objectives = s.objs.Names()
+	}
+	if s.objs.Multi() && t.Evaluations() > 0 {
+		info.ParetoFront = s.frontLocked(t)
+	}
 	if !s.at.InitialPhase() {
 		if raw, err := t.Importance(); err == nil && raw != nil {
 			info.Importance = importanceEntries(s.sp, raw)
 		}
 	}
 	s.snap.Store(info)
+}
+
+// frontLocked renders the current nondominated set as wire Results, in
+// history order. O(n²·m) in the evaluation count — evaluations are
+// assumed expensive (seconds to hours), so n stays small and the scan
+// is noise next to one suggest. Metrics maps are shared with the
+// stored observations; snapshots are immutable by contract.
+func (s *Session) frontLocked(t *core.Tuner) []httpapi.Result {
+	h := t.History()
+	front := objective.HistoryFront(h)
+	out := make([]httpapi.Result, len(front))
+	for i, idx := range front {
+		o := h.At(idx)
+		out[i] = httpapi.Result{
+			Config:  s.sp.Labels(o.Config),
+			Value:   o.Value,
+			Metrics: o.Metrics,
+		}
+	}
+	return out
 }
 
 // importanceEntries ranks parameters by importance score, descending,

@@ -15,6 +15,7 @@ import (
 
 	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/objective"
 	"github.com/hpcautotune/hiperbot/internal/space"
 )
 
@@ -48,6 +49,11 @@ type StoreConfig struct {
 	// session header, so later restarts with a different default do
 	// not change resumed sessions.
 	DefaultPoolCap int
+	// DefaultObjectives is applied to sessions created without
+	// explicit objectives. Like DefaultPoolCap it is resolved at
+	// create time and journaled in the session header, so restarts
+	// with a different default do not change resumed sessions.
+	DefaultObjectives []string
 }
 
 // Store owns the daemon's sessions: creation, lookup, deletion, and
@@ -241,6 +247,16 @@ func (st *Store) CreateWithSpace(name string, sp *space.Space, spaceJSON json.Ra
 		// the effective cap; resume replays the header verbatim.
 		opts.PoolCap = st.cfg.DefaultPoolCap
 	}
+	if len(opts.Objectives) == 0 {
+		opts.Objectives = st.cfg.DefaultObjectives
+	}
+	if len(opts.Objectives) > 1 && opts.Strategy == "" {
+		// Multi-objective sessions default to the Pareto-split engine;
+		// resolved here so the journal header records the effective
+		// strategy and an explicit choice (any scalar engine on the
+		// scalarized value) is never overridden.
+		opts.Strategy = "motpe"
+	}
 	id := name
 	if id == "" {
 		id = newID()
@@ -271,7 +287,14 @@ func (st *Store) newSession(id string, sp *space.Space, opts httpapi.SessionOpti
 	if err != nil {
 		return nil, err
 	}
-	sess := &Session{id: id, sp: sp, opts: opts, created: created}
+	// Objective specs are validated before the journal header is
+	// written, so a bad spec fails creation with 400 and never leaves
+	// a journal the next boot cannot resume.
+	objs, err := objective.ParseSet(opts.Objectives)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	sess := &Session{id: id, sp: sp, opts: opts, objs: objs, created: created}
 	if journalPath != "" {
 		f, err := openJournal(journalPath)
 		if err != nil {
