@@ -39,6 +39,8 @@ type (
 	SessionInfo = httpapi.SessionInfo
 	// SuggestResponse returns leased candidates.
 	SuggestResponse = httpapi.SuggestResponse
+	// RenewResponse reports which leases were extended.
+	RenewResponse = httpapi.RenewResponse
 	// ObserveResponse acknowledges reported results.
 	ObserveResponse = httpapi.ObserveResponse
 	// MetricsResponse is the daemon's /metrics payload.
@@ -137,6 +139,22 @@ func (c *Client) Suggest(ctx context.Context, id string, count int, lease time.D
 	req := httpapi.SuggestRequest{Count: count, LeaseSeconds: lease.Seconds()}
 	var resp SuggestResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/suggest", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Renew extends the leases on candidates this worker still holds (as
+// returned by Suggest), measured from now. RenewResponse.Lost lists
+// configs whose leases had already expired — the candidates went back
+// to the pool and may have been re-suggested, so the worker should
+// abandon those evaluations. Long-running workers call this
+// periodically (well under the lease duration) to keep their
+// candidates fenced.
+func (c *Client) Renew(ctx context.Context, id string, configs []map[string]string, lease time.Duration) (*RenewResponse, error) {
+	req := httpapi.RenewRequest{Configs: configs, LeaseSeconds: lease.Seconds()}
+	var resp RenewResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/renew", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

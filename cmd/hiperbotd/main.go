@@ -49,6 +49,7 @@ func main() {
 		flushBytes = flag.Int("flush-bytes", 64<<10, "buffered journal bytes that force a flush before the next tick (0 = write every append through immediately)")
 		poolCap    = flag.Int("pool-cap", 0, "default sampled-pool size for sessions on spaces too large to enumerate (0 = built-in default; sessions may override per create)")
 		objectives = flag.String("objectives", "", "default objective specs for sessions created without any, comma-separated (e.g. \"p95_latency_ms,cost\"; two or more default the strategy to motpe)")
+		liar       = flag.String("liar", "", "default constant-liar policy for leased candidates: min, mean, or max (empty = mean; sessions may override per create)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,9 @@ func main() {
 	logger.Printf("hiperbotd: engines: %s", strings.Join(core.EngineNames(), ", "))
 	policy, err := server.ParseFsyncPolicy(*fsync)
 	if err != nil {
+		logger.Fatalf("hiperbotd: %v", err)
+	}
+	if _, err := core.ParseLiarPolicy(*liar); err != nil {
 		logger.Fatalf("hiperbotd: %v", err)
 	}
 	var defaultObjectives []string
@@ -70,6 +74,7 @@ func main() {
 		FlushBytes:        *flushBytes,
 		DefaultPoolCap:    *poolCap,
 		DefaultObjectives: defaultObjectives,
+		DefaultLiar:       *liar,
 	})
 	if err != nil {
 		logger.Fatalf("hiperbotd: %v", err)

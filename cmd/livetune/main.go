@@ -165,6 +165,7 @@ func main() {
 		batch     = flag.Int("batch", 4, "candidates leased per suggest call (with -server)")
 		poolCap   = flag.Int("pool-cap", 0, "sampled candidate pool size on spaces too large to enumerate (0 = default, <0 = disable large-space mode)")
 		candSamp  = flag.Int("candidate-samples", 0, "good-density draws per step of the pool-free sampling engine (0 = default)")
+		liar      = flag.String("liar", "", "constant-liar policy for leased candidates: min, mean, or max (with -server; empty = server default)")
 	)
 	flag.Parse()
 
@@ -198,12 +199,16 @@ func main() {
 		objectives := splitSpecs(*objSpecs)
 		tuneRemote(*serverURL, *name, k, measureSorted, *budget, *batch, client.SessionOptions{
 			Seed: *seed, Strategy: *strategy, PoolCap: *poolCap, CandidateSamples: *candSamp,
-			Objectives: objectives,
+			Objectives: objectives, Liar: *liar,
 		}, &evals)
 		return
 	}
 	if *objSpecs != "" {
 		fmt.Fprintln(os.Stderr, "livetune: -objectives needs -server (the daemon owns multi-objective sessions)")
+		os.Exit(1)
+	}
+	if *liar != "" {
+		fmt.Fprintln(os.Stderr, "livetune: -liar needs -server (in-process runs evaluate serially, with no leases to fantasize)")
 		os.Exit(1)
 	}
 

@@ -46,6 +46,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "base session seed")
 		strategy  = flag.String("strategy", "", "session strategy (empty = server default)")
 		objSpecs  = flag.String("objectives", "", "comma-separated objective specs; sessions post multi-metric observations (e.g. p95_latency_ms,cost)")
+		liar      = flag.String("liar", "", "constant-liar policy for leased candidates: min, mean, or max (empty = server default)")
+		maxDup    = flag.Float64("max-dup-rate", -1, "fail when the duplicate-suggestion fraction exceeds this (e.g. 0.001; <0 = report only)")
 		keep      = flag.Bool("keep", false, "keep the sessions on the daemon after the run")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile (covers the in-process daemon too)")
 	)
@@ -106,6 +108,7 @@ func main() {
 			Seed:       *seed + uint64(i)*7919,
 			Strategy:   *strategy,
 			Objectives: objectives,
+			Liar:       *liar,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: create session %d: %v\n", i, err)
@@ -122,15 +125,25 @@ func main() {
 	}
 
 	var (
-		mu       sync.Mutex
-		askLat   []float64 // milliseconds
-		obsLat   []float64
-		added    int64
-		asks     int64
-		observes int64
-		errs     int64
-		firstErr error
+		mu        sync.Mutex
+		askLat    []float64 // milliseconds
+		obsLat    []float64
+		added     int64
+		asks      int64
+		observes  int64
+		suggested int64 // candidates handed out across all suggests
+		dups      int64 // candidates seen more than once per session
+		errs      int64
+		firstErr  error
 	)
+	// seen tracks, per session, every candidate key ever suggested.
+	// With pending-aware ask/tell and leases outliving the (instant)
+	// synthetic evaluations, no candidate should be handed out twice —
+	// the duplicate rate is the tentpole's end-to-end success metric.
+	seen := make(map[string]map[string]bool, len(ids))
+	for _, id := range ids {
+		seen[id] = make(map[string]bool)
+	}
 	record := func(lat *[]float64, d time.Duration) {
 		mu.Lock()
 		*lat = append(*lat, float64(d)/float64(time.Millisecond))
@@ -173,6 +186,15 @@ func main() {
 							fail(fmt.Errorf("parse candidate %s: %w", id, err))
 							return
 						}
+						key := sp.Key(c)
+						mu.Lock()
+						suggested++
+						if seen[id][key] {
+							dups++
+						} else {
+							seen[id][key] = true
+						}
+						mu.Unlock()
 						r := client.Result{Config: cfg, Value: objective(c)}
 						if len(objectives) > 0 {
 							r.Metrics = metrics(c)
@@ -207,12 +229,23 @@ func main() {
 		float64(added)/elapsed.Seconds(), float64(asks+observes)/elapsed.Seconds())
 	printLatency("ask", askLat)
 	printLatency("observe", obsLat)
+	dupRate := 0.0
+	if suggested > 0 {
+		dupRate = float64(dups) / float64(suggested)
+	}
+	fmt.Printf("loadgen: %d candidates suggested, %d duplicate(s) — %.4f%% duplicate rate\n",
+		suggested, dups, 100*dupRate)
 	if errs > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d request error(s); first: %v\n", errs, firstErr)
 		os.Exit(1)
 	}
 	if added == 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: no evaluations completed")
+		os.Exit(1)
+	}
+	if *maxDup >= 0 && dupRate > *maxDup {
+		fmt.Fprintf(os.Stderr, "loadgen: duplicate rate %.4f%% exceeds -max-dup-rate %.4f%%\n",
+			100*dupRate, 100**maxDup)
 		os.Exit(1)
 	}
 }

@@ -17,6 +17,14 @@ import (
 // is live the candidate is never handed out again, and once it
 // expires the candidate silently returns to the pool.
 //
+// Leases are pending-aware: every leased configuration is fantasized
+// into the history's pending overlay (History.AddPending) so fits see
+// it as a constant-liar observation, and Ask selects one candidate at
+// a time — fantasizing each pick before the next — so a single batch
+// is internally diverse and concurrent askers are steered away from
+// in-flight work. A released lease (result told, expiry, or renewal
+// lapse) drops its fantasy with it.
+//
 // AskTell is not safe for concurrent use; callers (the hiperbotd
 // session layer) serialize access with their own lock.
 
@@ -28,6 +36,10 @@ type Lease struct {
 	// Expires is the deadline after which the lease lapses and the
 	// candidate may be suggested again. The zero time never expires.
 	Expires time.Time
+
+	// ver matches the lease to its live expiry-heap entry; renewals
+	// bump it, orphaning the superseded heap entries (lazy deletion).
+	ver uint64
 }
 
 // AskTell wraps a Tuner with lease bookkeeping for service-style
@@ -36,12 +48,21 @@ type Lease struct {
 type AskTell struct {
 	t      *Tuner
 	leases map[string]Lease
+	heap   leaseHeap // expiry-ordered; never holds forever-leases
+	ver    uint64    // monotonic heap-entry version counter
+
+	suggested map[string]bool // every key ever handed out by Ask
+	dups      int64           // re-suggestions of a previously handed-out key
 }
 
 // NewAskTell wraps t. The tuner must not be driven through Step/Run
 // concurrently with Ask/Tell.
 func NewAskTell(t *Tuner) *AskTell {
-	return &AskTell{t: t, leases: make(map[string]Lease)}
+	return &AskTell{
+		t:         t,
+		leases:    make(map[string]Lease),
+		suggested: make(map[string]bool),
+	}
 }
 
 // Tuner returns the wrapped tuner.
@@ -55,27 +76,81 @@ func (a *AskTell) InitialPhase() bool {
 }
 
 // Leases returns the number of outstanding (non-expired) leases as of
-// now.
+// now. Each live lease has exactly one pending fantasy in the history.
 func (a *AskTell) Leases(now time.Time) int {
 	a.expire(now)
 	return len(a.leases)
 }
 
-// expire drops every lease whose deadline has passed.
+// DuplicateSuggestions counts configurations Ask handed out more than
+// once over the session's lifetime. Under live leases it stays 0 by
+// construction; it only advances when an expired (or stolen) lease's
+// candidate is legitimately re-issued — the observable duplicate-work
+// metric surfaced per session and in /metrics.
+func (a *AskTell) DuplicateSuggestions() int64 { return a.dups }
+
+// expire drops every lease whose deadline has passed, popping the
+// expiry-ordered heap instead of walking the lease map: O(e·log n)
+// for e expirations, so sessions with thousands of live leases pay
+// nothing on the common no-expiry call. Heap entries orphaned by
+// renewals or releases are skipped via the version check.
 func (a *AskTell) expire(now time.Time) {
-	for key, l := range a.leases {
-		if !l.Expires.IsZero() && now.After(l.Expires) {
-			delete(a.leases, key)
+	for a.heap.len() > 0 {
+		top := a.heap.peek()
+		if !now.After(top.at) {
+			return
 		}
+		a.heap.pop()
+		l, ok := a.leases[top.key]
+		if !ok || l.ver != top.ver {
+			continue // released or renewed since this entry was pushed
+		}
+		delete(a.leases, top.key)
+		a.t.history.RemovePendingKey(top.key)
 	}
+}
+
+// lease records one handed-out candidate: lease-map entry, expiry-heap
+// entry (finite deadlines only), pending fantasy, and the duplicate
+// counter.
+func (a *AskTell) lease(c space.Config, deadline time.Time) {
+	key := a.t.sp.Key(c)
+	a.ver++
+	a.leases[key] = Lease{Config: c.Clone(), Expires: deadline, ver: a.ver}
+	if !deadline.IsZero() {
+		a.heap.push(leaseEntry{at: deadline, key: key, ver: a.ver})
+	}
+	a.t.history.AddPending(c)
+	if a.suggested[key] {
+		a.dups++
+	} else {
+		a.suggested[key] = true
+	}
+}
+
+// release drops a lease and its pending fantasy (no-op when the key is
+// not leased). The heap entry is left behind for lazy deletion.
+func (a *AskTell) release(key string) {
+	if _, ok := a.leases[key]; !ok {
+		return
+	}
+	delete(a.leases, key)
+	a.t.history.RemovePendingKey(key)
 }
 
 // Ask leases up to k distinct, not-yet-evaluated, not-currently-leased
 // configurations. During the initial phase candidates are uniform
-// random draws; afterwards they come from SelectBatch (requested with
-// enough headroom that filtering out live leases still fills the
-// batch). ttl <= 0 leases forever. A short (or empty) result means
-// the unevaluated pool net of live leases is smaller than k.
+// random draws; afterwards they are selected one at a time, each pick
+// fantasized into the pending overlay (constant-liar) before the next
+// selection, so the model steers every subsequent pick — in this batch
+// and in concurrent Asks — away from in-flight work. ttl <= 0 leases
+// forever. A short (or empty) result means the unevaluated pool net of
+// live leases is smaller than k.
+//
+// With no outstanding leases and k = 1 the selection is bit-identical
+// to SelectBatch(1): the fantasy is added only after the pick, and is
+// removed when the result is told, so the serial ask/tell path matches
+// the Tuner-driven loop exactly.
 func (a *AskTell) Ask(k int, ttl time.Duration, now time.Time) ([]space.Config, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: Ask with k < 1")
@@ -85,37 +160,74 @@ func (a *AskTell) Ask(k int, ttl time.Duration, now time.Time) ([]space.Config, 
 		_, ok := a.leases[a.t.sp.Key(c)]
 		return ok
 	}
-
-	var picks []space.Config
-	if a.InitialPhase() {
-		var err error
-		picks, err = a.t.SelectInitial(k, leased)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		batch, err := a.t.SelectBatch(k + len(a.leases))
-		if err != nil {
-			return nil, err
-		}
-		for _, c := range batch {
-			if len(picks) >= k {
-				break
-			}
-			if !leased(c) {
-				picks = append(picks, c)
-			}
-		}
-	}
-
 	deadline := time.Time{}
 	if ttl > 0 {
 		deadline = now.Add(ttl)
 	}
-	for _, c := range picks {
-		a.leases[a.t.sp.Key(c)] = Lease{Config: c.Clone(), Expires: deadline}
+
+	if a.InitialPhase() {
+		picks, err := a.t.SelectInitial(k, leased)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range picks {
+			a.lease(c, deadline)
+		}
+		return picks, nil
+	}
+
+	picks := make([]space.Config, 0, k)
+	for len(picks) < k {
+		batch, err := a.t.SelectBatchFiltered(1, leased)
+		if err != nil {
+			// Roll back this call's leases: candidates never handed out
+			// must not stay fantasized or fenced off.
+			for _, c := range picks {
+				a.release(a.t.sp.Key(c))
+			}
+			return nil, err
+		}
+		if len(batch) == 0 {
+			break // pool net of leases exhausted
+		}
+		c := batch[0]
+		a.lease(c, deadline)
+		picks = append(picks, c)
 	}
 	return picks, nil
+}
+
+// Renew extends the deadlines of currently leased configurations to
+// now+ttl (ttl <= 0 makes them never expire), for workers whose
+// evaluations outlive the original lease. It returns the number of
+// leases renewed plus the configurations that are no longer leased —
+// expired and possibly re-issued ("stolen"), or already evaluated —
+// which the worker should treat as lost: its result may still be told
+// (Tell folds unsolicited results), but the candidate is no longer
+// reserved for it.
+func (a *AskTell) Renew(configs []space.Config, ttl time.Duration, now time.Time) (renewed int, lost []space.Config) {
+	a.expire(now)
+	deadline := time.Time{}
+	if ttl > 0 {
+		deadline = now.Add(ttl)
+	}
+	for _, c := range configs {
+		key := a.t.sp.Key(c)
+		l, ok := a.leases[key]
+		if !ok {
+			lost = append(lost, c)
+			continue
+		}
+		a.ver++
+		l.Expires = deadline
+		l.ver = a.ver
+		a.leases[key] = l
+		if !deadline.IsZero() {
+			a.heap.push(leaseEntry{at: deadline, key: key, ver: a.ver})
+		}
+		renewed++
+	}
+	return renewed, lost
 }
 
 // Tell reports an evaluated configuration and releases its lease (if
@@ -131,18 +243,76 @@ func (a *AskTell) Tell(c space.Config, value float64) (added bool, err error) {
 
 // TellObs is Tell for a full observation (raw metrics and canonical
 // objective vector included) — the wire path for multi-metric results.
+// Releasing the lease drops its constant-liar fantasy, so the real
+// observation replaces the fantasized one in the next fit.
 func (a *AskTell) TellObs(obs Observation) (added bool, err error) {
 	if err := a.t.sp.Check(obs.Config); err != nil {
 		return false, err
 	}
 	key := a.t.sp.Key(obs.Config)
 	if a.t.history.Contains(obs.Config) {
-		delete(a.leases, key)
+		a.release(key)
 		return false, nil
 	}
 	if err := a.t.ObserveObs(obs); err != nil {
 		return false, err
 	}
-	delete(a.leases, key)
+	a.release(key)
 	return true, nil
+}
+
+// leaseEntry is one deadline in the expiry heap. Entries are
+// immutable; renewing or releasing a lease orphans its entry (version
+// mismatch) rather than removing it.
+type leaseEntry struct {
+	at  time.Time
+	key string
+	ver uint64
+}
+
+// leaseHeap is a binary min-heap of lease deadlines with lazy
+// deletion, replacing the per-call O(n) lease-map walk of expire.
+type leaseHeap struct {
+	e []leaseEntry
+}
+
+func (h *leaseHeap) len() int { return len(h.e) }
+
+func (h *leaseHeap) peek() leaseEntry { return h.e[0] }
+
+func (h *leaseHeap) push(x leaseEntry) {
+	h.e = append(h.e, x)
+	i := len(h.e) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.e[i].at.Before(h.e[parent].at) {
+			break
+		}
+		h.e[i], h.e[parent] = h.e[parent], h.e[i]
+		i = parent
+	}
+}
+
+func (h *leaseHeap) pop() leaseEntry {
+	top := h.e[0]
+	last := len(h.e) - 1
+	h.e[0] = h.e[last]
+	h.e[last] = leaseEntry{} // let the key string go
+	h.e = h.e[:last]
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= len(h.e) {
+			break
+		}
+		if right := child + 1; right < len(h.e) && h.e[right].at.Before(h.e[child].at) {
+			child = right
+		}
+		if !h.e[child].at.Before(h.e[i].at) {
+			break
+		}
+		h.e[i], h.e[child] = h.e[child], h.e[i]
+		i = child
+	}
+	return top
 }

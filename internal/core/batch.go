@@ -30,6 +30,17 @@ import (
 // stable): consume or copy it before calling SelectBatch, Step, or
 // Ask again.
 func (t *Tuner) SelectBatch(k int) ([]space.Config, error) {
+	return t.SelectBatchFiltered(k, nil)
+}
+
+// SelectBatchFiltered is SelectBatch with an exclusion predicate: skip,
+// when non-nil, removes configurations from acquisition on top of the
+// evaluated set — the lease filter of pending-aware ask/tell. The fit
+// sees the history's pending overlay (fantasized observations), so a
+// caller that fantasizes each pick before asking for the next gets an
+// internally diverse batch. With a nil skip and an empty overlay this
+// is exactly SelectBatch.
+func (t *Tuner) SelectBatchFiltered(k int, skip func(space.Config) bool) ([]space.Config, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: SelectBatch with k < 1")
 	}
@@ -40,7 +51,9 @@ func (t *Tuner) SelectBatch(k int) ([]space.Config, error) {
 	if err := t.model.Fit(t.history); err != nil {
 		return nil, err
 	}
-	return t.acquirer.Propose(t.acquisition(), k)
+	acq := t.acquisition()
+	acq.Skip = skip
+	return t.acquirer.Propose(acq, k)
 }
 
 // Observe folds an externally evaluated observation into the history,

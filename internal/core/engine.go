@@ -61,6 +61,17 @@ type Acquisition struct {
 	ProposalCandidates int
 	CandidateSamples   int
 	Scratch            *Scratch
+	// Skip, when non-nil, excludes configurations from acquisition on
+	// top of the evaluated set — the lease filter of pending-aware
+	// ask/tell. Every acquirer must honor it; a nil Skip must leave
+	// acquisition bit-identical to the pre-Skip behavior.
+	Skip func(space.Config) bool
+}
+
+// skips reports whether c is excluded by the acquisition's Skip
+// predicate (never excludes when Skip is nil).
+func (a *Acquisition) skips(c space.Config) bool {
+	return a.Skip != nil && a.Skip(c)
 }
 
 // rankedCandidate pairs a pool candidate index with its model score,
@@ -71,19 +82,24 @@ type rankedCandidate struct {
 }
 
 // Scratch holds one tuner's reusable acquisition state: the score
-// buffer and the sorted pool ranking, both keyed by the history
-// generation (the fitted model, and therefore every candidate score,
-// is a pure function of the history), plus the picks buffer returned
-// by Propose. With a warm cache the steady-state k=1 ranking
-// acquisition is allocation-free (guarded by TestSelectBatchNoAllocs).
+// buffer and the sorted pool ranking, both keyed by the composed
+// (history generation, pending hash) pair (the fitted model, and
+// therefore every candidate score, is a pure function of the
+// fantasized history), plus the picks buffer returned by Propose.
+// With no pending overlay the hash component is always 0, so the key
+// reduces to the plain generation and the warm steady-state k=1
+// ranking acquisition stays allocation-free (guarded by
+// TestSelectBatchNoAllocs).
 type Scratch struct {
-	scores    []float64 // model scores over the pool's full batch
-	scoresGen uint64
-	scoresOK  bool
+	scores     []float64 // model scores over the pool's full batch
+	scoresGen  uint64
+	scoresPend uint64
+	scoresOK   bool
 
-	rank      rankedPool // lazily sorted pool view (score desc, idx asc)
-	rankedGen uint64
-	rankedOK  bool
+	rank       rankedPool // lazily sorted pool view (score desc, idx asc)
+	rankedGen  uint64
+	rankedPend uint64
+	rankedOK   bool
 
 	picks []space.Config // reused Propose result buffer
 }
@@ -96,17 +112,18 @@ func (s *Scratch) invalidate() {
 }
 
 // poolScores returns the model's scores over the pool's full batch,
-// served from the scratch cache when the history generation is
-// unchanged since they were computed. The cached values are the exact
-// float64s ScoreAll would produce (chunk boundaries are deterministic),
-// so cache hits are bit-identical to recomputation.
+// served from the scratch cache when the (generation, pending hash)
+// pair is unchanged since they were computed. The cached values are
+// the exact float64s ScoreAll would produce (chunk boundaries are
+// deterministic), so cache hits are bit-identical to recomputation.
 func (a *Acquisition) poolScores(b *space.Batch) []float64 {
 	s := a.Scratch
 	if s == nil {
 		return ScoreAll(a.Model, b, a.Parallelism)
 	}
 	gen := a.History.Generation()
-	if s.scoresOK && s.scoresGen == gen && len(s.scores) == b.Len() {
+	pend := a.History.PendingHash()
+	if s.scoresOK && s.scoresGen == gen && s.scoresPend == pend && len(s.scores) == b.Len() {
 		return s.scores
 	}
 	if cap(s.scores) < b.Len() {
@@ -115,6 +132,7 @@ func (a *Acquisition) poolScores(b *space.Batch) []float64 {
 	s.scores = s.scores[:b.Len()]
 	ScoreAllInto(a.Model, b, a.Parallelism, s.scores)
 	s.scoresGen = gen
+	s.scoresPend = pend
 	s.scoresOK = true
 	return s.scores
 }

@@ -55,8 +55,13 @@ type randomAcquirer struct{}
 func (randomAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
 	if a.Pool != nil {
 		rem := a.Pool.Remaining()
-		avail := make([]int, len(rem))
-		copy(avail, rem)
+		avail := make([]int, 0, len(rem))
+		for _, idx := range rem {
+			if a.skips(a.Pool.Candidate(idx)) {
+				continue
+			}
+			avail = append(avail, idx)
+		}
 		if k > len(avail) {
 			k = len(avail)
 		}
@@ -74,7 +79,7 @@ func (randomAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
 	seen := make(map[string]bool, k)
 	for try := 0; try < maxTries && len(out) < k; try++ {
 		c := a.Space.Sample(a.RNG)
-		if a.History.Contains(c) || seen[a.Space.Key(c)] {
+		if a.History.Contains(c) || seen[a.Space.Key(c)] || a.skips(c) {
 			continue
 		}
 		seen[a.Space.Key(c)] = true

@@ -49,47 +49,91 @@ type TPEModel struct {
 	fitHist *History // history the builder is tracking
 	fitGen  uint64   // history generation of the current fit
 
+	// active is the surrogate serving Score/ScoreBatch/Sample: the
+	// exact surrogate s when no work is pending, or a fantasy surrogate
+	// (observed + constant-liar pending, see History.Fantasized) cached
+	// under the composed (generation, pending hash) key. The exact
+	// incremental fit always runs first, so the no-pending path is
+	// bit-identical to the pre-overlay behavior and introspection
+	// (Importance, Marginals, Surrogate) keeps reporting real data.
+	active   *Surrogate
+	fant     *Surrogate
+	fantGen  uint64
+	fantPend uint64
+
 	imp    []float64  // cached Importance (JS divergences)
 	impFor *Surrogate // surrogate imp was computed from
 }
 
 // Fit brings the surrogate up to date with the history. When the
-// history's generation is unchanged since the last successful Fit
-// this is a no-op; otherwise only the new observations (and any
-// membership flips caused by the moved α-quantile) are folded in.
+// history's generation and pending overlay are unchanged since the
+// last successful Fit this is a no-op; otherwise only the new
+// observations (and any membership flips caused by the moved
+// α-quantile) are folded in, plus — when in-flight work exists — a
+// cold fantasy fit over the observed+fantasized view.
 func (m *TPEModel) Fit(h *History) error {
 	gen := h.Generation()
-	if m.s != nil && m.fitHist == h && m.fitGen == gen {
-		return nil
-	}
-	if m.b == nil || m.fitHist != h || m.b.n > h.Len() {
-		b, err := newSurrogateBuilder(h.Space(), m.cfg)
+	if m.s == nil || m.fitHist != h || m.fitGen != gen {
+		if m.b == nil || m.fitHist != h || m.b.n > h.Len() {
+			b, err := newSurrogateBuilder(h.Space(), m.cfg)
+			if err != nil {
+				return err
+			}
+			m.b = b
+			m.fant = nil
+			m.fitHist = h
+		}
+		s, err := m.b.Fold(h)
 		if err != nil {
 			return err
 		}
-		m.b = b
-		m.fitHist = h
+		m.s = s
+		m.fitGen = gen
 	}
-	s, err := m.b.Fold(h)
-	if err != nil {
-		return err
+	if h.PendingLen() == 0 {
+		m.active = m.s
+		return nil
 	}
-	m.s = s
-	m.fitGen = gen
+	pend := h.PendingHash()
+	if m.fant == nil || m.fantGen != gen || m.fantPend != pend {
+		fb, err := newSurrogateBuilder(h.Space(), m.cfg)
+		if err != nil {
+			return err
+		}
+		s, err := fb.Fold(h.Fantasized())
+		if err != nil {
+			return err
+		}
+		m.fant = s
+		m.fantGen = gen
+		m.fantPend = pend
+	}
+	m.active = m.fant
 	return nil
 }
 
 // Observe is a no-op: Fit refits from the full history.
 func (m *TPEModel) Observe(Observation) {}
 
-// Score returns log pg(c) - log pb(c).
-func (m *TPEModel) Score(c space.Config) float64 { return m.s.Score(c) }
+// current returns the surrogate serving acquisition: the fantasized
+// one when the last Fit saw pending work, else the exact one (also the
+// fallback for models constructed around a ready-made surrogate).
+func (m *TPEModel) current() *Surrogate {
+	if m.active != nil {
+		return m.active
+	}
+	return m.s
+}
+
+// Score returns log pg(c) - log pb(c) under the active (fantasized
+// when pending work exists) surrogate.
+func (m *TPEModel) Score(c space.Config) float64 { return m.current().Score(c) }
 
 // ScoreBatch scores a columnar batch, bit-identical to row-wise Score.
-func (m *TPEModel) ScoreBatch(b *space.Batch, dst []float64) { m.s.ScoreBatch(b, dst) }
+func (m *TPEModel) ScoreBatch(b *space.Batch, dst []float64) { m.current().ScoreBatch(b, dst) }
 
-// Sample draws from the good density pg.
-func (m *TPEModel) Sample(r *stats.RNG) space.Config { return m.s.SampleGood(r) }
+// Sample draws from the good density pg of the active surrogate.
+func (m *TPEModel) Sample(r *stats.RNG) space.Config { return m.current().SampleGood(r) }
 
 // Importance returns the per-parameter JS divergence between pg and
 // pb (nil before the first Fit). The result is cached per fitted
@@ -156,13 +200,20 @@ func (rankingAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
 	scores := a.poolScores(batch)
 
 	if k == 1 {
-		// Argmax over the remaining pool, ties broken by pool order —
-		// exactly the paper's per-iteration selection.
-		best := 0
-		for i := 1; i < len(rem); i++ {
-			if scores[rem[i]] > scores[rem[best]] {
+		// Argmax over the remaining pool net of skips, ties broken by
+		// pool order — exactly the paper's per-iteration selection
+		// (with a nil Skip the scan is the original argmax).
+		best := -1
+		for i := 0; i < len(rem); i++ {
+			if a.skips(p.Candidate(rem[i])) {
+				continue
+			}
+			if best < 0 || scores[rem[i]] > scores[rem[best]] {
 				best = i
 			}
+		}
+		if best < 0 {
+			return nil, nil // everything remaining is skipped (leased)
 		}
 		picks := append(a.takePicks(1), p.Candidate(rem[best]))
 		if a.Scratch != nil {
@@ -187,7 +238,7 @@ func (rankingAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
 				break
 			}
 			c := p.Candidate(cand.idx)
-			if containsConfig(picks, c) {
+			if a.skips(c) || containsConfig(picks, c) {
 				continue
 			}
 			if minHamming(picks, c) >= minDist {
@@ -206,11 +257,13 @@ func (rankingAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
 }
 
 // rankRemaining returns the remaining pool ordered by (score desc,
-// candidate index asc) as a lazily materialized view, cached by
-// history generation: the remaining set and the scores both only
-// change when the history does, and the comparator is a strict total
-// order (the index tiebreak), so both the cache and the on-demand
-// extraction yield the unique ordering a full sort would produce.
+// candidate index asc) as a lazily materialized view, cached by the
+// composed (history generation, pending hash) key: the remaining set
+// and the scores both only change when the fantasized history does,
+// and the comparator is a strict total order (the index tiebreak), so
+// both the cache and the on-demand extraction yield the unique
+// ordering a full sort would produce. Skip filtering happens at
+// admission time, so the cached ranking is skip-independent.
 func rankRemaining(a *Acquisition, rem []int, scores []float64) *rankedPool {
 	s := a.Scratch
 	if s == nil {
@@ -219,9 +272,11 @@ func rankRemaining(a *Acquisition, rem []int, scores []float64) *rankedPool {
 		return r
 	}
 	gen := a.History.Generation()
-	if !s.rankedOK || s.rankedGen != gen || s.rank.size() != len(rem) {
+	pend := a.History.PendingHash()
+	if !s.rankedOK || s.rankedGen != gen || s.rankedPend != pend || s.rank.size() != len(rem) {
 		s.rank.reset(rem, scores)
 		s.rankedGen = gen
+		s.rankedPend = pend
 		s.rankedOK = true
 	}
 	return &s.rank
@@ -320,7 +375,7 @@ func proposeOne(a *Acquisition) ([]space.Config, error) {
 	bestScore := math.Inf(-1)
 	for i := 0; i < a.ProposalCandidates; i++ {
 		c := a.Model.Sample(a.RNG)
-		if a.History.Contains(c) {
+		if a.History.Contains(c) || a.skips(c) {
 			continue
 		}
 		if sc := a.Model.Score(c); sc > bestScore {
@@ -333,7 +388,7 @@ func proposeOne(a *Acquisition) ([]space.Config, error) {
 		// back to uniform exploration.
 		for try := 0; try < 100000; try++ {
 			c := a.Space.Sample(a.RNG)
-			if !a.History.Contains(c) {
+			if !a.History.Contains(c) && !a.skips(c) {
 				return []space.Config{c}, nil
 			}
 		}
@@ -355,7 +410,7 @@ func proposeBatch(a *Acquisition, k int) ([]space.Config, error) {
 	for i := 0; i < draws; i++ {
 		c := a.Model.Sample(a.RNG)
 		key := a.Space.Key(c)
-		if a.History.Contains(c) || seen[key] {
+		if a.History.Contains(c) || seen[key] || a.skips(c) {
 			continue
 		}
 		seen[key] = true

@@ -53,6 +53,18 @@ type History struct {
 	seen map[string]bool
 	best int    // index of the best observation, -1 when empty
 	gen  uint64 // bumped on every Add; see Generation
+
+	// Pending-observation overlay (see pending.go): in-flight
+	// configurations fantasized into fits under the constant-liar
+	// policy, keyed separately from the observed set.
+	pend     []pendingEntry
+	pendIdx  map[string]int // key → index into pend
+	pendHash uint64         // order-independent digest; 0 when empty
+	liar     LiarPolicy
+
+	fant     *History // cached fantasized view (Fantasized)
+	fantGen  uint64
+	fantHash uint64
 }
 
 // NewHistory creates an empty history over the given space.

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Pending-observation overlay (batch Bayesian optimization via the
+// constant-liar heuristic, Watanabe's TPE survey). A service hands out
+// candidates whose true values are still being computed; until the
+// results arrive, the surrogate knows nothing about them and would
+// happily re-propose their immediate neighborhood to the next asker.
+// The fix is to *fantasize*: pretend each in-flight candidate has
+// already been observed at a made-up ("liar") value, fit against
+// observed + fantasized points, and let the densities steer the next
+// pick elsewhere.
+//
+// The overlay stores only the pending configurations; fantasy values
+// are derived at fit time from the observed values under the session's
+// LiarPolicy. That makes the fantasized history a pure function of
+// (generation, PendingHash), which is exactly the composed cache key
+// the engines use — the exact generation-keyed fit caches from the
+// incremental hot path stay valid, and when no leases are outstanding
+// PendingHash is 0 and every code path degenerates bit-identically to
+// the overlay-free behavior.
+
+// LiarPolicy selects the fantasy value assigned to pending
+// observations: a summary statistic of the observed objective values.
+type LiarPolicy int
+
+const (
+	// LiarMean fantasizes the arithmetic mean of the observed values —
+	// the neutral default: pending points neither attract (as "good"
+	// members) nor repel future exploration more than the data warrants.
+	LiarMean LiarPolicy = iota
+	// LiarMin fantasizes the best (minimum) observed value — the
+	// optimistic, most repellent choice: pending points join the good
+	// set, pushing the next picks maximally away from in-flight work.
+	LiarMin
+	// LiarMax fantasizes the worst (maximum) observed value — the
+	// pessimistic choice: pending points are written off as bad, which
+	// diversifies the least but never distorts the good density.
+	LiarMax
+)
+
+// ParseLiarPolicy maps a wire/flag spelling to a LiarPolicy. The empty
+// string is the default (mean).
+func ParseLiarPolicy(s string) (LiarPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "mean":
+		return LiarMean, nil
+	case "min":
+		return LiarMin, nil
+	case "max":
+		return LiarMax, nil
+	default:
+		return 0, fmt.Errorf("core: unknown liar policy %q (want min, mean, or max)", s)
+	}
+}
+
+// String implements fmt.Stringer.
+func (p LiarPolicy) String() string {
+	switch p {
+	case LiarMin:
+		return "min"
+	case LiarMax:
+		return "max"
+	case LiarMean:
+		return "mean"
+	default:
+		return fmt.Sprintf("LiarPolicy(%d)", int(p))
+	}
+}
+
+// LiarPolicies lists the accepted policy spellings, for flag help and
+// error messages.
+func LiarPolicies() []string { return []string{"min", "mean", "max"} }
+
+// pendingEntry is one in-flight configuration of the overlay.
+type pendingEntry struct {
+	key string
+	c   space.Config
+}
+
+// pendingKeyHash hashes one pending key into the order-independent
+// overlay hash. FNV-1a alone XORs poorly over similar keys, so the
+// digest is scrambled through a splitmix64 finalizer.
+func pendingKeyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv never errors
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SetLiar selects the constant-liar policy used for fantasy values.
+// Changing the policy invalidates the cached fantasized view.
+func (h *History) SetLiar(p LiarPolicy) {
+	if h.liar != p {
+		h.liar = p
+		h.fant = nil
+	}
+}
+
+// Liar returns the active constant-liar policy.
+func (h *History) Liar() LiarPolicy { return h.liar }
+
+// AddPending registers c as in-flight: fitted models will see it as a
+// fantasy observation until it is removed (result reported or lease
+// expired). Already-pending configurations are a no-op.
+func (h *History) AddPending(c space.Config) {
+	key := h.sp.Key(c)
+	if _, ok := h.pendIdx[key]; ok {
+		return
+	}
+	if h.pendIdx == nil {
+		h.pendIdx = make(map[string]int)
+	}
+	h.pendIdx[key] = len(h.pend)
+	h.pend = append(h.pend, pendingEntry{key: key, c: c.Clone()})
+	h.pendHash ^= pendingKeyHash(key)
+}
+
+// RemovePending drops c from the overlay (no-op when not pending).
+func (h *History) RemovePending(c space.Config) {
+	h.RemovePendingKey(h.sp.Key(c))
+}
+
+// RemovePendingKey is RemovePending by space key — the spelling used
+// by lease bookkeeping, which already tracks keys.
+func (h *History) RemovePendingKey(key string) {
+	i, ok := h.pendIdx[key]
+	if !ok {
+		return
+	}
+	last := len(h.pend) - 1
+	if i != last {
+		h.pend[i] = h.pend[last]
+		h.pendIdx[h.pend[i].key] = i
+	}
+	h.pend[last] = pendingEntry{}
+	h.pend = h.pend[:last]
+	delete(h.pendIdx, key)
+	h.pendHash ^= pendingKeyHash(key)
+}
+
+// PendingLen returns the number of in-flight configurations.
+func (h *History) PendingLen() int { return len(h.pend) }
+
+// PendingHash returns an order-independent digest of the pending set:
+// 0 when empty, and any add/remove round-trip restores the previous
+// value. Composed with Generation it keys every pending-aware cache
+// (model fits, scratch scores) — equal (generation, hash) pairs mean
+// the fantasized history is unchanged.
+func (h *History) PendingHash() uint64 { return h.pendHash }
+
+// Fantasized returns the history the engines should fit when pending
+// work exists: the observed history extended with one fantasy
+// observation per pending configuration, valued under the liar policy.
+// With an empty overlay it returns h itself, so the no-pending fit
+// path is untouched. The result is cached by (generation,
+// PendingHash) and is a fitting-only view: it shares observation
+// structs with h, has no duplicate tracking, and must not be mutated.
+func (h *History) Fantasized() *History {
+	if len(h.pend) == 0 {
+		return h
+	}
+	if h.fant != nil && h.fantGen == h.gen && h.fantHash == h.pendHash {
+		return h.fant
+	}
+	f := &History{sp: h.sp, gen: h.gen, best: h.best}
+	f.obs = make([]Observation, 0, len(h.obs)+len(h.pend))
+	f.obs = append(f.obs, h.obs...)
+	lie := h.liarValue()
+	vec := h.liarVector()
+	for _, pe := range h.pend {
+		f.obs = append(f.obs, Observation{Config: pe.c, Value: lie, Objectives: vec})
+	}
+	if f.best < 0 {
+		f.best = 0 // no real observations yet: any fantasy is "best"
+	}
+	h.fant, h.fantGen, h.fantHash = f, h.gen, h.pendHash
+	return f
+}
+
+// liarValue computes the fantasy scalar under the active policy. Every
+// policy stays inside the observed value range, so Best never moves.
+func (h *History) liarValue() float64 {
+	if len(h.obs) == 0 {
+		return 0
+	}
+	switch h.liar {
+	case LiarMin:
+		return h.obs[h.best].Value
+	case LiarMax:
+		max := h.obs[0].Value
+		for _, o := range h.obs[1:] {
+			if o.Value > max {
+				max = o.Value
+			}
+		}
+		return max
+	default:
+		var sum float64
+		for _, o := range h.obs {
+			sum += o.Value
+		}
+		return sum / float64(len(h.obs))
+	}
+}
+
+// liarVector computes the component-wise fantasy objective vector when
+// every observed observation carries a uniform-length vector (the
+// condition under which multi-objective engines use them; see
+// objective.HistoryVectors), and nil otherwise — a nil keeps the
+// degraded all-scalar view consistent between observed and fantasy
+// points. All fantasies share the returned slice; it is read-only.
+func (h *History) liarVector() []float64 {
+	if len(h.obs) == 0 || h.obs[0].Objectives == nil {
+		return nil
+	}
+	m := len(h.obs[0].Objectives)
+	for _, o := range h.obs {
+		if o.Objectives == nil || len(o.Objectives) != m {
+			return nil
+		}
+	}
+	vec := make([]float64, m)
+	switch h.liar {
+	case LiarMin:
+		copy(vec, h.obs[0].Objectives)
+		for _, o := range h.obs[1:] {
+			for j, v := range o.Objectives {
+				if v < vec[j] {
+					vec[j] = v
+				}
+			}
+		}
+	case LiarMax:
+		copy(vec, h.obs[0].Objectives)
+		for _, o := range h.obs[1:] {
+			for j, v := range o.Objectives {
+				if v > vec[j] {
+					vec[j] = v
+				}
+			}
+		}
+	default:
+		for _, o := range h.obs {
+			for j, v := range o.Objectives {
+				vec[j] += v
+			}
+		}
+		for j := range vec {
+			vec[j] /= float64(len(h.obs))
+		}
+	}
+	return vec
+}

@@ -185,7 +185,7 @@ func (samplingAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
 	for i := 0; i < draws; i++ {
 		c := a.Model.Sample(a.RNG)
 		key := a.Space.Key(c)
-		if seen[key] || a.History.Contains(c) {
+		if seen[key] || a.History.Contains(c) || a.skips(c) {
 			continue
 		}
 		seen[key] = true
@@ -196,7 +196,7 @@ func (samplingAcquirer) Propose(a *Acquisition, k int) ([]space.Config, error) {
 		// density has collapsed onto known points. Explore uniformly.
 		for try := 0; try < 100000; try++ {
 			c := a.Space.Sample(a.RNG)
-			if !a.History.Contains(c) {
+			if !a.History.Contains(c) && !a.skips(c) {
 				return []space.Config{c}, nil
 			}
 		}

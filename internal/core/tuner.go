@@ -86,6 +86,12 @@ type Options struct {
 	// pool-free "sampling" engine scores per acquisition; 0 means
 	// DefaultCandidateSamples.
 	CandidateSamples int
+	// Liar names the constant-liar policy ("min", "mean", "max"; empty
+	// = mean) assigning fantasy values to pending observations when the
+	// ask path runs with outstanding leases (see LiarPolicy). It only
+	// affects pending-aware batch asks; the serial no-pending path is
+	// policy-independent.
+	Liar string
 	// VectorObjective, when non-nil, computes the canonical
 	// (all-minimize) objective vector attached to every observation
 	// (Observation.Objectives) for multi-objective engines such as
@@ -157,6 +163,10 @@ func NewTuner(sp *space.Space, obj Objective, opts Options) (*Tuner, error) {
 	if err := opts.Surrogate.validate(); err != nil {
 		return nil, err
 	}
+	liar, err := ParseLiarPolicy(opts.Liar)
+	if err != nil {
+		return nil, err
+	}
 	name := strings.ToLower(opts.Engine)
 	defaulted := name == ""
 	if defaulted {
@@ -188,6 +198,7 @@ func NewTuner(sp *space.Space, obj Objective, opts Options) (*Tuner, error) {
 		engine:    name,
 		poolBound: spec.PoolBound,
 	}
+	t.history.SetLiar(liar)
 	buildPool := spec.Pool == PoolRequired ||
 		(spec.Pool == PoolPreferred && (opts.Candidates != nil || (sp.AllDiscrete() && !largeGrid)))
 	if buildPool {

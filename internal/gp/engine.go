@@ -76,7 +76,7 @@ type eiModel struct {
 	tr *trainer
 	pe *poolEI
 
-	xs    [][]float64 // encoded observed configurations, history order
+	xs    [][]float64 // encoded configurations, history order (+ trailing fantasy rows)
 	ys    []float64
 	z     []float64 // standardized targets buffer
 	alpha []float64 // weight vector buffer
@@ -84,9 +84,11 @@ type eiModel struct {
 	yStd  float64
 	best  float64 // best observed value at the last fit
 
-	fitHist *core.History
-	fitGen  uint64
-	fitted  bool
+	fitHist  *core.History
+	fitGen   uint64
+	baseRows int    // prefix of xs/ys holding real observations
+	pendHash uint64 // pending-overlay hash of the current fit
+	fitted   bool
 }
 
 // resetFit drops every derived structure for a cold refit (history
@@ -96,31 +98,57 @@ func (m *eiModel) resetFit() {
 	m.pe.reset()
 	m.xs = m.xs[:0]
 	m.ys = m.ys[:0]
+	m.baseRows = 0
+	m.pendHash = 0
 	m.fitted = false
+}
+
+// truncate rewinds the factor, the pool caches, and the training rows
+// to the first n rows — retracting the previous fit's fantasy rows so
+// the observed prefix keeps extending append-only underneath them.
+func (m *eiModel) truncate(n int) {
+	m.pe.truncate(n)
+	m.tr.chol.Truncate(n)
+	m.xs = m.xs[:n]
+	m.ys = m.ys[:n]
 }
 
 // Fit folds history observations not yet absorbed into the factor and
 // the pool caches, then re-solves the weight vector and refreshes the
 // cached per-candidate EI. Against an unchanged history (same object,
-// same generation) it is a no-op.
+// same generation, same pending overlay) it is a no-op.
+//
+// Pending leases are folded as trailing constant-liar fantasy rows
+// after the observed prefix (see core.History.Fantasized) and
+// retracted by truncation on the next fit, so the observed prefix
+// itself remains append-only — duplicating a pending point's row pulls
+// its posterior variance (and so its EI) toward zero, which is what
+// steers concurrent batch picks apart. The no-pending path never
+// truncates and stays bit-identical to the overlay-free fit.
 func (m *eiModel) Fit(h *core.History) error {
 	if h.Len() == 0 {
 		return fmt.Errorf("gp: fit on an empty history")
 	}
 	gen := h.Generation()
-	if m.fitted && m.fitHist == h && m.fitGen == gen {
+	pend := h.PendingHash()
+	if m.fitted && m.fitHist == h && m.fitGen == gen && m.pendHash == pend {
 		return nil
 	}
-	if m.fitHist != h || h.Len() < len(m.xs) {
+	if m.fitHist != h || h.Len() < m.baseRows {
 		m.resetFit()
 	}
-	for i := len(m.xs); i < h.Len(); i++ {
-		o := h.At(i)
+	if len(m.xs) > m.baseRows {
+		m.truncate(m.baseRows)
+	}
+	fh := h.Fantasized()
+	for i := len(m.xs); i < fh.Len(); i++ {
+		o := fh.At(i)
 		x := make([]float64, m.sp.OneHotLen())
 		m.sp.EncodeOneHot(o.Config, x)
 		m.xs = append(m.xs, x)
 		m.ys = append(m.ys, o.Value)
 	}
+	m.baseRows = h.Len()
 	if err := foldInto(m.tr, m.pe, m.xs); err != nil {
 		return err
 	}
@@ -135,7 +163,7 @@ func (m *eiModel) Fit(h *core.History) error {
 	m.pe.refreshMoments(m.alpha, m.yMean, m.yStd)
 	m.best = h.Best().Value
 	m.pe.refreshEI(m.best)
-	m.fitHist, m.fitGen, m.fitted = h, gen, true
+	m.fitHist, m.fitGen, m.pendHash, m.fitted = h, gen, pend, true
 	return nil
 }
 

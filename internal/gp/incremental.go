@@ -275,6 +275,26 @@ func (pe *poolEI) appendV(ks []float64, chol *linalg.Chol) {
 	pe.n = t + 1
 }
 
+// truncate rewinds the caches to the first n training rows by undoing
+// the variance subtractions of the dropped rows in reverse order and
+// slicing K*/V back — the fantasy-row retraction of pending-aware
+// fits. Adding the squares back is algebraically exact but not
+// bit-exact against a never-extended cache (float addition does not
+// cancel perfectly); the no-pending path never truncates, so exact
+// sequences are unaffected.
+func (pe *poolEI) truncate(n int) {
+	p := pe.feat.Rows
+	for t := pe.n - 1; t >= n; t-- {
+		vt := pe.v[t*p : (t+1)*p]
+		for i, x := range vt {
+			pe.varz[i] += x * x
+		}
+	}
+	pe.kstar = pe.kstar[:n*p]
+	pe.v = pe.v[:n*p]
+	pe.n = n
+}
+
 // rebuildV recomputes V and the variance totals from the cached K*
 // under a new factor — the adaptive jitter refactorized L, which
 // invalidates every forward-solve row while leaving K* (a pure kernel

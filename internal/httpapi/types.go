@@ -51,6 +51,12 @@ type SessionOptions struct {
 	// strategy becomes "motpe"; scalar engines optimize the equal-
 	// weight scalarization of the canonical (all-minimize) vector.
 	Objectives []string `json:"objectives,omitempty"`
+	// Liar selects the constant-liar fantasy value assigned to leased
+	// candidates while their results are outstanding: "min"
+	// (optimistic, most exploratory batches), "mean", or "max"
+	// (pessimistic). Empty uses the server default (mean). Unknown
+	// values fail session creation with 400.
+	Liar string `json:"liar,omitempty"`
 }
 
 // CreateSessionRequest creates a named tuning session.
@@ -88,7 +94,10 @@ type SuggestRequest struct {
 	Count int `json:"count,omitempty"`
 	// LeaseSeconds bounds how long the candidates stay reserved for
 	// this caller before crashed workers forfeit them (default: the
-	// server's -lease flag; <0 leases forever).
+	// server's -lease flag). Negative values request a forever lease
+	// and are rejected with 400 when the server enforces a finite
+	// default (-lease > 0): an immortal lease on a crashed worker
+	// would strand its candidates for the daemon's lifetime.
 	LeaseSeconds float64 `json:"lease_seconds,omitempty"`
 }
 
@@ -103,6 +112,29 @@ type SuggestResponse struct {
 	// Exhausted reports that no unleased, unevaluated configurations
 	// remain.
 	Exhausted bool `json:"exhausted,omitempty"`
+}
+
+// RenewRequest extends the leases this caller already holds. Configs
+// not leased anymore (expired and possibly re-suggested to another
+// worker) come back in RenewResponse.Lost so the worker can abandon
+// their evaluations instead of racing the new holder.
+type RenewRequest struct {
+	// Configs are the held candidates to renew, as returned by suggest.
+	Configs []map[string]string `json:"configs"`
+	// LeaseSeconds is the fresh lease duration measured from now
+	// (default: the server's -lease flag; negative follows the same
+	// rejection rule as SuggestRequest.LeaseSeconds).
+	LeaseSeconds float64 `json:"lease_seconds,omitempty"`
+}
+
+// RenewResponse reports which leases were extended.
+type RenewResponse struct {
+	// Renewed counts the configs whose leases were extended.
+	Renewed int `json:"renewed"`
+	// Lost lists the configs no longer leased — their leases expired
+	// and the candidates returned to the pool (they may already be
+	// leased to another worker).
+	Lost []map[string]string `json:"lost,omitempty"`
 }
 
 // ObserveRequest reports evaluated results. Reporting a configuration
@@ -132,15 +164,21 @@ type ImportanceEntry struct {
 
 // SessionInfo describes one session's progress.
 type SessionInfo struct {
-	ID             string            `json:"id"`
-	Evaluations    int               `json:"evaluations"`
-	InitialSamples int               `json:"initial_samples"`
-	Phase          string            `json:"phase"`
-	Strategy       string            `json:"strategy"`
-	ActiveLeases   int               `json:"active_leases"`
-	Best           *Result           `json:"best,omitempty"`
-	Importance     []ImportanceEntry `json:"importance,omitempty"`
-	CreatedAt      string            `json:"created_at,omitempty"`
+	ID             string `json:"id"`
+	Evaluations    int    `json:"evaluations"`
+	InitialSamples int    `json:"initial_samples"`
+	Phase          string `json:"phase"`
+	Strategy       string `json:"strategy"`
+	ActiveLeases   int    `json:"active_leases"`
+	// DuplicateSuggestions counts candidates handed out more than once
+	// over the session's lifetime — always via lease expiry (a crashed
+	// or stalled worker forfeited the candidate and it was re-issued),
+	// never while a lease is live. A high count means workers outlive
+	// their leases: raise lease_seconds or renew mid-evaluation.
+	DuplicateSuggestions int64             `json:"duplicate_suggestions,omitempty"`
+	Best                 *Result           `json:"best,omitempty"`
+	Importance           []ImportanceEntry `json:"importance,omitempty"`
+	CreatedAt            string            `json:"created_at,omitempty"`
 	// Objectives echoes the session's objective specs (empty on
 	// legacy single-objective sessions).
 	Objectives []string `json:"objectives,omitempty"`
@@ -184,10 +222,16 @@ type EndpointMetrics struct {
 
 // MetricsResponse is the /metrics payload.
 type MetricsResponse struct {
-	UptimeSeconds float64                    `json:"uptime_seconds"`
-	Sessions      int                        `json:"sessions"`
-	Evaluations   int64                      `json:"evaluations"`
-	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Sessions      int     `json:"sessions"`
+	Evaluations   int64   `json:"evaluations"`
+	// PendingLeases is the live lease count summed over sessions — the
+	// number of candidates currently out with workers.
+	PendingLeases int `json:"pending_leases"`
+	// DuplicateSuggestions sums SessionInfo.DuplicateSuggestions over
+	// sessions: candidates re-issued after their lease expired.
+	DuplicateSuggestions int64                      `json:"duplicate_suggestions"`
+	Endpoints            map[string]EndpointMetrics `json:"endpoints"`
 }
 
 // ErrorResponse carries a non-2xx body.

@@ -37,6 +37,19 @@ func (c *Chol) N() int { return c.n }
 // Reset empties the factor, keeping the allocation.
 func (c *Chol) Reset() { c.n = 0 }
 
+// Truncate rewinds the factor to its first n rows (no-op when n >= N).
+// Valid because Append only reads rows < N and overwrites row N
+// wholesale: the retained prefix is exactly the factor n Appends built,
+// and re-appending continues from it bit-identically.
+func (c *Chol) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n < c.n {
+		c.n = n
+	}
+}
+
 // Row returns factor row i (length i+1) as a slice view.
 func (c *Chol) Row(i int) []float64 { return c.data[i*c.stride : i*c.stride+i+1] }
 

@@ -52,6 +52,7 @@ type motpeModel struct {
 
 	fitHist *core.History
 	fitGen  uint64
+	fitPend uint64 // pending-overlay hash of the current fit
 
 	vecs [][]float64 // scratch, reused across fits
 
@@ -60,26 +61,35 @@ type motpeModel struct {
 }
 
 // Fit rebuilds the surrogate from the Pareto-split history. A fit with
-// an unchanged history generation is a no-op.
+// an unchanged (generation, pending hash) pair is a no-op. With
+// in-flight leases the split runs over the fantasized view
+// (History.Fantasized): pending points carry the component-wise
+// constant-liar vector, so the nondominated ranking sees them like any
+// other observation and steers concurrent batch picks apart; with no
+// pending work the view is the history itself and the fit is
+// bit-identical to the overlay-free behavior.
 func (m *motpeModel) Fit(h *core.History) error {
 	gen := h.Generation()
-	if m.s != nil && m.fitHist == h && m.fitGen == gen {
+	pend := h.PendingHash()
+	if m.s != nil && m.fitHist == h && m.fitGen == gen && m.fitPend == pend {
 		return nil
 	}
-	m.vecs = HistoryVectors(h, m.vecs)
+	fh := h.Fantasized()
+	m.vecs = HistoryVectors(fh, m.vecs)
 	alpha := m.cfg.Quantile
 	if alpha == 0 {
 		alpha = 0.20 // the paper's default α, matching SurrogateConfig
 	}
-	target := int(math.Ceil(alpha * float64(h.Len())))
+	target := int(math.Ceil(alpha * float64(fh.Len())))
 	mask := ParetoSplit(m.vecs, target)
-	s, err := core.BuildMaskedSurrogate(h, mask, m.cfg)
+	s, err := core.BuildMaskedSurrogate(fh, mask, m.cfg)
 	if err != nil {
 		return err
 	}
 	m.s = s
 	m.fitHist = h
 	m.fitGen = gen
+	m.fitPend = pend
 	return nil
 }
 

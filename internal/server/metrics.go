@@ -61,14 +61,18 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 }
 
 // Snapshot renders the current counters and latency summaries.
-func (m *Metrics) Snapshot(sessions int, evaluations int64) httpapi.MetricsResponse {
+// pendingLeases and duplicateSuggestions are session-level aggregates
+// supplied by the caller (see Store.LeaseStats).
+func (m *Metrics) Snapshot(sessions int, evaluations int64, pendingLeases int, duplicateSuggestions int64) httpapi.MetricsResponse {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := httpapi.MetricsResponse{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Sessions:      sessions,
-		Evaluations:   evaluations,
-		Endpoints:     make(map[string]httpapi.EndpointMetrics, len(m.endpoints)),
+		UptimeSeconds:        time.Since(m.start).Seconds(),
+		Sessions:             sessions,
+		Evaluations:          evaluations,
+		PendingLeases:        pendingLeases,
+		DuplicateSuggestions: duplicateSuggestions,
+		Endpoints:            make(map[string]httpapi.EndpointMetrics, len(m.endpoints)),
 	}
 	for name, e := range m.endpoints {
 		em := httpapi.EndpointMetrics{Requests: e.requests, Errors: e.errors}

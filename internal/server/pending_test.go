@@ -1,0 +1,165 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// TestConcurrentSuggestNoDuplicates is the tentpole's race check: N
+// goroutines hammer Suggest on one session without observing anything,
+// so every handed-out candidate stays leased for the whole test. With
+// pending-aware ask/tell no candidate may ever be suggested twice
+// while its lease is live — across goroutines and across batches.
+// Run with -race.
+func TestConcurrentSuggestNoDuplicates(t *testing.T) {
+	store, err := OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	sp := space.New(
+		space.DiscreteInts("x", 0, 1, 2, 3, 4, 5, 6, 7),
+		space.DiscreteInts("y", 0, 1, 2, 3, 4, 5, 6, 7),
+		space.DiscreteInts("z", 0, 1, 2, 3, 4, 5, 6, 7),
+	)
+	sess, err := store.CreateWithSpace("fence", sp, nil, httpapi.SessionOptions{
+		Seed: 7, InitialSamples: 8, Liar: "min",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := func(c space.Config) float64 {
+		return (c[0]-3)*(c[0]-3) + (c[1]-5)*(c[1]-5) + (c[2]-1)*(c[2]-1)
+	}
+	// Push the session into the model phase first so the concurrent
+	// asks exercise the fantasized surrogate path, not just the
+	// uniform initial sampler.
+	for i := 0; i < 8; i++ {
+		picks, _, err := sess.Suggest(1, time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Observe(picks[0], value(picks[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		workers     = 16
+		asksPerGoro = 4
+	)
+	var (
+		mu   sync.Mutex
+		seen = make(map[string]int)
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < asksPerGoro; i++ {
+				picks, _, err := sess.Suggest(1+w%2, time.Minute)
+				if err != nil {
+					t.Errorf("worker %d: suggest: %v", w, err)
+					return
+				}
+				mu.Lock()
+				for _, c := range picks {
+					seen[sp.Key(c)]++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for key, n := range seen {
+		if n != 1 {
+			t.Fatalf("config %s suggested %d times while its lease was live", key, n)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no candidates suggested")
+	}
+	info := sess.Info()
+	if info.ActiveLeases != len(seen) {
+		t.Fatalf("ActiveLeases = %d, want %d (one per unobserved suggestion)", info.ActiveLeases, len(seen))
+	}
+	if info.DuplicateSuggestions != 0 {
+		t.Fatalf("DuplicateSuggestions = %d with every lease live, want 0", info.DuplicateSuggestions)
+	}
+	// Every live lease carries exactly one pending fantasy.
+	if got := sess.at.Tuner().History().PendingLen(); got != len(seen) {
+		t.Fatalf("PendingLen = %d, want %d", got, len(seen))
+	}
+}
+
+// TestRenewEndpoint drives lease renew/steal semantics through the
+// session layer: a renewed lease survives its original deadline, a
+// lapsed one is reported lost and its candidate returns to the pool.
+func TestRenewEndpoint(t *testing.T) {
+	store, err := OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	sp := space.New(
+		space.DiscreteInts("x", 0, 1, 2, 3),
+		space.DiscreteInts("y", 0, 1, 2, 3),
+	)
+	sess, err := store.CreateWithSpace("renew", sp, nil, httpapi.SessionOptions{Seed: 1, InitialSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks, _, err := sess.Suggest(2, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 2 {
+		t.Fatalf("suggested %d, want 2", len(picks))
+	}
+	renewed, lost := sess.Renew(picks[:1], time.Minute)
+	if renewed != 1 || len(lost) != 0 {
+		t.Fatalf("Renew = %d renewed, %d lost; want 1, 0", renewed, len(lost))
+	}
+	time.Sleep(80 * time.Millisecond)
+	// The unrenewed lease lapsed; renewing it now reports it lost.
+	renewed, lost = sess.Renew(picks[1:2], time.Minute)
+	if renewed != 0 || len(lost) != 1 {
+		t.Fatalf("post-expiry Renew = %d renewed, %d lost; want 0, 1", renewed, len(lost))
+	}
+	info := sess.Info()
+	if info.ActiveLeases != 1 {
+		t.Fatalf("ActiveLeases = %d, want only the renewed lease", info.ActiveLeases)
+	}
+}
+
+// TestSuggestRejectsForeverLeaseUnderFiniteDefault pins the satellite:
+// lease_seconds < 0 asks for an immortal lease, which a server with a
+// finite default lease must refuse rather than let a crashed worker
+// strand candidates forever.
+func TestSuggestRejectsForeverLeaseUnderFiniteDefault(t *testing.T) {
+	srv := &Server{DefaultLease: 10 * time.Minute}
+	if _, err := srv.leaseTTL(-1); err == nil {
+		t.Fatal("leaseTTL accepted a forever lease under a finite default")
+	}
+	if ttl, err := srv.leaseTTL(0); err != nil || ttl != 10*time.Minute {
+		t.Fatalf("leaseTTL(0) = %v, %v; want the default", ttl, err)
+	}
+	if ttl, err := srv.leaseTTL(1.5); err != nil || ttl != 1500*time.Millisecond {
+		t.Fatalf("leaseTTL(1.5) = %v, %v", ttl, err)
+	}
+	// With no finite default (-lease 0) forever leases are honored.
+	open := &Server{DefaultLease: 0}
+	if ttl, err := open.leaseTTL(-1); err != nil || ttl >= 0 {
+		t.Fatalf("leaseTTL(-1) with no default = %v, %v; want a negative (forever) ttl", ttl, err)
+	}
+}

@@ -12,6 +12,7 @@
 //	GET    /v1/sessions/{id}          progress: best-so-far, counts, importance
 //	DELETE /v1/sessions/{id}          drop a session and its journal
 //	POST   /v1/sessions/{id}/suggest  lease a batch of candidates
+//	POST   /v1/sessions/{id}/renew    extend leases a worker still holds
 //	POST   /v1/sessions/{id}/observe  report results (idempotent)
 //	GET    /healthz                   liveness
 //	GET    /metrics                   request counters + latency summaries
@@ -63,6 +64,7 @@ func New(store *Store, logger *log.Logger) *Server {
 	s.route("GET /v1/sessions/{id}", "status", s.handleStatus)
 	s.route("DELETE /v1/sessions/{id}", "delete", s.handleDelete)
 	s.route("POST /v1/sessions/{id}/suggest", "suggest", s.handleSuggest)
+	s.route("POST /v1/sessions/{id}/renew", "renew", s.handleRenew)
 	s.route("POST /v1/sessions/{id}/observe", "observe", s.handleObserve)
 	s.route("GET /healthz", "healthz", s.handleHealth)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
@@ -75,7 +77,8 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // MetricsSnapshot renders the current metrics payload.
 func (s *Server) MetricsSnapshot() httpapi.MetricsResponse {
-	return s.metrics.Snapshot(s.store.Len(), s.store.Evaluations())
+	pending, dups := s.store.LeaseStats()
+	return s.metrics.Snapshot(s.store.Len(), s.store.Evaluations(), pending, dups)
 }
 
 // ServeHTTP implements http.Handler.
@@ -161,9 +164,9 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) (int, err
 	if count < 0 || count > s.MaxBatch {
 		return http.StatusBadRequest, fmt.Errorf("server: count %d outside [1,%d]", count, s.MaxBatch)
 	}
-	ttl := s.DefaultLease
-	if req.LeaseSeconds != 0 {
-		ttl = time.Duration(req.LeaseSeconds * float64(time.Second))
+	ttl, err := s.leaseTTL(req.LeaseSeconds)
+	if err != nil {
+		return http.StatusBadRequest, err
 	}
 	picks, phase, err := sess.Suggest(count, ttl)
 	if err != nil {
@@ -176,6 +179,56 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) (int, err
 	}
 	for i, c := range picks {
 		resp.Candidates[i] = sess.Space().Labels(c)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// leaseTTL resolves a request's lease_seconds against the server
+// default. Negative values mean "lease forever", which is only honored
+// when the server itself runs without a lease bound (-lease 0):
+// otherwise a crashed worker holding an immortal lease would strand
+// its candidates for the daemon's lifetime, so the request is rejected
+// with 400 instead of silently outliving the operator's policy.
+func (s *Server) leaseTTL(leaseSeconds float64) (time.Duration, error) {
+	if leaseSeconds == 0 {
+		return s.DefaultLease, nil
+	}
+	if leaseSeconds < 0 && s.DefaultLease > 0 {
+		return 0, fmt.Errorf("server: lease_seconds %v requests a forever lease, but this server enforces a finite lease (default %s)",
+			leaseSeconds, s.DefaultLease)
+	}
+	return time.Duration(leaseSeconds * float64(time.Second)), nil
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) (int, error) {
+	sess, err := s.store.Get(r.PathValue("id"))
+	if err != nil {
+		return http.StatusNotFound, err
+	}
+	var req httpapi.RenewRequest
+	if err := decodeBody(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if len(req.Configs) == 0 {
+		return http.StatusBadRequest, fmt.Errorf("server: renew request without configs")
+	}
+	ttl, err := s.leaseTTL(req.LeaseSeconds)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	configs := make([]space.Config, len(req.Configs))
+	for i, labels := range req.Configs {
+		c, err := sess.Space().FromLabels(labels)
+		if err != nil {
+			return http.StatusBadRequest, fmt.Errorf("server: config %d: %w", i, err)
+		}
+		configs[i] = c
+	}
+	renewed, lost := sess.Renew(configs, ttl)
+	resp := httpapi.RenewResponse{Renewed: renewed}
+	for _, c := range lost {
+		resp.Lost = append(resp.Lost, sess.Space().Labels(c))
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil

@@ -67,6 +67,19 @@ func (s *Session) Suggest(k int, ttl time.Duration) ([]space.Config, string, err
 	return picks, phase, nil
 }
 
+// Renew extends the leases on the given configurations from now. The
+// second return lists configs that were no longer leased (expired and
+// returned to the pool, possibly already re-suggested elsewhere); the
+// caller should abandon those evaluations. ttl <= 0 renews forever.
+func (s *Session) Renew(configs []space.Config, ttl time.Duration) (renewed int, lost []space.Config) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	renewed, lost = s.at.Renew(configs, ttl, now)
+	s.publishLocked(now)
+	return renewed, lost
+}
+
 // Observe validates and folds in one evaluated result. Configurations
 // already in the history are idempotent duplicates (added=false, no
 // error); invalid configurations return an *InvalidConfigError. A
@@ -216,6 +229,8 @@ func (s *Session) publishLocked(now time.Time) {
 		Strategy:       t.EngineName(),
 		ActiveLeases:   s.at.Leases(now),
 		CreatedAt:      s.created.UTC().Format(time.RFC3339),
+
+		DuplicateSuggestions: s.at.DuplicateSuggestions(),
 	}
 	if t.Evaluations() > 0 {
 		best := t.Best()

@@ -54,6 +54,11 @@ type StoreConfig struct {
 	// create time and journaled in the session header, so restarts
 	// with a different default do not change resumed sessions.
 	DefaultObjectives []string
+	// DefaultLiar is the constant-liar policy ("min", "mean", "max")
+	// applied to sessions created without an explicit liar option.
+	// Like the other defaults it is resolved at create time and
+	// journaled in the session header.
+	DefaultLiar string
 }
 
 // Store owns the daemon's sessions: creation, lookup, deletion, and
@@ -250,6 +255,9 @@ func (st *Store) CreateWithSpace(name string, sp *space.Space, spaceJSON json.Ra
 	if len(opts.Objectives) == 0 {
 		opts.Objectives = st.cfg.DefaultObjectives
 	}
+	if opts.Liar == "" {
+		opts.Liar = st.cfg.DefaultLiar
+	}
 	if len(opts.Objectives) > 1 && opts.Strategy == "" {
 		// Multi-objective sessions default to the Pareto-split engine;
 		// resolved here so the journal header records the effective
@@ -389,6 +397,18 @@ func (st *Store) Evaluations() int64 {
 	return n
 }
 
+// LeaseStats sums live lease counts and duplicate-suggestion counters
+// across sessions. Like Evaluations it reads lock-free snapshots, so
+// scraping /metrics never contends with the ask/tell hot path.
+func (st *Store) LeaseStats() (pending int, duplicates int64) {
+	for _, s := range st.all() {
+		snap := s.Snapshot()
+		pending += snap.ActiveLeases
+		duplicates += snap.DuplicateSuggestions
+	}
+	return pending, duplicates
+}
+
 // JournalErrors reports sessions whose journal writes have failed, as
 // "id: error" strings sorted by id — the /healthz degraded payload.
 func (st *Store) JournalErrors() []string {
@@ -468,10 +488,16 @@ func coreOptions(o httpapi.SessionOptions) (core.Options, error) {
 		ProposalCandidates: o.ProposalCandidates,
 		PoolCap:            o.PoolCap,
 		CandidateSamples:   o.CandidateSamples,
+		Liar:               o.Liar,
 		Surrogate:          coreSurrogateConfig(o),
 	}
 	if o.CandidateSamples < 0 {
 		return core.Options{}, fmt.Errorf("server: candidate_samples must be >= 0, got %d", o.CandidateSamples)
+	}
+	// Liar is validated here so a bad policy fails creation with 400
+	// before the journal header is written, like a bad strategy.
+	if _, err := core.ParseLiarPolicy(o.Liar); err != nil {
+		return core.Options{}, fmt.Errorf("server: %w", err)
 	}
 	// Strategy selects any registered engine by name ("ranking",
 	// "proposal", "random", "geist" when compiled in, ...). The empty
