@@ -50,6 +50,9 @@ func main() {
 		poolCap    = flag.Int("pool-cap", 0, "default sampled-pool size for sessions on spaces too large to enumerate (0 = built-in default; sessions may override per create)")
 		objectives = flag.String("objectives", "", "default objective specs for sessions created without any, comma-separated (e.g. \"p95_latency_ms,cost\"; two or more default the strategy to motpe)")
 		liar       = flag.String("liar", "", "default constant-liar policy for leased candidates: min, mean, or max (empty = mean; sessions may override per create)")
+		snapEvents = flag.Int("snapshot-events", 4096, "compact a session's journal to a snapshot + tail once the tail holds this many events (0 = no event trigger)")
+		snapBytes  = flag.Int("snapshot-bytes", 4<<20, "compact once a session's journal reaches this many bytes (0 = no byte trigger; both triggers 0 = journals grow forever)")
+		maxLive    = flag.Int("max-live-sessions", 0, "keep at most this many sessions hydrated in memory, compacting the least-recently-used ones to their snapshots and rehydrating on demand (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -75,12 +78,16 @@ func main() {
 		DefaultPoolCap:    *poolCap,
 		DefaultObjectives: defaultObjectives,
 		DefaultLiar:       *liar,
+		SnapshotEvents:    *snapEvents,
+		SnapshotBytes:     *snapBytes,
+		MaxLiveSessions:   *maxLive,
+		Logf:              logger.Printf,
 	})
 	if err != nil {
 		logger.Fatalf("hiperbotd: %v", err)
 	}
 	if n := store.Len(); n > 0 {
-		logger.Printf("hiperbotd: resumed %d session(s) from %s", n, *data)
+		logger.Printf("hiperbotd: resumed %d session(s) from %s (%d live)", n, *data, store.LiveLen())
 	}
 
 	srv := server.New(store, logger)

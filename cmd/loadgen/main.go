@@ -7,12 +7,20 @@
 //
 //	loadgen -sessions 8 -workers 8 -evals 500          # self-contained (in-process daemon, in-memory store)
 //	loadgen -server http://localhost:8080 -sessions 4  # against a running daemon
+//	loadgen -roundrobin -sessions 5000 -workers 64 -data /tmp/lg \
+//	        -max-live-sessions 256 -snapshot-events 4   # many-session eviction smoke
 //
-// In self-contained mode the daemon runs in-process over an in-memory
-// store, so the numbers measure the serving stack (HTTP, store
-// sharding, session locking, tuner hot path) without journal I/O.
-// loadgen exits non-zero when any request errored or no evaluations
-// completed, so it doubles as an end-to-end smoke test.
+// In self-contained mode the daemon runs in-process; with -data empty
+// the store is in-memory, so the numbers measure the serving stack
+// (HTTP, store sharding, session locking, tuner hot path) without
+// journal I/O. With -data set the store journals (and, with the
+// snapshot/eviction flags, compacts and evicts) exactly like a real
+// daemon. -roundrobin switches from W pinned workers per session to
+// one global pool of W workers cycling over all sessions — the shape
+// that drives session counts far past -max-live-sessions. loadgen
+// exits non-zero when any request errored, no evaluations completed,
+// any journal write failed, or the post-run heap exceeds -max-heap-mb,
+// so it doubles as an end-to-end smoke test.
 package main
 
 import (
@@ -21,10 +29,12 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpcautotune/hiperbot/client"
@@ -50,6 +60,13 @@ func main() {
 		maxDup    = flag.Float64("max-dup-rate", -1, "fail when the duplicate-suggestion fraction exceeds this (e.g. 0.001; <0 = report only)")
 		keep      = flag.Bool("keep", false, "keep the sessions on the daemon after the run")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile (covers the in-process daemon too)")
+
+		roundrobin = flag.Bool("roundrobin", false, "one global pool of -workers workers round-robins over all sessions (many-session mode) instead of pinning -workers per session")
+		dataDir    = flag.String("data", "", "self-contained mode: journal directory for the in-process daemon (empty = in-memory store)")
+		maxLive    = flag.Int("max-live-sessions", 0, "self-contained mode: cap on hydrated sessions; LRU-evict the rest to snapshots (0 = unlimited; needs -data)")
+		snapEvents = flag.Int("snapshot-events", 0, "self-contained mode: journal-tail events that trigger snapshot compaction (0 = off)")
+		snapBytes  = flag.Int("snapshot-bytes", 0, "self-contained mode: journal bytes that trigger snapshot compaction (0 = off)")
+		maxHeapMB  = flag.Int("max-heap-mb", 0, "fail when the post-run heap (after GC) exceeds this many MB (0 = report only)")
 	)
 	flag.Parse()
 	if *cpuprof != "" {
@@ -70,8 +87,14 @@ func main() {
 	}
 
 	base := *serverURL
+	var store *server.Store // non-nil in self-contained mode: end-of-run persistence checks
 	if base == "" {
-		store, err := server.OpenStore("")
+		var err error
+		store, err = server.OpenStoreWithConfig(*dataDir, server.StoreConfig{
+			SnapshotEvents:  *snapEvents,
+			SnapshotBytes:   *snapBytes,
+			MaxLiveSessions: *maxLive,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
@@ -158,65 +181,105 @@ func main() {
 		mu.Unlock()
 	}
 
+	// round runs one suggest→observe cycle against a session and
+	// reports whether the session is finished (target reached or pool
+	// exhausted). Shared by both worker shapes.
+	round := func(id string) (finished bool, err error) {
+		t0 := time.Now()
+		sug, err := cl.Suggest(ctx, id, *batch, *lease)
+		if err != nil {
+			return false, fmt.Errorf("suggest %s: %w", id, err)
+		}
+		record(&askLat, time.Since(t0))
+		mu.Lock()
+		asks++
+		mu.Unlock()
+		if len(sug.Candidates) == 0 {
+			return true, nil // pool exhausted (or fully leased by faster workers)
+		}
+		results := make([]client.Result, 0, len(sug.Candidates))
+		for _, cfg := range sug.Candidates {
+			c, err := sp.FromLabels(cfg)
+			if err != nil {
+				return false, fmt.Errorf("parse candidate %s: %w", id, err)
+			}
+			key := sp.Key(c)
+			mu.Lock()
+			suggested++
+			if seen[id][key] {
+				dups++
+			} else {
+				seen[id][key] = true
+			}
+			mu.Unlock()
+			r := client.Result{Config: cfg, Value: objective(c)}
+			if len(objectives) > 0 {
+				r.Metrics = metrics(c)
+			}
+			results = append(results, r)
+		}
+		t1 := time.Now()
+		resp, err := cl.Observe(ctx, id, results)
+		if err != nil {
+			return false, fmt.Errorf("observe %s: %w", id, err)
+		}
+		record(&obsLat, time.Since(t1))
+		mu.Lock()
+		observes++
+		added += int64(resp.Added)
+		mu.Unlock()
+		return resp.Evaluations >= *evals, nil
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
-	for _, id := range ids {
+	if *roundrobin {
+		// Many-session shape: -workers is a global pool cycling over all
+		// sessions, so 5000 sessions don't need 5000×W goroutines — and a
+		// store capped with -max-live-sessions sees exactly the
+		// evict-cold/rehydrate-on-return access pattern it is built for.
+		var next atomic.Int64
+		var remaining atomic.Int64
+		remaining.Store(int64(len(ids)))
+		done := make([]atomic.Bool, len(ids))
 		for w := 0; w < *workers; w++ {
 			wg.Add(1)
-			go func(id string) {
+			go func() {
 				defer wg.Done()
-				for {
-					t0 := time.Now()
-					sug, err := cl.Suggest(ctx, id, *batch, *lease)
+				for remaining.Load() > 0 {
+					i := int(next.Add(1)-1) % len(ids)
+					if done[i].Load() {
+						continue
+					}
+					finished, err := round(ids[i])
 					if err != nil {
-						fail(fmt.Errorf("suggest %s: %w", id, err))
+						fail(err)
 						return
 					}
-					record(&askLat, time.Since(t0))
-					mu.Lock()
-					asks++
-					mu.Unlock()
-					if len(sug.Candidates) == 0 {
-						return // pool exhausted (or fully leased by faster workers)
-					}
-					results := make([]client.Result, 0, len(sug.Candidates))
-					for _, cfg := range sug.Candidates {
-						c, err := sp.FromLabels(cfg)
-						if err != nil {
-							fail(fmt.Errorf("parse candidate %s: %w", id, err))
-							return
-						}
-						key := sp.Key(c)
-						mu.Lock()
-						suggested++
-						if seen[id][key] {
-							dups++
-						} else {
-							seen[id][key] = true
-						}
-						mu.Unlock()
-						r := client.Result{Config: cfg, Value: objective(c)}
-						if len(objectives) > 0 {
-							r.Metrics = metrics(c)
-						}
-						results = append(results, r)
-					}
-					t1 := time.Now()
-					resp, err := cl.Observe(ctx, id, results)
-					if err != nil {
-						fail(fmt.Errorf("observe %s: %w", id, err))
-						return
-					}
-					record(&obsLat, time.Since(t1))
-					mu.Lock()
-					observes++
-					added += int64(resp.Added)
-					mu.Unlock()
-					if resp.Evaluations >= *evals {
-						return
+					if finished && done[i].CompareAndSwap(false, true) {
+						remaining.Add(-1)
 					}
 				}
-			}(id)
+			}()
+		}
+	} else {
+		for _, id := range ids {
+			for w := 0; w < *workers; w++ {
+				wg.Add(1)
+				go func(id string) {
+					defer wg.Done()
+					for {
+						finished, err := round(id)
+						if err != nil {
+							fail(err)
+							return
+						}
+						if finished {
+							return
+						}
+					}
+				}(id)
+			}
 		}
 	}
 	wg.Wait()
@@ -246,6 +309,33 @@ func main() {
 	if *maxDup >= 0 && dupRate > *maxDup {
 		fmt.Fprintf(os.Stderr, "loadgen: duplicate rate %.4f%% exceeds -max-dup-rate %.4f%%\n",
 			100*dupRate, 100**maxDup)
+		os.Exit(1)
+	}
+	if store != nil {
+		ss := store.Stats()
+		fmt.Printf("loadgen: store: %d sessions (%d live), %d compaction(s), %d eviction(s), %d rehydration(s)\n",
+			ss.Sessions, ss.LiveSessions, ss.Compactions, ss.Evictions, ss.Rehydrations)
+		if je := store.JournalErrors(); len(je) > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: %d journal error(s); first: %s\n", len(je), je[0])
+			os.Exit(1)
+		}
+		if *maxLive > 0 && ss.LiveSessions > *maxLive {
+			fmt.Fprintf(os.Stderr, "loadgen: %d live sessions exceed -max-live-sessions %d\n", ss.LiveSessions, *maxLive)
+			os.Exit(1)
+		}
+	}
+	// Heap check last: everything the run allocated that the store
+	// doesn't retain (latency samples, seen-sets) is still reachable
+	// here, so this bounds the store's hot-set memory plus harness
+	// overhead — an eviction regression (sessions never dropped) blows
+	// well past any sane budget.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heapMB := float64(ms.HeapAlloc) / (1 << 20)
+	fmt.Printf("loadgen: heap after GC: %.1f MB\n", heapMB)
+	if *maxHeapMB > 0 && heapMB > float64(*maxHeapMB) {
+		fmt.Fprintf(os.Stderr, "loadgen: heap %.1f MB exceeds -max-heap-mb %d\n", heapMB, *maxHeapMB)
 		os.Exit(1)
 	}
 }

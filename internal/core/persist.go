@@ -57,13 +57,24 @@ func LoadHistoryCSV(sp *space.Space, r io.Reader) (*History, error) {
 // Step/Run, and every resumed configuration must be valid (and, under
 // Ranking, part of the candidate pool).
 func (t *Tuner) Resume(h *History) error {
+	if h == nil {
+		return fmt.Errorf("core: Resume with an empty history")
+	}
+	return t.ResumeObs(h.Observations())
+}
+
+// ResumeObs is Resume over a bare observation slice — the snapshot
+// restore path, which unpacks canonical vectors directly instead of
+// building an intermediate History first.
+func (t *Tuner) ResumeObs(obs []Observation) error {
 	if t.history.Len() > 0 {
 		return fmt.Errorf("core: Resume after evaluations have started")
 	}
-	if h == nil || h.Len() == 0 {
+	if len(obs) == 0 {
 		return fmt.Errorf("core: Resume with an empty history")
 	}
-	for _, o := range h.Observations() {
+	t.history.Grow(len(obs))
+	for _, o := range obs {
 		if err := t.sp.Check(o.Config); err != nil {
 			return fmt.Errorf("core: resumed observation invalid: %w", err)
 		}

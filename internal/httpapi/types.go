@@ -179,6 +179,23 @@ type SessionInfo struct {
 	Best                 *Result           `json:"best,omitempty"`
 	Importance           []ImportanceEntry `json:"importance,omitempty"`
 	CreatedAt            string            `json:"created_at,omitempty"`
+	// SnapshotEvents counts the observations compacted into the
+	// session's on-disk snapshot; zero means the session has never been
+	// compacted and its journal holds the full history.
+	SnapshotEvents int `json:"snapshot_events,omitempty"`
+	// SnapshotBytes is the snapshot file's size on disk.
+	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+	// SnapshotAgeSeconds is how long ago the snapshot was written.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds,omitempty"`
+	// JournalTailEvents counts the observations living only in the
+	// journal tail — what a restart would replay after loading the
+	// snapshot.
+	JournalTailEvents int `json:"journal_tail_events,omitempty"`
+	// Evicted reports that the session is compacted out of memory
+	// (under -max-live-sessions pressure); any suggest/observe/status
+	// call rehydrates it transparently. Listing shows the info
+	// published at eviction time.
+	Evicted bool `json:"evicted,omitempty"`
 	// Objectives echoes the session's objective specs (empty on
 	// legacy single-objective sessions).
 	Objectives []string `json:"objectives,omitempty"`
@@ -223,8 +240,21 @@ type EndpointMetrics struct {
 // MetricsResponse is the /metrics payload.
 type MetricsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	Sessions      int     `json:"sessions"`
-	Evaluations   int64   `json:"evaluations"`
+	// Sessions counts every session the store knows, live or evicted.
+	Sessions int `json:"sessions"`
+	// LiveSessions counts sessions currently hydrated in memory; the
+	// difference from Sessions is the evicted (snapshot-only) set.
+	LiveSessions int   `json:"live_sessions"`
+	Evaluations  int64 `json:"evaluations"`
+	// EvictionsTotal counts sessions compacted out of memory under the
+	// -max-live-sessions cap since the daemon started.
+	EvictionsTotal int64 `json:"evictions_total"`
+	// RehydrationsTotal counts evicted sessions rebuilt on demand from
+	// snapshot + journal tail.
+	RehydrationsTotal int64 `json:"rehydrations_total"`
+	// SnapshotCompactionsTotal counts journal-to-snapshot compactions
+	// (threshold-triggered and eviction-triggered).
+	SnapshotCompactionsTotal int64 `json:"snapshot_compactions_total"`
 	// PendingLeases is the live lease count summed over sessions — the
 	// number of candidates currently out with workers.
 	PendingLeases int `json:"pending_leases"`

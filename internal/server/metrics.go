@@ -60,19 +60,22 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 	}
 }
 
-// Snapshot renders the current counters and latency summaries.
-// pendingLeases and duplicateSuggestions are session-level aggregates
-// supplied by the caller (see Store.LeaseStats).
-func (m *Metrics) Snapshot(sessions int, evaluations int64, pendingLeases int, duplicateSuggestions int64) httpapi.MetricsResponse {
+// Snapshot renders the current counters and latency summaries. The
+// session-level aggregates come from the caller's Store.Stats().
+func (m *Metrics) Snapshot(ss StoreStats) httpapi.MetricsResponse {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := httpapi.MetricsResponse{
-		UptimeSeconds:        time.Since(m.start).Seconds(),
-		Sessions:             sessions,
-		Evaluations:          evaluations,
-		PendingLeases:        pendingLeases,
-		DuplicateSuggestions: duplicateSuggestions,
-		Endpoints:            make(map[string]httpapi.EndpointMetrics, len(m.endpoints)),
+		UptimeSeconds:            time.Since(m.start).Seconds(),
+		Sessions:                 ss.Sessions,
+		LiveSessions:             ss.LiveSessions,
+		Evaluations:              ss.Evaluations,
+		PendingLeases:            ss.PendingLeases,
+		DuplicateSuggestions:     ss.DuplicateSuggestions,
+		EvictionsTotal:           ss.Evictions,
+		RehydrationsTotal:        ss.Rehydrations,
+		SnapshotCompactionsTotal: ss.Compactions,
+		Endpoints:                make(map[string]httpapi.EndpointMetrics, len(m.endpoints)),
 	}
 	for name, e := range m.endpoints {
 		em := httpapi.EndpointMetrics{Requests: e.requests, Errors: e.errors}

@@ -126,13 +126,19 @@ func TestRenewEndpoint(t *testing.T) {
 	if len(picks) != 2 {
 		t.Fatalf("suggested %d, want 2", len(picks))
 	}
-	renewed, lost := sess.Renew(picks[:1], time.Minute)
+	renewed, lost, err := sess.Renew(picks[:1], time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if renewed != 1 || len(lost) != 0 {
 		t.Fatalf("Renew = %d renewed, %d lost; want 1, 0", renewed, len(lost))
 	}
 	time.Sleep(80 * time.Millisecond)
 	// The unrenewed lease lapsed; renewing it now reports it lost.
-	renewed, lost = sess.Renew(picks[1:2], time.Minute)
+	renewed, lost, err = sess.Renew(picks[1:2], time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if renewed != 0 || len(lost) != 1 {
 		t.Fatalf("post-expiry Renew = %d renewed, %d lost; want 0, 1", renewed, len(lost))
 	}

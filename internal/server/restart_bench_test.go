@@ -1,0 +1,96 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// benchSpace is large enough (16^8 configs) that the tuner runs the
+// pool-free sampling engine — the realistic shape for sessions that
+// accumulate enough history for restart time to matter.
+func benchSpace() *space.Space {
+	levels := make([]int, 16)
+	for i := range levels {
+		levels[i] = i
+	}
+	names := []string{"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+	params := make([]space.Param, len(names))
+	for i, n := range names {
+		params[i] = space.DiscreteInts(n, levels...)
+	}
+	return space.New(params...)
+}
+
+// benchConfig maps i to a distinct config: base-16 digits across the
+// eight axes.
+func benchConfig(i int) space.Config {
+	c := make(space.Config, 8)
+	for d := 0; d < 8; d++ {
+		c[d] = float64(i % 16)
+		i /= 16
+	}
+	return c
+}
+
+// seedBenchDir builds a data directory holding one session with
+// nEvents observations, journaled under cfg. InitialSamples is set
+// above nEvents so every observe (and the eventual resume) stays in
+// the cheap initial phase: the benchmark then isolates persistence
+// cost, not surrogate refits.
+func seedBenchDir(b *testing.B, dir string, nEvents int, cfg StoreConfig) {
+	b.Helper()
+	store, err := OpenStoreWithConfig(dir, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := store.CreateWithSpace("bench", benchSpace(), nil,
+		httpapi.SessionOptions{Seed: 1, InitialSamples: nEvents * 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nEvents; i++ {
+		if _, err := sess.Observe(benchConfig(i), float64(i%997)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchmarkStoreOpen measures a cold OpenStoreWithConfig on the seeded
+// directory — the daemon-restart path.
+func benchmarkStoreOpen(b *testing.B, nEvents int, seedCfg StoreConfig) {
+	dir := b.TempDir()
+	seedBenchDir(b, dir, nEvents, seedCfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store, err := OpenStoreWithConfig(dir, StoreConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := store.Len(); got != 1 {
+			b.Fatalf("resumed %d sessions, want 1", got)
+		}
+		b.StopTimer()
+		if err := store.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkStoreOpenFullReplay10k restarts from a 10k-line journal
+// with no snapshot — the pre-compaction worst case: 10k JSON decodes
+// plus 10k label-map parses before the history replay even starts.
+func BenchmarkStoreOpenFullReplay10k(b *testing.B) {
+	benchmarkStoreOpen(b, 10_000, StoreConfig{})
+}
+
+// BenchmarkStoreOpenSnapshot10k restarts the same 10k events from a
+// snapshot (packed binary columns, one JSON line) plus an empty tail.
+func BenchmarkStoreOpenSnapshot10k(b *testing.B) {
+	benchmarkStoreOpen(b, 10_000, StoreConfig{SnapshotEvents: 10_000})
+}

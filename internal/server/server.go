@@ -77,8 +77,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // MetricsSnapshot renders the current metrics payload.
 func (s *Server) MetricsSnapshot() httpapi.MetricsResponse {
-	pending, dups := s.store.LeaseStats()
-	return s.metrics.Snapshot(s.store.Len(), s.store.Evaluations(), pending, dups)
+	return s.metrics.Snapshot(s.store.Stats())
 }
 
 // ServeHTTP implements http.Handler.
@@ -118,9 +117,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) (int, erro
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) (int, error) {
-	resp := httpapi.SessionListResponse{Sessions: []httpapi.SessionInfo{}}
-	for _, sess := range s.store.List() {
-		resp.Sessions = append(resp.Sessions, sess.Info())
+	// Infos serves evicted sessions from their eviction-time snapshot
+	// info — listing 100k sessions must not rehydrate 100k tuners.
+	resp := httpapi.SessionListResponse{Sessions: s.store.Infos()}
+	if resp.Sessions == nil {
+		resp.Sessions = []httpapi.SessionInfo{}
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
@@ -149,10 +150,6 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) (int, erro
 }
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) (int, error) {
-	sess, err := s.store.Get(r.PathValue("id"))
-	if err != nil {
-		return http.StatusNotFound, err
-	}
 	var req httpapi.SuggestRequest
 	if err := decodeBody(r, &req); err != nil {
 		return http.StatusBadRequest, err
@@ -168,17 +165,29 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) (int, err
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
-	picks, phase, err := sess.Suggest(count, ttl)
-	if err != nil {
+	// WithSession retries when eviction races the call: the stale
+	// handle's Suggest fails with ErrEvicted and the retry rehydrates.
+	var resp httpapi.SuggestResponse
+	err = s.store.WithSession(r.PathValue("id"), func(sess *Session) error {
+		picks, phase, err := sess.Suggest(count, ttl)
+		if err != nil {
+			return err
+		}
+		resp = httpapi.SuggestResponse{
+			Candidates: make([]map[string]string, len(picks)),
+			Phase:      phase,
+			Exhausted:  len(picks) == 0,
+		}
+		for i, c := range picks {
+			resp.Candidates[i] = sess.Space().Labels(c)
+		}
+		return nil
+	})
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, err
+	case err != nil:
 		return http.StatusConflict, err
-	}
-	resp := httpapi.SuggestResponse{
-		Candidates: make([]map[string]string, len(picks)),
-		Phase:      phase,
-		Exhausted:  len(picks) == 0,
-	}
-	for i, c := range picks {
-		resp.Candidates[i] = sess.Space().Labels(c)
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
@@ -202,10 +211,6 @@ func (s *Server) leaseTTL(leaseSeconds float64) (time.Duration, error) {
 }
 
 func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) (int, error) {
-	sess, err := s.store.Get(r.PathValue("id"))
-	if err != nil {
-		return http.StatusNotFound, err
-	}
 	var req httpapi.RenewRequest
 	if err := decodeBody(r, &req); err != nil {
 		return http.StatusBadRequest, err
@@ -217,28 +222,41 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) (int, error
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
-	configs := make([]space.Config, len(req.Configs))
-	for i, labels := range req.Configs {
-		c, err := sess.Space().FromLabels(labels)
-		if err != nil {
-			return http.StatusBadRequest, fmt.Errorf("server: config %d: %w", i, err)
+	var resp httpapi.RenewResponse
+	var badReq error
+	err = s.store.WithSession(r.PathValue("id"), func(sess *Session) error {
+		configs := make([]space.Config, len(req.Configs))
+		for i, labels := range req.Configs {
+			c, err := sess.Space().FromLabels(labels)
+			if err != nil {
+				badReq = fmt.Errorf("server: config %d: %w", i, err)
+				return nil
+			}
+			configs[i] = c
 		}
-		configs[i] = c
-	}
-	renewed, lost := sess.Renew(configs, ttl)
-	resp := httpapi.RenewResponse{Renewed: renewed}
-	for _, c := range lost {
-		resp.Lost = append(resp.Lost, sess.Space().Labels(c))
+		renewed, lost, err := sess.Renew(configs, ttl)
+		if err != nil {
+			return err
+		}
+		resp = httpapi.RenewResponse{Renewed: renewed}
+		for _, c := range lost {
+			resp.Lost = append(resp.Lost, sess.Space().Labels(c))
+		}
+		return nil
+	})
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, err
+	case err != nil:
+		return http.StatusInternalServerError, err
+	case badReq != nil:
+		return http.StatusBadRequest, badReq
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) (int, error) {
-	sess, err := s.store.Get(r.PathValue("id"))
-	if err != nil {
-		return http.StatusNotFound, err
-	}
 	var req httpapi.ObserveRequest
 	if err := decodeBody(r, &req); err != nil {
 		return http.StatusBadRequest, err
@@ -246,38 +264,57 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) (int, err
 	if len(req.Results) == 0 {
 		return http.StatusBadRequest, fmt.Errorf("server: observe request without results")
 	}
-	// Parse and validate every configuration up front so a malformed
-	// entry rejects the whole batch instead of half-applying it.
-	configs := make([]space.Config, len(req.Results))
-	for i, res := range req.Results {
-		c, err := sess.Space().FromLabels(res.Config)
-		if err != nil {
-			return http.StatusBadRequest, fmt.Errorf("server: result %d: %w", i, err)
-		}
-		configs[i] = c
-	}
 	var resp httpapi.ObserveResponse
-	for i, c := range configs {
-		added, err := sess.ObserveResult(c, req.Results[i].Value, req.Results[i].Metrics)
-		var invConfig *InvalidConfigError
-		var invResult *InvalidResultError
-		switch {
-		case errors.As(err, &invConfig), errors.As(err, &invResult):
-			return http.StatusBadRequest, fmt.Errorf("server: result %d: %w", i, err)
-		case err != nil:
-			return http.StatusInternalServerError, err
-		case added:
-			resp.Added++
-		default:
-			resp.Duplicates++
+	var badReq error
+	// The retry contract is safe for half-applied batches: ObserveResult
+	// is idempotent (already-recorded configs count as duplicates), so a
+	// batch interrupted by eviction simply re-tells its prefix on the
+	// rehydrated session.
+	err := s.store.WithSession(r.PathValue("id"), func(sess *Session) error {
+		// Parse and validate every configuration up front so a malformed
+		// entry rejects the whole batch instead of half-applying it.
+		configs := make([]space.Config, len(req.Results))
+		for i, res := range req.Results {
+			c, err := sess.Space().FromLabels(res.Config)
+			if err != nil {
+				badReq = fmt.Errorf("server: result %d: %w", i, err)
+				return nil
+			}
+			configs[i] = c
 		}
+		resp = httpapi.ObserveResponse{}
+		for i, c := range configs {
+			added, err := sess.ObserveResult(c, req.Results[i].Value, req.Results[i].Metrics)
+			var invConfig *InvalidConfigError
+			var invResult *InvalidResultError
+			switch {
+			case errors.As(err, &invConfig), errors.As(err, &invResult):
+				badReq = fmt.Errorf("server: result %d: %w", i, err)
+				return nil
+			case err != nil:
+				return err
+			case added:
+				resp.Added++
+			default:
+				resp.Duplicates++
+			}
+		}
+		// Observe republished the snapshot on its way out; reading it
+		// here is lock-free and as fresh as the last result above.
+		info := sess.Snapshot()
+		resp.Evaluations = info.Evaluations
+		resp.Best = info.Best
+		resp.ParetoFront = info.ParetoFront
+		return nil
+	})
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, err
+	case err != nil:
+		return http.StatusInternalServerError, err
+	case badReq != nil:
+		return http.StatusBadRequest, badReq
 	}
-	// Observe republished the snapshot on its way out; reading it here
-	// is lock-free and as fresh as the last result above.
-	info := sess.Snapshot()
-	resp.Evaluations = info.Evaluations
-	resp.Best = info.Best
-	resp.ParetoFront = info.ParetoFront
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }

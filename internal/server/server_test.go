@@ -327,17 +327,15 @@ func TestJournalIsReadableByRecorderTooling(t *testing.T) {
 	id := createTestSession(t, srv, "journaled", httpapi.SessionOptions{Seed: 1, InitialSamples: 2})
 	drive(t, srv, id, 5, 2)
 
-	f, err := os.Open(filepath.Join(dir, id+".jsonl"))
+	tail, err := readJournalFile(filepath.Join(dir, id+".jsonl"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	_, _, hist, err := readJournal(f)
-	if err != nil {
-		t.Fatal(err)
+	if !tail.hdrOK {
+		t.Fatal("journal header did not parse")
 	}
-	if hist.Len() != 5 {
-		t.Fatalf("journal holds %d events, want 5", hist.Len())
+	if len(tail.events) != 5 {
+		t.Fatalf("journal holds %d events, want 5", len(tail.events))
 	}
 	// Best-so-far in the journal must be monotone non-increasing.
 	raw, err := os.ReadFile(filepath.Join(dir, id+".jsonl"))

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -28,14 +30,40 @@ import (
 // its own mutex, so a slow disk flush doesn't hold the session lock
 // either.
 type Session struct {
-	id      string
-	sp      *space.Space
-	opts    httpapi.SessionOptions
-	objs    objective.Set // zero value: legacy single-objective (minimize Value)
-	created time.Time
+	id        string
+	sp        *space.Space
+	opts      httpapi.SessionOptions
+	objs      objective.Set // zero value: legacy single-objective (minimize Value)
+	created   time.Time
+	store     *Store          // owning store (compaction config/paths); nil in tests that build sessions directly
+	spaceJSON json.RawMessage // journaled space document, reused by snapshot/tail headers
 
 	mu sync.RWMutex
 	at *core.AskTell
+	// evicted flips once, under mu, when the store compacts this
+	// session out of memory. Mutating calls that lose the race return
+	// ErrEvicted and the caller retries through Store.WithSession,
+	// which rehydrates a fresh Session from snapshot + tail.
+	evicted bool
+
+	// Snapshot-compaction state (under mu). snapBase counts the events
+	// covered by the on-disk snapshot; the journal holds the rest.
+	snapBase    int
+	snapSize    int64
+	snapAt      time.Time
+	compactedAt int // evaluation count at the last compaction attempt (retry damper)
+
+	// lastAccess orders sessions for LRU eviction; bumped lock-free on
+	// every store lookup.
+	lastAccess atomic.Int64
+
+	// pins counts in-flight Store.WithSession calls holding this
+	// session. pickVictim skips pinned sessions, so a request can't
+	// have its session evicted out from under it by cap enforcement —
+	// without the pin, a capped store whose other sessions are
+	// lease-protected would deterministically re-evict the session
+	// being rehydrated, livelocking the retry loop.
+	pins atomic.Int64
 
 	// rec and sink are set once at construction and never mutated, so
 	// JournalErr may read them without the session lock (both carry
@@ -45,6 +73,14 @@ type Session struct {
 
 	snap atomic.Pointer[httpapi.SessionInfo]
 }
+
+// ErrEvicted reports that a Session handle went stale because the
+// store compacted the session to its snapshot and dropped it from
+// memory. Callers retry via Store.WithSession, which rehydrates.
+var ErrEvicted = fmt.Errorf("server: session evicted")
+
+// touch records an access for LRU ordering.
+func (s *Session) touch() { s.lastAccess.Store(time.Now().UnixNano()) }
 
 // ID returns the session id.
 func (s *Session) ID() string { return s.id }
@@ -57,6 +93,9 @@ func (s *Session) Space() *space.Space { return s.sp }
 func (s *Session) Suggest(k int, ttl time.Duration) ([]space.Config, string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.evicted {
+		return nil, "", ErrEvicted
+	}
 	now := time.Now()
 	phase := phaseName(s.at.InitialPhase())
 	picks, err := s.at.Ask(k, ttl, now)
@@ -71,13 +110,16 @@ func (s *Session) Suggest(k int, ttl time.Duration) ([]space.Config, string, err
 // second return lists configs that were no longer leased (expired and
 // returned to the pool, possibly already re-suggested elsewhere); the
 // caller should abandon those evaluations. ttl <= 0 renews forever.
-func (s *Session) Renew(configs []space.Config, ttl time.Duration) (renewed int, lost []space.Config) {
+func (s *Session) Renew(configs []space.Config, ttl time.Duration) (renewed int, lost []space.Config, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.evicted {
+		return 0, nil, ErrEvicted
+	}
 	now := time.Now()
 	renewed, lost = s.at.Renew(configs, ttl, now)
 	s.publishLocked(now)
-	return renewed, lost
+	return renewed, lost, nil
 }
 
 // Observe validates and folds in one evaluated result. Configurations
@@ -115,15 +157,111 @@ func (s *Session) ObserveResult(c space.Config, value float64, metrics map[strin
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.evicted {
+		return false, ErrEvicted
+	}
 	added, err = s.at.TellObs(obs)
 	if err != nil {
 		return false, err
 	}
+	s.maybeCompactLocked(time.Now())
 	s.publishLocked(time.Now())
 	if jerr := s.JournalErr(); jerr != nil {
 		return added, fmt.Errorf("server: journal write failed: %w", jerr)
 	}
 	return added, nil
+}
+
+// maybeCompactLocked snapshots the session and truncates its journal
+// to a tail once the tail outgrows the store's event or byte
+// threshold. Compaction failures are logged, never surfaced to the
+// observe that tripped the threshold: the journal is still intact, so
+// nothing is lost, and the next observation retries.
+func (s *Session) maybeCompactLocked(now time.Time) {
+	st := s.store
+	if st == nil || s.sink == nil || (st.cfg.SnapshotEvents <= 0 && st.cfg.SnapshotBytes <= 0) {
+		return
+	}
+	n := s.at.Tuner().Evaluations()
+	tailEvents := n - s.snapBase
+	if tailEvents <= 0 || n <= s.compactedAt {
+		return
+	}
+	byEvents := st.cfg.SnapshotEvents > 0 && tailEvents >= st.cfg.SnapshotEvents
+	byBytes := st.cfg.SnapshotBytes > 0 && s.sink.Written() >= int64(st.cfg.SnapshotBytes)
+	if !byEvents && !byBytes {
+		return
+	}
+	if err := s.compactLocked(now); err != nil {
+		s.compactedAt = n // damp retries to one per new observation
+		st.logf("hiperbotd: session %s: snapshot compaction failed (will retry): %v", s.id, err)
+	}
+}
+
+// compactLocked writes the snapshot and swaps the journal for a fresh
+// tail. Callers hold the write lock. The protocol is crash-ordered:
+// the snapshot is durable (tmp + fsync + rename + dir sync) before
+// the journal is touched, and the journal rewrite is itself atomic,
+// so a kill -9 at any point leaves a resumable pair (see journal.go's
+// loadSessionState for the reconciliation).
+func (s *Session) compactLocked(now time.Time) error {
+	st := s.store
+	if st == nil || st.dir == "" || s.sink == nil {
+		return fmt.Errorf("server: session %s has no journal to compact", s.id)
+	}
+	t := s.at.Tuner()
+	n := t.Evaluations()
+	s.compactedAt = n
+	if n == s.snapBase {
+		return nil // snapshot already covers everything
+	}
+	// Drain buffered appends to the old journal first: the snapshot
+	// below captures them, but flushing keeps the old journal complete
+	// for the crash window before the snapshot rename lands.
+	if err := s.sink.Flush(false); err != nil {
+		return err
+	}
+	hdr := journalHeader{
+		ID:        s.id,
+		Space:     s.spaceJSON,
+		Options:   s.opts,
+		CreatedAt: s.created.UTC().Format(time.RFC3339),
+		Base:      n,
+	}
+	size, err := writeSnapshotFile(st.snapshotPath(s.id), hdr, t.History())
+	if err != nil {
+		return err
+	}
+	// Fresh tail: header-only journal written beside the live one,
+	// fsynced, renamed over it. The tmp fd survives the rename and
+	// becomes the sink's append target.
+	jpath := st.journalPath(s.id)
+	f, err := os.OpenFile(jpath+".tmp", os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := writeHeader(f, hdr); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(jpath + ".tmp")
+		return err
+	}
+	if err := os.Rename(jpath+".tmp", jpath); err != nil {
+		f.Close()
+		os.Remove(jpath + ".tmp")
+		return err
+	}
+	syncDir(st.dir)
+	if err := s.sink.swap(f); err != nil {
+		return err
+	}
+	s.snapBase = n
+	s.snapSize = size
+	s.snapAt = now
+	st.compactions.Add(1)
+	return nil
 }
 
 // checkFinite rejects NaN and ±Inf observations: they would poison
@@ -214,12 +352,18 @@ func (s *Session) Info() httpapi.SessionInfo {
 // observe responses).
 func (s *Session) Snapshot() httpapi.SessionInfo { return *s.snap.Load() }
 
-// publishLocked rebuilds and stores the lock-free info snapshot.
-// Callers hold the write lock (or exclusive ownership during
-// construction): Importance refits the engine's model, which mutates
-// tuner-owned state. The snapshot and its slices are immutable once
-// published; readers must not modify them.
-func (s *Session) publishLocked(now time.Time) {
+// publishBasicLocked publishes an info snapshot without the model-fit
+// extras (Importance, Pareto front) — the resume/rehydration path,
+// where refitting a surrogate per session would turn an O(snapshot)
+// restart into an O(model) one. The next Info() or mutation
+// republishes the full snapshot.
+func (s *Session) publishBasicLocked(now time.Time) {
+	s.snap.Store(s.baseInfoLocked(now))
+}
+
+// baseInfoLocked builds the cheap (no model refit) part of the info
+// snapshot shared by both publish paths.
+func (s *Session) baseInfoLocked(now time.Time) *httpapi.SessionInfo {
 	t := s.at.Tuner()
 	info := &httpapi.SessionInfo{
 		ID:             s.id,
@@ -231,6 +375,13 @@ func (s *Session) publishLocked(now time.Time) {
 		CreatedAt:      s.created.UTC().Format(time.RFC3339),
 
 		DuplicateSuggestions: s.at.DuplicateSuggestions(),
+		Evicted:              s.evicted,
+	}
+	if s.snapBase > 0 {
+		info.SnapshotEvents = s.snapBase
+		info.SnapshotBytes = s.snapSize
+		info.SnapshotAgeSeconds = now.Sub(s.snapAt).Seconds()
+		info.JournalTailEvents = t.Evaluations() - s.snapBase
 	}
 	if t.Evaluations() > 0 {
 		best := t.Best()
@@ -239,6 +390,17 @@ func (s *Session) publishLocked(now time.Time) {
 	if s.objs.Len() > 0 {
 		info.Objectives = s.objs.Names()
 	}
+	return info
+}
+
+// publishLocked rebuilds and stores the lock-free info snapshot.
+// Callers hold the write lock (or exclusive ownership during
+// construction): Importance refits the engine's model, which mutates
+// tuner-owned state. The snapshot and its slices are immutable once
+// published; readers must not modify them.
+func (s *Session) publishLocked(now time.Time) {
+	t := s.at.Tuner()
+	info := s.baseInfoLocked(now)
 	if s.objs.Multi() && t.Evaluations() > 0 {
 		info.ParetoFront = s.frontLocked(t)
 	}

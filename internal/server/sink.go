@@ -51,17 +51,52 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 // appends, so observes fail fast and /healthz degrades instead of
 // events vanishing silently.
 type journalSink struct {
-	mu     sync.Mutex
-	f      *os.File
-	buf    []byte
-	limit  int // buffered bytes that force an inline flush; 0 = write-through
-	policy FsyncPolicy
-	err    error
-	closed bool
+	mu      sync.Mutex
+	f       *os.File
+	buf     []byte
+	limit   int // buffered bytes that force an inline flush; 0 = write-through
+	policy  FsyncPolicy
+	written int64 // journal size: file bytes at open/swap + appends since
+	err     error
+	closed  bool
 }
 
 func newJournalSink(f *os.File, limit int, policy FsyncPolicy) *journalSink {
-	return &journalSink{f: f, limit: limit, policy: policy}
+	s := &journalSink{f: f, limit: limit, policy: policy}
+	if fi, err := f.Stat(); err == nil {
+		s.written = fi.Size() // resumed journals start at their on-disk size
+	}
+	return s
+}
+
+// Written returns the journal's byte size (on-disk plus buffered) —
+// the compaction byte-threshold input. Resets on swap.
+func (j *journalSink) Written() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.written
+}
+
+// swap replaces the sink's file with a freshly written tail journal
+// (compaction). The caller must have flushed the sink first and hold
+// the session lock so no appends race the swap; any bytes still
+// buffered would belong to the old file and are dropped — by the
+// compaction contract they are already captured in the snapshot.
+func (j *journalSink) swap(f *os.File) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		f.Close()
+		return fmt.Errorf("server: journal closed")
+	}
+	old := j.f
+	j.f = f
+	j.buf = j.buf[:0]
+	j.written = 0
+	if fi, err := f.Stat(); err == nil {
+		j.written = fi.Size()
+	}
+	return old.Close()
 }
 
 // Write implements io.Writer for the Recorder's JSON encoder. Each
@@ -77,6 +112,7 @@ func (j *journalSink) Write(p []byte) (int, error) {
 		return 0, fmt.Errorf("server: journal closed")
 	}
 	j.buf = append(j.buf, p...)
+	j.written += int64(len(p))
 	if j.policy == FsyncAlways || j.limit <= 0 || len(j.buf) >= j.limit {
 		if err := j.flushLocked(j.policy == FsyncAlways); err != nil {
 			return 0, err

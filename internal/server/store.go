@@ -1,9 +1,11 @@
 package server
 
 import (
+	"bytes"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpcautotune/hiperbot/internal/core"
@@ -28,6 +31,20 @@ const storeShards = 16
 type storeShard struct {
 	mu       sync.RWMutex
 	sessions map[string]*Session
+	// stubs index evicted sessions: compacted to snapshot, engine and
+	// history dropped from memory, only the id and the last published
+	// info retained. Any Suggest/Observe/Info on a stub rehydrates the
+	// session from snapshot + journal tail on demand.
+	stubs map[string]*stub
+}
+
+// stub is the in-memory remnant of an evicted session. Its mutex
+// single-flights rehydration: concurrent requests for the same
+// evicted session rebuild it exactly once, the rest wait and reuse.
+type stub struct {
+	id   string
+	info *httpapi.SessionInfo // last published info (Evicted=true), served by List
+	mu   sync.Mutex
 }
 
 // StoreConfig tunes the store's journaling behavior. The zero value
@@ -59,6 +76,23 @@ type StoreConfig struct {
 	// Like the other defaults it is resolved at create time and
 	// journaled in the session header.
 	DefaultLiar string
+	// SnapshotEvents compacts a session (snapshot + truncate the
+	// journal to a tail) once its journal tail holds this many events;
+	// 0 disables the event trigger.
+	SnapshotEvents int
+	// SnapshotBytes compacts once the journal file reaches this many
+	// bytes; 0 disables the byte trigger. With both triggers zero,
+	// journals grow without bound (the legacy behavior).
+	SnapshotBytes int
+	// MaxLiveSessions caps how many sessions are kept hydrated in
+	// memory; beyond it the least-recently-used idle sessions are
+	// compacted to snapshot and evicted to stubs, rehydrating on
+	// demand. 0 means unlimited. Ignored for in-memory stores (no
+	// snapshot to rehydrate from).
+	MaxLiveSessions int
+	// Logf receives operational warnings (torn journal lines dropped,
+	// eviction/compaction failures). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Store owns the daemon's sessions: creation, lookup, deletion, and
@@ -68,10 +102,19 @@ type StoreConfig struct {
 // session map is lock-striped (storeShards shards keyed by id) so
 // session CRUD from many workers never funnels through one mutex.
 type Store struct {
-	dir string
-	cfg StoreConfig
+	dir  string
+	cfg  StoreConfig
+	logf func(format string, args ...any)
 
 	shards [storeShards]storeShard
+
+	// evictMu serializes cap-enforcement sweeps so concurrent creates
+	// and rehydrations don't race to evict the same victims.
+	evictMu sync.Mutex
+
+	evictions    atomic.Int64
+	rehydrations atomic.Int64
+	compactions  atomic.Int64
 
 	flushStop chan struct{} // non-nil iff the flusher goroutine runs
 	flushDone chan struct{}
@@ -105,9 +148,13 @@ func OpenStoreWithConfig(dir string, cfg StoreConfig) (*Store, error) {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 100 * time.Millisecond
 	}
-	st := &Store{dir: dir, cfg: cfg}
+	st := &Store{dir: dir, cfg: cfg, logf: cfg.Logf}
+	if st.logf == nil {
+		st.logf = func(string, ...any) {}
+	}
 	for i := range st.shards {
 		st.shards[i].sessions = make(map[string]*Session)
+		st.shards[i].stubs = make(map[string]*stub)
 	}
 	if dir == "" {
 		return st, nil
@@ -119,12 +166,35 @@ func OpenStoreWithConfig(dir string, cfg StoreConfig) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	// A crash mid-compaction can leave pre-rename temp files behind;
+	// they are by construction not the durable copy of anything.
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	// Resume every session: one per journal, plus any snapshot whose
+	// tail journal vanished (crash between snapshot and rewrite).
+	ids := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() {
 			continue
 		}
-		if err := st.resume(filepath.Join(dir, e.Name())); err != nil {
-			return nil, fmt.Errorf("server: resuming %s: %w", e.Name(), err)
+		switch {
+		case strings.HasSuffix(e.Name(), ".jsonl"):
+			ids[strings.TrimSuffix(e.Name(), ".jsonl")] = true
+		case strings.HasSuffix(e.Name(), ".snap"):
+			ids[strings.TrimSuffix(e.Name(), ".snap")] = true
+		}
+	}
+	sorted := make([]string, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Strings(sorted)
+	for _, id := range sorted {
+		if err := st.resume(id); err != nil {
+			return nil, fmt.Errorf("server: resuming %s: %w", id, err)
 		}
 	}
 	if cfg.FlushBytes > 0 || cfg.Fsync == FsyncInterval {
@@ -191,35 +261,78 @@ func (st *Store) all() []*Session {
 	return out
 }
 
-// resume rebuilds one session from its journal. Only called from
-// OpenStoreWithConfig, before the store is shared.
-func (st *Store) resume(path string) error {
-	f, err := os.Open(path)
+// resume rebuilds one session from its snapshot + journal tail. Only
+// called from OpenStoreWithConfig, before the store is shared. A
+// garbled journal with no snapshot behind it is set aside (renamed
+// *.corrupt) with a warning instead of failing the whole store open.
+func (st *Store) resume(id string) error {
+	sess, err := st.loadSession(id)
+	if errors.Is(err, errUnresumable) {
+		jpath := st.journalPath(id)
+		corrupt := jpath + ".corrupt"
+		if rerr := os.Rename(jpath, corrupt); rerr == nil {
+			st.logf("hiperbotd: journal for %s has no intact header and no snapshot; moved to %s", id, corrupt)
+		}
+		return nil
+	}
 	if err != nil {
 		return err
 	}
-	hdr, sp, hist, err := readJournal(f)
-	f.Close()
+	sess.touch()
+	sh := st.shard(sess.id)
+	sh.mu.Lock()
+	sh.sessions[sess.id] = sess
+	sh.mu.Unlock()
+	st.enforceCap()
+	return nil
+}
+
+// loadSession rebuilds a session from disk — the shared path of boot
+// resume and on-demand rehydration. It repairs crash signatures
+// first (torn tail truncated, missing tail rewritten from snapshot),
+// then replays snapshot + tail into a fresh tuner.
+func (st *Store) loadSession(id string) (*Session, error) {
+	stt, err := st.loadSessionState(id)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	jpath := st.journalPath(id)
+	if stt.truncateTo >= 0 {
+		if err := os.Truncate(jpath, stt.truncateTo); err != nil {
+			return nil, fmt.Errorf("server: truncating torn journal %s: %w", jpath, err)
+		}
+	}
+	if stt.rebuild {
+		var buf bytes.Buffer
+		if err := writeHeader(&buf, stt.hdr); err != nil {
+			return nil, err
+		}
+		if err := atomicWriteFile(jpath, buf.Bytes()); err != nil {
+			return nil, fmt.Errorf("server: rebuilding journal tail %s: %w", jpath, err)
+		}
 	}
 	created := time.Now()
-	if t, err := time.Parse(time.RFC3339, hdr.CreatedAt); err == nil {
+	if t, err := time.Parse(time.RFC3339, stt.hdr.CreatedAt); err == nil {
 		created = t
 	}
-	sess, err := st.newSession(hdr.ID, sp, hdr.Options, created, path, false, hdr.Space)
+	sess, err := st.newSession(stt.hdr.ID, stt.sp, stt.hdr.Options, created, jpath, false, stt.hdr.Space)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if hist != nil {
-		if err := sess.at.Tuner().Resume(hist); err != nil {
+	if len(stt.obs) > 0 {
+		if err := sess.at.Tuner().ResumeObs(stt.obs); err != nil {
 			sess.close()
-			return err
+			return nil, err
 		}
-		sess.publishLocked(time.Now())
 	}
-	st.shard(hdr.ID).sessions[hdr.ID] = sess
-	return nil
+	sess.snapBase = stt.snapEvents
+	sess.snapSize = stt.snapSize
+	sess.snapAt = stt.snapAt
+	// Cheap publish: refitting Importance (and the O(n²) Pareto scan)
+	// per session here would make a many-session boot O(model fits)
+	// instead of O(snapshot bytes). The first Info() fills them in.
+	sess.publishBasicLocked(time.Now())
+	return sess, nil
 }
 
 // Create builds a new session from a serialized space. name == ""
@@ -271,8 +384,10 @@ func (st *Store) CreateWithSpace(name string, sp *space.Space, spaceJSON json.Ra
 	}
 	sh := st.shard(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, dup := sh.sessions[id]; dup {
+	_, dupLive := sh.sessions[id]
+	_, dupStub := sh.stubs[id]
+	if dupLive || dupStub {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrExists, id)
 	}
 	created := time.Now()
@@ -282,9 +397,13 @@ func (st *Store) CreateWithSpace(name string, sp *space.Space, spaceJSON json.Ra
 	}
 	sess, err := st.newSession(id, sp, opts, created, path, true, spaceJSON)
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
+	sess.touch()
 	sh.sessions[id] = sess
+	sh.mu.Unlock()
+	st.enforceCap()
 	return sess, nil
 }
 
@@ -302,7 +421,7 @@ func (st *Store) newSession(id string, sp *space.Space, opts httpapi.SessionOpti
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
-	sess := &Session{id: id, sp: sp, opts: opts, objs: objs, created: created}
+	sess := &Session{id: id, sp: sp, opts: opts, objs: objs, created: created, store: st, spaceJSON: spaceJSON}
 	if journalPath != "" {
 		f, err := openJournal(journalPath)
 		if err != nil {
@@ -355,27 +474,260 @@ func (st *Store) newSession(id string, sp *space.Space, opts httpapi.SessionOpti
 	return sess, nil
 }
 
-// Get looks up a session.
+// Get looks up a session, rehydrating it from snapshot + journal tail
+// when it has been evicted. The returned handle can still go stale if
+// eviction races the caller's use of it; mutating calls then return
+// ErrEvicted and should be retried via WithSession.
 func (st *Store) Get(id string) (*Session, error) {
+	return st.get(id, false)
+}
+
+// get is Get with optional pinning: when pin is set the returned
+// session's pin count is raised before cap enforcement runs, so the
+// eviction sweep triggered by this very lookup cannot pick it. The
+// caller must drop the pin when done.
+func (st *Store) get(id string, pin bool) (*Session, error) {
 	sh := st.shard(id)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	s, ok := sh.sessions[id]
-	if !ok {
+	stb, stubbed := sh.stubs[id]
+	sh.mu.RUnlock()
+	if ok {
+		if pin {
+			s.pins.Add(1)
+		}
+		s.touch()
+		return s, nil
+	}
+	if !stubbed {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
+	s, err := st.rehydrate(sh, stb)
+	if err != nil {
+		return nil, err
+	}
+	if pin {
+		s.pins.Add(1)
+	}
+	s.touch()
+	st.enforceCap()
 	return s, nil
 }
 
-// List returns every session, sorted by id.
+// rehydrate rebuilds an evicted session from its on-disk state. The
+// stub's mutex single-flights the rebuild: concurrent requests for
+// the same session queue here and all but the first find the session
+// already live on the re-check.
+func (st *Store) rehydrate(sh *storeShard, stb *stub) (*Session, error) {
+	stb.mu.Lock()
+	defer stb.mu.Unlock()
+	// Re-check under the single-flight lock: an earlier waiter may have
+	// already rehydrated (session live again), or a concurrent Delete
+	// may have removed the stub.
+	sh.mu.RLock()
+	s, live := sh.sessions[stb.id]
+	_, still := sh.stubs[stb.id]
+	sh.mu.RUnlock()
+	if live {
+		return s, nil
+	}
+	if !still {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, stb.id)
+	}
+	sess, err := st.loadSession(stb.id)
+	if err != nil {
+		if errors.Is(err, errUnresumable) || os.IsNotExist(err) {
+			// Files vanished under the stub (deleted out of band): drop it.
+			sh.mu.Lock()
+			if sh.stubs[stb.id] == stb {
+				delete(sh.stubs, stb.id)
+			}
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, stb.id)
+		}
+		return nil, err
+	}
+	sess.touch()
+	sh.mu.Lock()
+	if sh.stubs[stb.id] != stb {
+		// Deleted while we were loading: discard the rebuilt session so
+		// the delete wins.
+		sh.mu.Unlock()
+		sess.close()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, stb.id)
+	}
+	delete(sh.stubs, stb.id)
+	sh.sessions[stb.id] = sess
+	sh.mu.Unlock()
+	st.rehydrations.Add(1)
+	return sess, nil
+}
+
+// WithSession runs fn against the named session, retrying the lookup
+// when fn reports ErrEvicted — the handle went stale because LRU
+// eviction raced the call; the retry re-Gets (rehydrating on demand)
+// and runs fn against the fresh session. Bounded so a pathological
+// evict/rehydrate storm degrades to an error instead of livelock.
+func (st *Store) WithSession(id string, fn func(*Session) error) error {
+	for attempt := 0; ; attempt++ {
+		s, err := st.get(id, true)
+		if err != nil {
+			return err
+		}
+		err = fn(s)
+		s.pins.Add(-1)
+		// A sweep that ran while this request held its pin may have
+		// found nothing evictable and given up; re-check now that the
+		// pin is dropped so the store converges back under the cap once
+		// traffic drains.
+		if st.cfg.MaxLiveSessions > 0 && st.LiveLen() > st.cfg.MaxLiveSessions {
+			st.enforceCap()
+		}
+		if !errors.Is(err, ErrEvicted) || attempt >= 3 {
+			return err
+		}
+	}
+}
+
+// enforceCap evicts least-recently-used sessions until the live count
+// fits MaxLiveSessions. Serialized by evictMu so concurrent creates
+// and rehydrations don't stampede the same victims. In-memory stores
+// are exempt: with no snapshot to rehydrate from, eviction would lose
+// the session outright.
+func (st *Store) enforceCap() {
+	if st.cfg.MaxLiveSessions <= 0 || st.dir == "" {
+		return
+	}
+	st.evictMu.Lock()
+	defer st.evictMu.Unlock()
+	for {
+		live := st.all()
+		if len(live) <= st.cfg.MaxLiveSessions {
+			return
+		}
+		v := pickVictim(live)
+		if v == nil || !st.evictSession(v) {
+			// Nothing evictable (every candidate's journal is failing) or
+			// the compaction failed; give up this sweep — the next create
+			// or rehydration retries.
+			return
+		}
+	}
+}
+
+// pickVictim chooses the coldest evictable session: least recently
+// accessed, preferring sessions with no live leases (evicting a
+// leased session forfeits its workers' leases — the fantasized
+// pending set is in-memory only), and skipping sessions whose journal
+// writes are failing (their snapshot could not be trusted) or that
+// are pinned by an in-flight request.
+func pickVictim(live []*Session) *Session {
+	var coldest, coldestFree *Session
+	var tAny, tFree int64
+	for _, s := range live {
+		if s.JournalErr() != nil || s.pins.Load() > 0 {
+			continue
+		}
+		at := s.lastAccess.Load()
+		if coldest == nil || at < tAny {
+			coldest, tAny = s, at
+		}
+		if s.Snapshot().ActiveLeases == 0 && (coldestFree == nil || at < tFree) {
+			coldestFree, tFree = s, at
+		}
+	}
+	if coldestFree != nil {
+		return coldestFree
+	}
+	return coldest
+}
+
+// evictSession compacts one session to its snapshot, drops its tuner
+// and history from memory, and leaves a stub in the shard index.
+// Returns false when the session could not be evicted (compaction
+// failed, or a concurrent Delete got there first).
+func (st *Store) evictSession(s *Session) bool {
+	s.mu.Lock()
+	if s.evicted {
+		s.mu.Unlock()
+		return false
+	}
+	if err := s.compactLocked(time.Now()); err != nil {
+		s.mu.Unlock()
+		st.logf("hiperbotd: session %s: eviction aborted, compaction failed: %v", s.id, err)
+		return false
+	}
+	s.evicted = true
+	s.publishLocked(time.Now())
+	info := s.snap.Load()
+	sh := st.shard(s.id)
+	sh.mu.Lock()
+	if sh.sessions[s.id] != s {
+		// Deleted (and possibly re-created) while we compacted: the
+		// delete already owns cleanup, leave no stub behind.
+		sh.mu.Unlock()
+		s.mu.Unlock()
+		return false
+	}
+	delete(sh.sessions, s.id)
+	sh.stubs[s.id] = &stub{id: s.id, info: info}
+	sh.mu.Unlock()
+	s.mu.Unlock()
+	s.close()
+	st.evictions.Add(1)
+	return true
+}
+
+// List returns every live session, sorted by id. Evicted sessions are
+// not included (rehydrating them all would defeat eviction); use
+// Infos for the complete inventory.
 func (st *Store) List() []*Session {
 	out := st.all()
 	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
 	return out
 }
 
-// Len returns the number of live sessions.
+// Infos reports every session — live ones freshly, evicted ones from
+// the info published at eviction time (Evicted=true) — sorted by id,
+// without rehydrating anything.
+func (st *Store) Infos() []httpapi.SessionInfo {
+	var live []*Session
+	var out []httpapi.SessionInfo
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		// One critical section per shard: the evict swap (session →
+		// stub) is atomic under this lock, so a session can't be
+		// collected twice or missed.
+		for _, s := range sh.sessions {
+			live = append(live, s)
+		}
+		for _, stb := range sh.stubs {
+			out = append(out, *stb.info)
+		}
+		sh.mu.RUnlock()
+	}
+	for _, s := range live {
+		out = append(out, s.Info())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Len returns the total session count, live plus evicted.
 func (st *Store) Len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sessions) + len(sh.stubs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// LiveLen returns the number of sessions currently hydrated in memory.
+func (st *Store) LiveLen() int {
 	n := 0
 	for i := range st.shards {
 		sh := &st.shards[i]
@@ -384,6 +736,51 @@ func (st *Store) Len() int {
 		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// StoreStats aggregates session and persistence counters for /metrics.
+// Evaluation and duplicate counts include evicted sessions (read from
+// their eviction-time infos); pending leases are live-only, since
+// eviction forfeits a session's leases.
+type StoreStats struct {
+	Sessions             int // live + evicted
+	LiveSessions         int
+	Evaluations          int64
+	PendingLeases        int
+	DuplicateSuggestions int64
+	Evictions            int64
+	Rehydrations         int64
+	Compactions          int64
+}
+
+// Stats gathers StoreStats from lock-free session snapshots and
+// eviction-time stub infos; scraping /metrics never contends with the
+// ask/tell hot path.
+func (st *Store) Stats() StoreStats {
+	out := StoreStats{
+		Evictions:    st.evictions.Load(),
+		Rehydrations: st.rehydrations.Load(),
+		Compactions:  st.compactions.Load(),
+	}
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			snap := s.Snapshot()
+			out.LiveSessions++
+			out.Evaluations += int64(snap.Evaluations)
+			out.PendingLeases += snap.ActiveLeases
+			out.DuplicateSuggestions += snap.DuplicateSuggestions
+		}
+		for _, stb := range sh.stubs {
+			out.Sessions++
+			out.Evaluations += int64(stb.info.Evaluations)
+			out.DuplicateSuggestions += stb.info.DuplicateSuggestions
+		}
+		sh.mu.RUnlock()
+	}
+	out.Sessions += out.LiveSessions
+	return out
 }
 
 // Evaluations sums evaluation counts across sessions. It reads each
@@ -422,25 +819,70 @@ func (st *Store) JournalErrors() []string {
 	return out
 }
 
-// Delete removes a session and its journal.
+// Delete removes a session and all its on-disk state: journal,
+// snapshot, and any in-flight temp siblings. Works on live and
+// evicted sessions alike.
 func (st *Store) Delete(id string) error {
 	sh := st.shard(id)
-	sh.mu.Lock()
-	s, ok := sh.sessions[id]
-	if ok {
-		delete(sh.sessions, id)
+	for {
+		sh.mu.Lock()
+		s, live := sh.sessions[id]
+		stb, stubbed := sh.stubs[id]
+		if live {
+			delete(sh.sessions, id)
+			sh.mu.Unlock()
+			// Mark evicted under the session lock: this serializes with
+			// any in-flight compaction or eviction (both hold s.mu), so
+			// neither can recreate the snapshot after we remove the files,
+			// and stale handles fail with ErrEvicted instead of journaling
+			// into a deleted session.
+			s.mu.Lock()
+			s.evicted = true
+			s.mu.Unlock()
+			err := s.close()
+			if rerr := st.removeSessionFiles(id); rerr != nil && err == nil {
+				err = rerr
+			}
+			return err
+		}
+		sh.mu.Unlock()
+		if !stubbed {
+			return fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		// Evicted session: take the stub's single-flight lock so no
+		// rehydration is reading (or repairing) the files while we remove
+		// them, then re-check — the stub may have been promoted back to a
+		// live session while we waited.
+		stb.mu.Lock()
+		sh.mu.Lock()
+		if sh.stubs[id] == stb {
+			delete(sh.stubs, id)
+			sh.mu.Unlock()
+			err := st.removeSessionFiles(id)
+			stb.mu.Unlock()
+			return err
+		}
+		sh.mu.Unlock()
+		stb.mu.Unlock()
 	}
-	sh.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNotFound, id)
+}
+
+// removeSessionFiles deletes every file a session may have on disk.
+// Returns the first real error; missing files are fine (an evicted
+// zero-observation session has no snapshot, an in-memory one nothing
+// at all).
+func (st *Store) removeSessionFiles(id string) error {
+	if st.dir == "" {
+		return nil
 	}
-	err := s.close()
-	if st.dir != "" {
-		if rerr := os.Remove(st.journalPath(id)); rerr != nil && err == nil {
-			err = rerr
+	var first error
+	jpath, spath := st.journalPath(id), st.snapshotPath(id)
+	for _, p := range []string{jpath, jpath + ".tmp", spath, spath + ".tmp"} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
 		}
 	}
-	return err
+	return first
 }
 
 // Close stops the flusher, then flushes and closes every session
@@ -462,6 +904,7 @@ func (st *Store) Close() error {
 			}
 		}
 		sh.sessions = make(map[string]*Session)
+		sh.stubs = make(map[string]*stub)
 		sh.mu.Unlock()
 	}
 	return first
