@@ -23,7 +23,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/hpcautotune/hiperbot/internal/httpapi"
@@ -53,6 +55,10 @@ type (
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After delay on 429/503
+	// responses (zero when absent). The retry loop waits this long
+	// instead of its own backoff.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -66,13 +72,24 @@ func IsNotFound(err error) bool {
 	return errors.As(err, &ae) && ae.Status == http.StatusNotFound
 }
 
-// Client talks to one hiperbotd instance.
+// Client talks to one hiperbotd instance — or to one node of a
+// hiperbotd cluster: 307 redirects from a redirect-mode cluster are
+// followed (method and body re-sent, capped hops) and the learned
+// session→owner mapping is cached, so after the first hop every call
+// on a session goes straight to the node that owns it.
 type Client struct {
-	base       string
-	hc         *http.Client
-	maxRetries int
-	backoff    time.Duration
-	maxBackoff time.Duration
+	base         string
+	hc           *http.Client
+	maxRetries   int
+	backoff      time.Duration
+	maxBackoff   time.Duration
+	maxRedirects int
+
+	// owners caches the base URL each session redirected to, keyed by
+	// session id. Entries are dropped when the cached owner stops
+	// answering, falling back to the configured base.
+	ownerMu sync.RWMutex
+	owners  map[string]string
 }
 
 // Option customizes a Client.
@@ -91,6 +108,11 @@ func WithBackoff(initial, max time.Duration) Option {
 	return func(c *Client) { c.backoff, c.maxBackoff = initial, max }
 }
 
+// WithRedirects caps how many 307/308 hops one request may follow
+// (default 5; 0 disables redirect following, so a redirect-mode
+// cluster response surfaces as an *APIError).
+func WithRedirects(n int) Option { return func(c *Client) { c.maxRedirects = n } }
+
 // New builds a client for the daemon at baseURL (e.g.
 // "http://localhost:8080").
 func New(baseURL string, opts ...Option) (*Client, error) {
@@ -99,16 +121,60 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("client: invalid base URL %q", baseURL)
 	}
 	c := &Client{
-		base:       strings.TrimRight(baseURL, "/"),
-		hc:         &http.Client{Timeout: 30 * time.Second},
-		maxRetries: 4,
-		backoff:    100 * time.Millisecond,
-		maxBackoff: 3 * time.Second,
+		base: strings.TrimRight(baseURL, "/"),
+		// Redirects are handled by the client itself (do's hop loop), not
+		// by net/http: handling them here is what lets the owner of each
+		// session be cached so later calls skip the extra hop. A client
+		// substituted via WithHTTPClient keeps its own redirect policy.
+		hc: &http.Client{
+			Timeout:       30 * time.Second,
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		},
+		maxRetries:   4,
+		backoff:      100 * time.Millisecond,
+		maxBackoff:   3 * time.Second,
+		maxRedirects: 5,
+		owners:       make(map[string]string),
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c, nil
+}
+
+// ownerFor returns the cached owner base URL for a session id ("" if
+// none).
+func (c *Client) ownerFor(id string) string {
+	c.ownerMu.RLock()
+	defer c.ownerMu.RUnlock()
+	return c.owners[id]
+}
+
+func (c *Client) setOwner(id, base string) {
+	c.ownerMu.Lock()
+	defer c.ownerMu.Unlock()
+	c.owners[id] = base
+}
+
+func (c *Client) dropOwner(id string) {
+	c.ownerMu.Lock()
+	defer c.ownerMu.Unlock()
+	delete(c.owners, id)
+}
+
+// sessionIDFromPath extracts the session id from a request path of
+// the form /v1/sessions/{id}[/verb] ("" otherwise). The id is kept
+// URL-escaped — it only keys the owner cache.
+func sessionIDFromPath(path string) string {
+	const prefix = "/v1/sessions/"
+	if !strings.HasPrefix(path, prefix) {
+		return ""
+	}
+	id := path[len(prefix):]
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		id = id[:i]
+	}
+	return id
 }
 
 // CreateSession creates a session from already-serialized Space JSON.
@@ -277,7 +343,22 @@ func (c *Client) TuneMetrics(ctx context.Context, id string, obj MetricObjective
 	}
 }
 
-// do runs one JSON round-trip with retry on transient failures.
+// maxRetryAfter caps how long a server-directed Retry-After delay is
+// honored, so a misconfigured daemon cannot park a worker for an hour.
+const maxRetryAfter = time.Minute
+
+// redirectError is once's internal signal that the daemon answered
+// 307/308 with a Location — a redirect-mode cluster saying "this
+// session lives over there". Handled inside do; never escapes to
+// callers.
+type redirectError struct{ target string }
+
+func (e *redirectError) Error() string { return "client: redirected to " + e.target }
+
+// do runs one JSON round-trip with retry on transient failures,
+// following cluster redirects (method and body re-sent, hops capped
+// by WithRedirects) and caching the learned session owner so later
+// calls go direct.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body []byte
 	if in != nil {
@@ -287,21 +368,61 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
+	id := sessionIDFromPath(path)
+	base := c.base
+	if id != "" {
+		if o := c.ownerFor(id); o != "" {
+			base = o
+		}
+	}
 	var lastErr error
 	delay := c.backoff
+	hops := 0
 	for attempt := 0; ; attempt++ {
-		err := c.once(ctx, method, path, body, out)
+		err := c.once(ctx, method, base+path, body, out)
 		if err == nil {
 			return nil
+		}
+		var rd *redirectError
+		if errors.As(err, &rd) {
+			if c.maxRedirects <= 0 {
+				return &APIError{Status: http.StatusTemporaryRedirect, Message: rd.Error()}
+			}
+			hops++
+			if hops > c.maxRedirects {
+				return fmt.Errorf("client: %s %s: more than %d redirects (last to %s)", method, path, c.maxRedirects, rd.target)
+			}
+			// Following a redirect is progress, not failure: it consumes a
+			// hop, never a retry, and waits for nothing.
+			base = baseOf(rd.target, path)
+			if id != "" {
+				c.setOwner(id, base)
+			}
+			attempt--
+			continue
 		}
 		lastErr = err
 		if attempt >= c.maxRetries || !transient(err) {
 			return lastErr
 		}
+		// A cached owner that stopped answering must not poison every
+		// retry: fall back to the configured base, which still owns the
+		// ring and can re-redirect to the session's new home.
+		if base != c.base && id != "" {
+			c.dropOwner(id)
+			base = c.base
+		}
+		wait := delay
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			// The server said when to come back (429/503 Retry-After) —
+			// honor that instead of guessing with exponential backoff.
+			wait = min(ae.RetryAfter, maxRetryAfter)
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(delay):
+		case <-time.After(wait):
 		}
 		delay *= 2
 		if delay > c.maxBackoff {
@@ -310,13 +431,26 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 }
 
-// once performs a single HTTP exchange.
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+// baseOf strips path from the end of a redirect target, leaving the
+// owner's base URL (scheme://host[/prefix]). Falls back to
+// scheme://host when the target's path doesn't match ours.
+func baseOf(target, path string) string {
+	if b := strings.TrimSuffix(target, path); b != target {
+		return strings.TrimRight(b, "/")
+	}
+	if u, err := url.Parse(target); err == nil && u.Host != "" {
+		return u.Scheme + "://" + u.Host
+	}
+	return strings.TrimRight(target, "/")
+}
+
+// once performs a single HTTP exchange against an absolute URL.
+func (c *Client) once(ctx context.Context, method, url string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
@@ -328,6 +462,14 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return fmt.Errorf("client: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTemporaryRedirect || resp.StatusCode == http.StatusPermanentRedirect {
+		if loc := resp.Header.Get("Location"); loc != "" {
+			io.Copy(io.Discard, resp.Body)
+			if u, perr := resp.Request.URL.Parse(loc); perr == nil {
+				return &redirectError{target: u.String()}
+			}
+		}
+	}
 	if resp.StatusCode >= 400 {
 		var apiErr httpapi.ErrorResponse
 		msg := http.StatusText(resp.StatusCode)
@@ -336,7 +478,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 				msg = apiErr.Error
 			}
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return &APIError{
+			Status:     resp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -346,6 +492,27 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return fmt.Errorf("client: decoding response: %w", err)
 	}
 	return nil
+}
+
+// parseRetryAfter reads a Retry-After header: delta-seconds or an
+// HTTP date. Zero when absent or malformed.
+func parseRetryAfter(h string) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // transient reports whether err is worth retrying: network-level

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -256,6 +257,189 @@ func TestClientRejectsBadBaseURL(t *testing.T) {
 	for _, bad := range []string{"", "not a url", "localhost:8080"} {
 		if _, err := New(bad); err == nil {
 			t.Fatalf("New(%q) succeeded", bad)
+		}
+	}
+}
+
+// A redirect-mode cluster answers 307 with the owner's URL. The
+// client must re-send the method AND body to the owner, cache the
+// owner per session, and go direct on subsequent calls.
+func TestClientFollowsRedirectsAndCachesOwner(t *testing.T) {
+	owner, _ := newDaemon(t)
+	var redirects atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		redirects.Add(1)
+		w.Header().Set("Location", owner.URL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer front.Close()
+
+	cl, err := New(front.URL, WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Create goes through the front (307) and must land on the owner
+	// with its body intact.
+	id, err := cl.CreateSessionFromSpace(ctx, "redir", testSpace(), SessionOptions{Seed: 1, InitialSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sug, err := cl.Suggest(ctx, id, 2, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sug.Candidates) != 2 {
+		t.Fatalf("got %d candidates, want 2", len(sug.Candidates))
+	}
+	results := make([]Result, len(sug.Candidates))
+	for i, cfg := range sug.Candidates {
+		results[i] = Result{Config: cfg, Value: float64(i)}
+	}
+	obs, err := cl.Observe(ctx, id, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Added != 2 {
+		t.Fatalf("observe added %d, want 2 (redirect must re-send the body)", obs.Added)
+	}
+	// Session-scoped calls after the first redirect go straight to the
+	// owner: create redirected once, the first suggest redirected once,
+	// then the owner cache short-circuits observe and any later call.
+	afterSuggest := redirects.Load()
+	if _, err := cl.Status(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if got := redirects.Load(); got != afterSuggest {
+		t.Fatalf("status hit the front %d more time(s); owner cache should have gone direct", got-afterSuggest)
+	}
+	if afterSuggest != 2 {
+		t.Fatalf("front saw %d redirects before the cache warmed, want 2 (create + first suggest)", afterSuggest)
+	}
+}
+
+// A redirect loop must fail with a hop-cap error, not hang.
+func TestClientRedirectHopCap(t *testing.T) {
+	var ts *httptest.Server
+	ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", ts.URL+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer ts.Close()
+	cl, err := New(ts.URL, WithRetries(0), WithRedirects(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Status(context.Background(), "loop")
+	if err == nil || !strings.Contains(err.Error(), "redirects") {
+		t.Fatalf("err = %v, want redirect hop-cap error", err)
+	}
+}
+
+// WithRedirects(0) surfaces the 307 as an APIError instead of
+// following it.
+func TestClientRedirectsDisabled(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", "http://example.invalid/")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+	}))
+	defer ts.Close()
+	cl, err := New(ts.URL, WithRetries(0), WithRedirects(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Status(context.Background(), "x")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTemporaryRedirect {
+		t.Fatalf("err = %v, want APIError 307", err)
+	}
+}
+
+// 429/503 with Retry-After must wait the server-directed delay, not
+// the client's own (here: near-zero) backoff schedule.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok","sessions":0}`)
+	}))
+	defer ts.Close()
+	cl, err := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := cl.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry waited only %v; Retry-After: 1 should hold it ~1s", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+}
+
+// Without Retry-After the configured backoff still applies — the
+// header path must not slow down ordinary retries.
+func TestClientRetryWithoutRetryAfterStaysFast(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok","sessions":0}`)
+	}))
+	defer ts.Close()
+	cl, err := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := cl.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("retry took %v; without Retry-After it should use the ~1ms backoff", elapsed)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("7"); d != 7*time.Second {
+		t.Fatalf("parseRetryAfter(7) = %v", d)
+	}
+	if d := parseRetryAfter(""); d != 0 {
+		t.Fatalf("parseRetryAfter(empty) = %v", d)
+	}
+	if d := parseRetryAfter("-3"); d != 0 {
+		t.Fatalf("parseRetryAfter(-3) = %v", d)
+	}
+	if d := parseRetryAfter("garbage"); d != 0 {
+		t.Fatalf("parseRetryAfter(garbage) = %v", d)
+	}
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d < 20*time.Second || d > 31*time.Second {
+		t.Fatalf("parseRetryAfter(date +30s) = %v", d)
+	}
+}
+
+func TestSessionIDFromPath(t *testing.T) {
+	cases := map[string]string{
+		"/v1/sessions/abc/suggest": "abc",
+		"/v1/sessions/abc":         "abc",
+		"/v1/sessions":             "",
+		"/healthz":                 "",
+	}
+	for path, want := range cases {
+		if got := sessionIDFromPath(path); got != want {
+			t.Fatalf("sessionIDFromPath(%q) = %q, want %q", path, got, want)
 		}
 	}
 }

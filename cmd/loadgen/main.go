@@ -9,6 +9,8 @@
 //	loadgen -server http://localhost:8080 -sessions 4  # against a running daemon
 //	loadgen -roundrobin -sessions 5000 -workers 64 -data /tmp/lg \
 //	        -max-live-sessions 256 -snapshot-events 4   # many-session eviction smoke
+//	loadgen -peers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083 \
+//	        -roundrobin -sessions 30000 -workers 64     # cluster smoke: traffic round-robins over nodes
 //
 // In self-contained mode the daemon runs in-process; with -data empty
 // the store is in-memory, so the numbers measure the serving stack
@@ -67,6 +69,9 @@ func main() {
 		snapEvents = flag.Int("snapshot-events", 0, "self-contained mode: journal-tail events that trigger snapshot compaction (0 = off)")
 		snapBytes  = flag.Int("snapshot-bytes", 0, "self-contained mode: journal bytes that trigger snapshot compaction (0 = off)")
 		maxHeapMB  = flag.Int("max-heap-mb", 0, "fail when the post-run heap (after GC) exceeds this many MB (0 = report only)")
+
+		peers  = flag.String("peers", "", "comma-separated base URLs of a hiperbotd cluster; session creates and worker traffic round-robin over all nodes (mutually exclusive with -server)")
+		minFwd = flag.Int64("min-forwarded", 0, "with -peers: fail unless the cluster forwarded+redirected at least this many requests in total (0 = report only)")
 	)
 	flag.Parse()
 	if *cpuprof != "" {
@@ -86,28 +91,52 @@ func main() {
 		os.Exit(2)
 	}
 
-	base := *serverURL
+	var peerURLs []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerURLs = append(peerURLs, p)
+		}
+	}
+	if len(peerURLs) > 0 && *serverURL != "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -peers and -server are mutually exclusive")
+		os.Exit(2)
+	}
+
 	var store *server.Store // non-nil in self-contained mode: end-of-run persistence checks
-	if base == "" {
-		var err error
-		store, err = server.OpenStoreWithConfig(*dataDir, server.StoreConfig{
-			SnapshotEvents:  *snapEvents,
-			SnapshotBytes:   *snapBytes,
-			MaxLiveSessions: *maxLive,
-		})
+	var cls []*client.Client
+	if len(peerURLs) > 0 {
+		for _, u := range peerURLs {
+			c, err := client.New(u, client.WithRetries(0))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				os.Exit(1)
+			}
+			cls = append(cls, c)
+		}
+	} else {
+		base := *serverURL
+		if base == "" {
+			var err error
+			store, err = server.OpenStoreWithConfig(*dataDir, server.StoreConfig{
+				SnapshotEvents:  *snapEvents,
+				SnapshotBytes:   *snapBytes,
+				MaxLiveSessions: *maxLive,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				os.Exit(1)
+			}
+			defer store.Close()
+			ts := httptest.NewServer(server.New(store, nil))
+			defer ts.Close()
+			base = ts.URL
+		}
+		cl, err := client.New(base, client.WithRetries(0))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
 		}
-		defer store.Close()
-		ts := httptest.NewServer(server.New(store, nil))
-		defer ts.Close()
-		base = ts.URL
-	}
-	cl, err := client.New(base, client.WithRetries(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
-		os.Exit(1)
+		cls = []*client.Client{cl}
 	}
 
 	sp := syntheticSpace(*params, *levels)
@@ -127,7 +156,10 @@ func main() {
 	ctx := context.Background()
 	ids := make([]string, *sessions)
 	for i := range ids {
-		id, err := cl.CreateSessionFromSpace(ctx, "", sp, client.SessionOptions{
+		// With -peers, creates round-robin over nodes; anonymous creates
+		// always land on the receiving node (self-owned ids), so sessions
+		// spread ~evenly across the cluster.
+		id, err := cls[i%len(cls)].CreateSessionFromSpace(ctx, "", sp, client.SessionOptions{
 			Seed:       *seed + uint64(i)*7919,
 			Strategy:   *strategy,
 			Objectives: objectives,
@@ -141,8 +173,8 @@ func main() {
 	}
 	if !*keep {
 		defer func() {
-			for _, id := range ids {
-				cl.DeleteSession(ctx, id) //nolint:errcheck // best-effort cleanup
+			for i, id := range ids {
+				cls[i%len(cls)].DeleteSession(ctx, id) //nolint:errcheck // best-effort cleanup
 			}
 		}()
 	}
@@ -181,10 +213,11 @@ func main() {
 		mu.Unlock()
 	}
 
-	// round runs one suggest→observe cycle against a session and
-	// reports whether the session is finished (target reached or pool
-	// exhausted). Shared by both worker shapes.
-	round := func(id string) (finished bool, err error) {
+	// round runs one suggest→observe cycle against a session through
+	// the given node's client and reports whether the session is
+	// finished (target reached or pool exhausted). Shared by both
+	// worker shapes.
+	round := func(cl *client.Client, id string) (finished bool, err error) {
 		t0 := time.Now()
 		sug, err := cl.Suggest(ctx, id, *batch, *lease)
 		if err != nil {
@@ -244,6 +277,10 @@ func main() {
 		done := make([]atomic.Bool, len(ids))
 		for w := 0; w < *workers; w++ {
 			wg.Add(1)
+			// Workers pick their node by worker index, not session index,
+			// so most calls land on a non-owner and exercise the cluster's
+			// forward/redirect path.
+			cl := cls[w%len(cls)]
 			go func() {
 				defer wg.Done()
 				for remaining.Load() > 0 {
@@ -251,7 +288,7 @@ func main() {
 					if done[i].Load() {
 						continue
 					}
-					finished, err := round(ids[i])
+					finished, err := round(cl, ids[i])
 					if err != nil {
 						fail(err)
 						return
@@ -266,10 +303,10 @@ func main() {
 		for _, id := range ids {
 			for w := 0; w < *workers; w++ {
 				wg.Add(1)
-				go func(id string) {
+				go func(cl *client.Client, id string) {
 					defer wg.Done()
 					for {
-						finished, err := round(id)
+						finished, err := round(cl, id)
 						if err != nil {
 							fail(err)
 							return
@@ -278,7 +315,7 @@ func main() {
 							return
 						}
 					}
-				}(id)
+				}(cls[w%len(cls)], id)
 			}
 		}
 	}
@@ -310,6 +347,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: duplicate rate %.4f%% exceeds -max-dup-rate %.4f%%\n",
 			100*dupRate, 100**maxDup)
 		os.Exit(1)
+	}
+	if len(peerURLs) > 0 {
+		// Per-node accounting: session placement, diverted-request
+		// counters, heap — plus hard failures on journal errors and (with
+		// -min-forwarded) on a cluster that never actually forwarded.
+		var diverted int64
+		clusterBad := false
+		for i, c := range cls {
+			h, err := c.Health(ctx)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: health %s: %v\n", peerURLs[i], err)
+				clusterBad = true
+				continue
+			}
+			m, err := c.Metrics(ctx)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: metrics %s: %v\n", peerURLs[i], err)
+				clusterBad = true
+				continue
+			}
+			var fwd, rdr, hops int64
+			if m.Cluster != nil {
+				fwd, rdr, hops = m.Cluster.ForwardedRequests, m.Cluster.RedirectedRequests, m.Cluster.HopRejects
+			}
+			diverted += fwd + rdr
+			fmt.Printf("loadgen: node %s: %d sessions (%d live), forwarded %d, redirected %d, hop rejects %d, heap %.1f MB\n",
+				peerURLs[i], m.Sessions, m.LiveSessions, fwd, rdr, hops, m.HeapAllocMB)
+			if len(h.JournalErrors) > 0 {
+				fmt.Fprintf(os.Stderr, "loadgen: node %s: %d journal error(s); first: %s\n",
+					peerURLs[i], len(h.JournalErrors), h.JournalErrors[0])
+				clusterBad = true
+			}
+		}
+		fmt.Printf("loadgen: cluster diverted %d request(s) total (forwarded + redirected)\n", diverted)
+		if clusterBad {
+			os.Exit(1)
+		}
+		if *minFwd > 0 && diverted < *minFwd {
+			fmt.Fprintf(os.Stderr, "loadgen: %d diverted request(s) below -min-forwarded %d\n", diverted, *minFwd)
+			os.Exit(1)
+		}
 	}
 	if store != nil {
 		ss := store.Stats()

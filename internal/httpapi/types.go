@@ -204,19 +204,91 @@ type SessionInfo struct {
 	ParetoFront []Result `json:"pareto_front,omitempty"`
 }
 
-// SessionListResponse lists all live sessions.
+// SessionListResponse lists all live sessions. On a clustered daemon
+// the default listing fans out to every peer and merges
+// (GET /v1/sessions?scope=local lists only this node's sessions);
+// peers that did not answer are named in UnreachablePeers, so a
+// partial inventory is always labeled as such.
 type SessionListResponse struct {
 	Sessions []SessionInfo `json:"sessions"`
+	// UnreachablePeers lists peer URLs whose sessions are missing from
+	// a fanned-out listing because the peer could not be reached.
+	UnreachablePeers []string `json:"unreachable_peers,omitempty"`
 }
 
 // HealthResponse is the /healthz payload. Status is "ok", or
 // "degraded" when any session's journal writes are failing (the
 // daemon keeps serving, but new evaluations on those sessions are no
-// longer durable; JournalErrors lists them as "id: error").
+// longer durable; JournalErrors lists them as "id: error"). On a
+// clustered daemon, Cluster reports this node's view of its peers;
+// /healthz?scope=local skips the peer probes (it is also what nodes
+// use to probe each other, so probes never cascade).
 type HealthResponse struct {
 	Status        string   `json:"status"`
 	Sessions      int      `json:"sessions"`
 	JournalErrors []string `json:"journal_errors,omitempty"`
+	// Cluster is present only on daemons running in cluster mode.
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
+}
+
+// PeerStatus is one peer's reachability as seen from this node.
+type PeerStatus struct {
+	// URL is the peer's normalized base URL on the ring.
+	URL string `json:"url"`
+	// Reachable reports whether the last probe of the peer's
+	// /healthz?scope=local answered 200 within the probe timeout.
+	Reachable bool `json:"reachable"`
+	// Status echoes the peer's own health status ("ok"/"degraded")
+	// when reachable.
+	Status string `json:"status,omitempty"`
+	// Sessions is the peer's session count when reachable.
+	Sessions int `json:"sessions,omitempty"`
+	// Error describes the probe failure when unreachable.
+	Error string `json:"error,omitempty"`
+}
+
+// ClusterHealth is the cluster section of /healthz.
+type ClusterHealth struct {
+	// Self is this node's normalized base URL on the ring.
+	Self string `json:"self"`
+	// Mode is "proxy" or "redirect" — how requests for sessions owned
+	// by another node are served.
+	Mode string `json:"mode"`
+	// Nodes is the ring size (peers + self).
+	Nodes int `json:"nodes"`
+	// Peers lists the other nodes' reachability, sorted by URL.
+	Peers []PeerStatus `json:"peers"`
+}
+
+// ClusterMetrics is the cluster section of /metrics.
+type ClusterMetrics struct {
+	Self string `json:"self"`
+	Mode string `json:"mode"`
+	// Peers lists the other nodes' reachability (cached briefly, so
+	// scraping /metrics does not probe the cluster on every request).
+	Peers []PeerStatus `json:"peers"`
+	// OwnedSessions counts this node's locally-stored sessions by the
+	// ring owner they hash to. In a healthy static cluster every local
+	// session hashes to self; counts against other URLs mean the peer
+	// list changed under existing data (sessions stranded off their
+	// owner — see MisplacedSessions).
+	OwnedSessions map[string]int `json:"owned_sessions"`
+	// MisplacedSessions is the number of local sessions whose ring
+	// owner is not this node.
+	MisplacedSessions int `json:"misplaced_sessions"`
+	// ForwardedRequests counts session requests this node forwarded to
+	// their owner (proxy mode).
+	ForwardedRequests int64 `json:"forwarded_requests"`
+	// RedirectedRequests counts session requests this node answered
+	// with a 307 to the owner (redirect mode).
+	RedirectedRequests int64 `json:"redirected_requests"`
+	// ForwardErrors counts forwards that failed at the transport layer
+	// (owner unreachable): the request was answered 502.
+	ForwardErrors int64 `json:"forward_errors"`
+	// HopRejects counts already-forwarded requests that arrived at a
+	// node that still does not own the session — a ring disagreement
+	// between nodes; answered 508 instead of forwarding again.
+	HopRejects int64 `json:"hop_rejects"`
 }
 
 // LatencySummary summarizes request latencies in milliseconds over a
@@ -260,8 +332,13 @@ type MetricsResponse struct {
 	PendingLeases int `json:"pending_leases"`
 	// DuplicateSuggestions sums SessionInfo.DuplicateSuggestions over
 	// sessions: candidates re-issued after their lease expired.
-	DuplicateSuggestions int64                      `json:"duplicate_suggestions"`
-	Endpoints            map[string]EndpointMetrics `json:"endpoints"`
+	DuplicateSuggestions int64 `json:"duplicate_suggestions"`
+	// HeapAllocMB is the daemon's live heap in MiB at snapshot time —
+	// the per-node memory column of multi-node experiments.
+	HeapAllocMB float64                    `json:"heap_alloc_mb"`
+	Endpoints   map[string]EndpointMetrics `json:"endpoints"`
+	// Cluster is present only on daemons running in cluster mode.
+	Cluster *ClusterMetrics `json:"cluster,omitempty"`
 }
 
 // ErrorResponse carries a non-2xx body.

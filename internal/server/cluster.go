@@ -1,0 +1,418 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/cluster"
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+)
+
+// ClusterMode selects how a node serves requests for sessions it does
+// not own.
+type ClusterMode string
+
+const (
+	// ClusterProxy forwards the request to the owner over a pooled
+	// connection and relays the response — clients never see the
+	// topology, every node can serve every session.
+	ClusterProxy ClusterMode = "proxy"
+	// ClusterRedirect answers 307 with the owner's URL; a
+	// redirect-aware client (client package) follows once, caches the
+	// owner, and goes direct afterwards — the cheapest steady state.
+	ClusterRedirect ClusterMode = "redirect"
+)
+
+// ParseClusterMode validates a -cluster-mode flag value.
+func ParseClusterMode(s string) (ClusterMode, error) {
+	switch ClusterMode(strings.ToLower(strings.TrimSpace(s))) {
+	case ClusterProxy:
+		return ClusterProxy, nil
+	case ClusterRedirect:
+		return ClusterRedirect, nil
+	default:
+		return "", fmt.Errorf("server: unknown cluster mode %q (want %q or %q)", s, ClusterProxy, ClusterRedirect)
+	}
+}
+
+// forwardedHeader marks a request as already forwarded once; a node
+// receiving it for a session it does not own answers 508 instead of
+// forwarding again, so a ring disagreement degrades to an error, not
+// a forwarding loop. The value is the forwarding node's URL (for
+// diagnostics only).
+const forwardedHeader = "X-Hiperbot-Forwarded"
+
+// ownerHeader names the ring owner on 307 redirect responses, so even
+// non-HTTP-aware tooling can see where the session lives.
+const ownerHeader = "X-Hiperbot-Owner"
+
+// ClusterConfig wires a Server into a static multi-node cluster.
+type ClusterConfig struct {
+	// Self is this node's advertised base URL — the URL peers and
+	// redirected clients reach it at. Required.
+	Self string
+	// Peers are the other nodes' base URLs. Self is tolerated (and
+	// removed) in the list, so every node can ship the identical list.
+	Peers []string
+	// Mode picks proxy (default) or redirect handling of sessions
+	// owned by another node.
+	Mode ClusterMode
+	// VirtualNodes is the per-node ring point count; 0 picks
+	// cluster.DefaultVirtualNodes. Must match across the cluster.
+	VirtualNodes int
+	// ProbeTimeout bounds each peer health probe (0 = 1s).
+	ProbeTimeout time.Duration
+	// ForwardTimeout bounds one forwarded request (0 = 30s).
+	ForwardTimeout time.Duration
+}
+
+// clusterState is the per-node runtime: the ring, the pooled
+// forwarding client, request counters, and a briefly-cached view of
+// peer health.
+type clusterState struct {
+	self  string // normalized
+	peers []string
+	mode  ClusterMode
+	ring  *cluster.Ring
+	hc    *http.Client
+
+	probeTimeout time.Duration
+
+	forwarded     atomic.Int64
+	redirected    atomic.Int64
+	forwardErrors atomic.Int64
+	hopRejects    atomic.Int64
+
+	// probeMu guards the peer-health cache. Probes run at most once per
+	// probeTTL per scrape wave, so /metrics and /healthz stay cheap
+	// under monitoring pressure.
+	probeMu  sync.Mutex
+	probed   []httpapi.PeerStatus
+	probedAt time.Time
+}
+
+// probeTTL is how long a peer-health probe result is served before
+// re-probing.
+const probeTTL = 2 * time.Second
+
+// EnableCluster joins this server to a static cluster. Call once,
+// before serving traffic. Session ids hash onto a consistent ring
+// over {Self} ∪ Peers; requests for sessions another node owns are
+// proxied or redirected there per cfg.Mode.
+func (s *Server) EnableCluster(cfg ClusterConfig) error {
+	self, err := cluster.Normalize(cfg.Self)
+	if err != nil {
+		return fmt.Errorf("server: cluster self: %w", err)
+	}
+	mode := cfg.Mode
+	if mode == "" {
+		mode = ClusterProxy
+	}
+	if _, err := ParseClusterMode(string(mode)); err != nil {
+		return err
+	}
+	ring, err := cluster.New(append([]string{cfg.Self}, cfg.Peers...), cfg.VirtualNodes)
+	if err != nil {
+		return err
+	}
+	if ring.Len() < 2 {
+		return fmt.Errorf("server: cluster needs at least one peer besides self")
+	}
+	var peers []string
+	for _, n := range ring.Nodes() {
+		if n != self {
+			peers = append(peers, n)
+		}
+	}
+	fwdTimeout := cfg.ForwardTimeout
+	if fwdTimeout <= 0 {
+		fwdTimeout = 30 * time.Second
+	}
+	probeTimeout := cfg.ProbeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = time.Second
+	}
+	s.cluster = &clusterState{
+		self:         self,
+		peers:        peers,
+		mode:         mode,
+		ring:         ring,
+		probeTimeout: probeTimeout,
+		hc: &http.Client{
+			Timeout: fwdTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+			// Owners answer directly; a redirect from a peer means the
+			// rings disagree, which must surface, not be chased.
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		},
+	}
+	return nil
+}
+
+// Cluster reports whether the server runs in cluster mode, and its
+// normalized self URL when it does.
+func (s *Server) Cluster() (self string, enabled bool) {
+	if s.cluster == nil {
+		return "", false
+	}
+	return s.cluster.self, true
+}
+
+// routeSession is the ownership gate in front of every session-scoped
+// handler. It returns handled=false when the session is owned locally
+// (the wrapped handler runs); otherwise it has already answered the
+// request — by forwarding, redirecting, or rejecting a forwarding
+// loop — and returns the status it wrote.
+func (c *clusterState) routeSession(w http.ResponseWriter, r *http.Request, id string) (handled bool, status int, err error) {
+	owner := c.ring.Owner(id)
+	if owner == c.self {
+		return false, 0, nil
+	}
+	if via := r.Header.Get(forwardedHeader); via != "" {
+		// Already forwarded once and still not ours: the sender's ring
+		// disagrees with ours. Forwarding again could loop forever.
+		c.hopRejects.Add(1)
+		return true, http.StatusLoopDetected, fmt.Errorf(
+			"server: session %s hashes to %s, not this node (%s), but the request was already forwarded by %s — peer lists disagree",
+			id, owner, c.self, via)
+	}
+	if c.mode == ClusterRedirect {
+		c.redirected.Add(1)
+		w.Header().Set(ownerHeader, owner)
+		w.Header().Set("Location", owner+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		return true, http.StatusTemporaryRedirect, nil
+	}
+	status, err = c.forward(w, r, owner, r.Body, r.ContentLength)
+	return true, status, err
+}
+
+// forward relays the request to the owner over the pooled client and
+// copies the response back verbatim. body is the (possibly already
+// buffered) request body to send.
+func (c *clusterState) forward(w http.ResponseWriter, r *http.Request, owner string, body io.Reader, contentLength int64) (int, error) {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), body)
+	if err != nil {
+		c.forwardErrors.Add(1)
+		return http.StatusBadGateway, fmt.Errorf("server: forwarding to %s: %w", owner, err)
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	out.Header.Set(forwardedHeader, c.self)
+	out.ContentLength = contentLength
+	resp, err := c.hc.Do(out)
+	if err != nil {
+		c.forwardErrors.Add(1)
+		return http.StatusBadGateway, fmt.Errorf("server: forwarding to %s: %w", owner, err)
+	}
+	defer resp.Body.Close()
+	c.forwarded.Add(1)
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // best effort: the status line is already out
+	return resp.StatusCode, nil
+}
+
+// selfOwnedID generates a fresh session id that hashes to this node,
+// so a create without an explicit name always lands locally — clients
+// may create against any node and the data stays where the request
+// landed. With N nodes each draw succeeds with probability 1/N; 128
+// draws failing is (1-1/N)^128, negligible for any sane cluster size.
+func (c *clusterState) selfOwnedID() (string, error) {
+	for i := 0; i < 128; i++ {
+		id := newID()
+		if c.ring.Owner(id) == c.self {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("server: could not generate a session id owned by %s (ring too unbalanced?)", c.self)
+}
+
+// peerStatuses probes every peer's /healthz?scope=local, serving a
+// cached result within probeTTL so scrape storms don't multiply
+// probe traffic. Probes run concurrently, each bounded by
+// probeTimeout.
+func (c *clusterState) peerStatuses(ctx context.Context) []httpapi.PeerStatus {
+	c.probeMu.Lock()
+	if c.probed != nil && time.Since(c.probedAt) < probeTTL {
+		out := append([]httpapi.PeerStatus(nil), c.probed...)
+		c.probeMu.Unlock()
+		return out
+	}
+	c.probeMu.Unlock()
+
+	statuses := make([]httpapi.PeerStatus, len(c.peers))
+	var wg sync.WaitGroup
+	for i, peer := range c.peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			statuses[i] = c.probePeer(ctx, peer)
+		}(i, peer)
+	}
+	wg.Wait()
+	sort.Slice(statuses, func(a, b int) bool { return statuses[a].URL < statuses[b].URL })
+
+	c.probeMu.Lock()
+	c.probed = statuses
+	c.probedAt = time.Now()
+	out := append([]httpapi.PeerStatus(nil), statuses...)
+	c.probeMu.Unlock()
+	return out
+}
+
+func (c *clusterState) probePeer(ctx context.Context, peer string) httpapi.PeerStatus {
+	st := httpapi.PeerStatus{URL: peer}
+	ctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz?scope=local", nil)
+	if err != nil {
+		st.Error = err.Error()
+		return st
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		st.Error = err.Error()
+		return st
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		st.Error = fmt.Sprintf("HTTP %d", resp.StatusCode)
+		return st
+	}
+	var h httpapi.HealthResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		st.Error = fmt.Sprintf("bad health payload: %v", err)
+		return st
+	}
+	st.Reachable = true
+	st.Status = h.Status
+	st.Sessions = h.Sessions
+	return st
+}
+
+// fanOutSessions collects every peer's local session list in
+// parallel. Unreachable peers are reported by URL, never silently
+// skipped — a merged listing that quietly lost a node would read as
+// "those sessions are gone".
+func (c *clusterState) fanOutSessions(ctx context.Context) (infos []httpapi.SessionInfo, unreachable []string) {
+	type result struct {
+		peer  string
+		infos []httpapi.SessionInfo
+		err   error
+	}
+	results := make([]result, len(c.peers))
+	var wg sync.WaitGroup
+	for i, peer := range c.peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			results[i] = result{peer: peer}
+			rctx, cancel := context.WithTimeout(ctx, c.hc.Timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(rctx, http.MethodGet, peer+"/v1/sessions?scope=local", nil)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			resp, err := c.hc.Do(req)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				results[i].err = fmt.Errorf("HTTP %d", resp.StatusCode)
+				return
+			}
+			var list httpapi.SessionListResponse
+			if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].infos = list.Sessions
+		}(i, peer)
+	}
+	wg.Wait()
+	for _, res := range results {
+		if res.err != nil {
+			unreachable = append(unreachable, res.peer)
+			continue
+		}
+		infos = append(infos, res.infos...)
+	}
+	sort.Strings(unreachable)
+	return infos, unreachable
+}
+
+// health builds the cluster section of /healthz.
+func (c *clusterState) health(ctx context.Context) *httpapi.ClusterHealth {
+	return &httpapi.ClusterHealth{
+		Self:  c.self,
+		Mode:  string(c.mode),
+		Nodes: c.ring.Len(),
+		Peers: c.peerStatuses(ctx),
+	}
+}
+
+// metrics builds the cluster section of /metrics. infos is the local
+// session inventory (ids only are read).
+func (c *clusterState) metrics(ctx context.Context, infos []httpapi.SessionInfo) *httpapi.ClusterMetrics {
+	owned := make(map[string]int, c.ring.Len())
+	misplaced := 0
+	for _, info := range infos {
+		owner := c.ring.Owner(info.ID)
+		owned[owner]++
+		if owner != c.self {
+			misplaced++
+		}
+	}
+	return &httpapi.ClusterMetrics{
+		Self:               c.self,
+		Mode:               string(c.mode),
+		Peers:              c.peerStatuses(ctx),
+		OwnedSessions:      owned,
+		MisplacedSessions:  misplaced,
+		ForwardedRequests:  c.forwarded.Load(),
+		RedirectedRequests: c.redirected.Load(),
+		ForwardErrors:      c.forwardErrors.Load(),
+		HopRejects:         c.hopRejects.Load(),
+	}
+}
+
+// divertCreate routes a create request for a named session another
+// node owns: forwarded (proxy) or redirected (redirect). The body was
+// already consumed by decoding, so proxy mode re-sends the buffered
+// bytes.
+func (c *clusterState) divertCreate(w http.ResponseWriter, r *http.Request, owner string, body []byte) (int, error) {
+	if via := r.Header.Get(forwardedHeader); via != "" {
+		c.hopRejects.Add(1)
+		return http.StatusLoopDetected, fmt.Errorf(
+			"server: create hashes to %s, not this node (%s), but the request was already forwarded by %s — peer lists disagree",
+			owner, c.self, via)
+	}
+	if c.mode == ClusterRedirect {
+		c.redirected.Add(1)
+		w.Header().Set(ownerHeader, owner)
+		w.Header().Set("Location", owner+r.URL.RequestURI())
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		return http.StatusTemporaryRedirect, nil
+	}
+	return c.forward(w, r, owner, bytes.NewReader(body), int64(len(body)))
+}

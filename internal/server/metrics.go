@@ -1,6 +1,7 @@
 package server
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -65,8 +66,11 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 func (m *Metrics) Snapshot(ss StoreStats) httpapi.MetricsResponse {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	out := httpapi.MetricsResponse{
 		UptimeSeconds:            time.Since(m.start).Seconds(),
+		HeapAllocMB:              float64(ms.HeapAlloc) / (1 << 20),
 		Sessions:                 ss.Sessions,
 		LiveSessions:             ss.LiveSessions,
 		Evaluations:              ss.Evaluations,

@@ -14,17 +14,29 @@
 //	POST   /v1/sessions/{id}/suggest  lease a batch of candidates
 //	POST   /v1/sessions/{id}/renew    extend leases a worker still holds
 //	POST   /v1/sessions/{id}/observe  report results (idempotent)
-//	GET    /healthz                   liveness
+//	GET    /healthz                   liveness (+ per-peer reachability in cluster mode)
 //	GET    /metrics                   request counters + latency summaries
+//
+// In cluster mode (EnableCluster) session ids are partitioned over a
+// consistent-hash ring spanning all nodes; every session-scoped route
+// first checks ownership and proxies or redirects requests for
+// sessions another node owns, GET /v1/sessions fans out across peers
+// and merges, and /healthz and /metrics report per-peer reachability
+// and forwarding counters. ?scope=local on the list and health
+// endpoints restricts to this node (and is what nodes use on each
+// other, so fan-out never cascades).
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"sort"
 	"time"
 
 	"github.com/hpcautotune/hiperbot/internal/httpapi"
@@ -38,6 +50,10 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 	logf    func(format string, args ...any)
+
+	// cluster is nil on single-node daemons; set once by EnableCluster
+	// before the server takes traffic.
+	cluster *clusterState
 
 	// DefaultLease bounds candidate leases when a suggest request
 	// doesn't set lease_seconds.
@@ -61,14 +77,29 @@ func New(store *Store, logger *log.Logger) *Server {
 	}
 	s.route("POST /v1/sessions", "create", s.handleCreate)
 	s.route("GET /v1/sessions", "list", s.handleList)
-	s.route("GET /v1/sessions/{id}", "status", s.handleStatus)
-	s.route("DELETE /v1/sessions/{id}", "delete", s.handleDelete)
-	s.route("POST /v1/sessions/{id}/suggest", "suggest", s.handleSuggest)
-	s.route("POST /v1/sessions/{id}/renew", "renew", s.handleRenew)
-	s.route("POST /v1/sessions/{id}/observe", "observe", s.handleObserve)
+	s.route("GET /v1/sessions/{id}", "status", s.owned(s.handleStatus))
+	s.route("DELETE /v1/sessions/{id}", "delete", s.owned(s.handleDelete))
+	s.route("POST /v1/sessions/{id}/suggest", "suggest", s.owned(s.handleSuggest))
+	s.route("POST /v1/sessions/{id}/renew", "renew", s.owned(s.handleRenew))
+	s.route("POST /v1/sessions/{id}/observe", "observe", s.owned(s.handleObserve))
 	s.route("GET /healthz", "healthz", s.handleHealth)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	return s
+}
+
+// owned gates a session-scoped handler on ring ownership: in cluster
+// mode, requests for sessions another node owns are proxied or
+// redirected there before the handler (or its body decoding) runs.
+// Single-node servers pay one nil check.
+func (s *Server) owned(h func(w http.ResponseWriter, r *http.Request) (int, error)) func(w http.ResponseWriter, r *http.Request) (int, error) {
+	return func(w http.ResponseWriter, r *http.Request) (int, error) {
+		if c := s.cluster; c != nil {
+			if handled, status, err := c.routeSession(w, r, r.PathValue("id")); handled {
+				return status, err
+			}
+		}
+		return h(w, r)
+	}
 }
 
 // Metrics exposes the request-metrics registry (e.g. for expvar
@@ -77,7 +108,11 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // MetricsSnapshot renders the current metrics payload.
 func (s *Server) MetricsSnapshot() httpapi.MetricsResponse {
-	return s.metrics.Snapshot(s.store.Stats())
+	resp := s.metrics.Snapshot(s.store.Stats())
+	if c := s.cluster; c != nil {
+		resp.Cluster = c.metrics(context.Background(), s.store.Infos())
+	}
+	return resp
 }
 
 // ServeHTTP implements http.Handler.
@@ -97,12 +132,32 @@ func (s *Server) route(pattern, name string, h func(w http.ResponseWriter, r *ht
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) (int, error) {
+	// The body is buffered (not stream-decoded) because a clustered
+	// node may need to re-send it verbatim when the named session
+	// hashes to a peer.
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 8<<20))
+	if err != nil {
+		return http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err)
+	}
 	var req httpapi.CreateSessionRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeJSON(body, &req); err != nil {
 		return http.StatusBadRequest, err
 	}
 	if len(req.Space) == 0 {
 		return http.StatusBadRequest, fmt.Errorf("server: create request without a space")
+	}
+	if c := s.cluster; c != nil {
+		if req.Name == "" {
+			// No name: pick an id this node owns, so an anonymous create
+			// lands wherever the client sent it — never a second hop.
+			id, err := c.selfOwnedID()
+			if err != nil {
+				return http.StatusInternalServerError, err
+			}
+			req.Name = id
+		} else if owner := c.ring.Owner(req.Name); owner != c.self {
+			return c.divertCreate(w, r, owner, body)
+		}
 	}
 	sess, err := s.store.Create(req.Name, req.Space, req.Options)
 	switch {
@@ -120,11 +175,36 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) (int, error)
 	// Infos serves evicted sessions from their eviction-time snapshot
 	// info — listing 100k sessions must not rehydrate 100k tuners.
 	resp := httpapi.SessionListResponse{Sessions: s.store.Infos()}
+	if c := s.cluster; c != nil && r.URL.Query().Get("scope") != "local" {
+		peerInfos, unreachable := c.fanOutSessions(r.Context())
+		resp.Sessions = mergeSessionInfos(resp.Sessions, peerInfos)
+		resp.UnreachablePeers = unreachable
+	}
 	if resp.Sessions == nil {
 		resp.Sessions = []httpapi.SessionInfo{}
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
+}
+
+// mergeSessionInfos combines the local inventory with peers',
+// deduplicating by id (local wins — a duplicate only happens when a
+// ring change stranded a session's files on two nodes) and restoring
+// the sorted-by-id contract of the single-node listing.
+func mergeSessionInfos(local, remote []httpapi.SessionInfo) []httpapi.SessionInfo {
+	seen := make(map[string]bool, len(local))
+	out := local
+	for _, info := range local {
+		seen[info.ID] = true
+	}
+	for _, info := range remote {
+		if !seen[info.ID] {
+			seen[info.ID] = true
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) (int, error) {
@@ -325,6 +405,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) (int, erro
 		resp.Status = "degraded"
 		resp.JournalErrors = errs
 	}
+	if c := s.cluster; c != nil && r.URL.Query().Get("scope") != "local" {
+		resp.Cluster = c.health(r.Context())
+	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }
@@ -343,6 +426,19 @@ func decodeBody(r *http.Request, dst any) error {
 		if errors.Is(err, io.EOF) {
 			return nil // empty body: all defaults
 		}
+		return fmt.Errorf("server: bad request body: %w", err)
+	}
+	return nil
+}
+
+// decodeJSON is decodeBody for an already-buffered body.
+func decodeJSON(data []byte, dst any) error {
+	if len(data) == 0 {
+		return nil // empty body: all defaults
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
 		return fmt.Errorf("server: bad request body: %w", err)
 	}
 	return nil
