@@ -47,6 +47,10 @@ type (
 	ObserveResponse = httpapi.ObserveResponse
 	// MetricsResponse is the daemon's /metrics payload.
 	MetricsResponse = httpapi.MetricsResponse
+	// ImportanceResponse is the per-parameter marginal report payload.
+	ImportanceResponse = httpapi.ImportanceResponse
+	// MarginalReport summarizes one parameter's fitted densities.
+	MarginalReport = httpapi.MarginalReport
 	// HealthResponse is the daemon's /healthz payload.
 	HealthResponse = httpapi.HealthResponse
 )
@@ -240,6 +244,17 @@ func (c *Client) Observe(ctx context.Context, id string, results []Result) (*Obs
 func (c *Client) Status(ctx context.Context, id string) (*SessionInfo, error) {
 	var resp SessionInfo
 	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Importance fetches a session's per-parameter marginal reports,
+// sorted by descending importance. The daemon answers 409 while the
+// session is still in its initial phase (no fitted surrogate yet).
+func (c *Client) Importance(ctx context.Context, id string) (*ImportanceResponse, error) {
+	var resp ImportanceResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/importance", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -35,6 +35,7 @@ func main() {
 		engines  = flag.String("engines", "", "comma-separated engine names (or \"all\") to race on -dataset using the Fig. 2-6 protocol")
 		ds       = flag.String("dataset", "kripke-exec", "dataset for -engines (kripke-exec, kripke-energy, hypre, lulesh, openatom, service)")
 		pareto   = flag.Bool("pareto", false, "multi-objective evaluation: motpe vs random Pareto fronts on the service app")
+		grouped  = flag.Bool("grouped", false, "high-dimensional study: flat sampling vs grouped factorized surrogates on compile40 (40 params, 2^48 grid)")
 		budget   = flag.Int("budget", 120, "evaluation budget per seed for -pareto")
 		reps     = flag.Int("reps", 50, "repetitions per method (the paper uses 50)")
 		seed     = flag.Uint64("seed", 20200518, "base random seed")
@@ -103,6 +104,13 @@ func main() {
 		ran = true
 		if err := paretoStudy(*budget, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: pareto: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *grouped {
+		ran = true
+		if err := groupedStudy(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: grouped: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -275,6 +283,29 @@ func paretoStudy(budget int, cfg experiments.Config) error {
 		},
 	}
 	sc.Render(os.Stdout)
+	return nil
+}
+
+func groupedStudy(cfg experiments.Config) error {
+	res, err := experiments.GroupedComparison(cfg)
+	if err != nil {
+		return err
+	}
+	report.Section(os.Stdout, "High-dimensional: flat sampling vs grouped surrogates on compile40 (budget %d, %d seeds)",
+		res.Budget, res.Seeds)
+	fmt.Printf("space: 40 parameters, 2^48 grid; \"grouped\" uses the published family groups, \"auto\" lets the engine propose them\n\n")
+
+	tbl := report.Table{Title: "Best compile+run cost at the budget (lower is better)",
+		Columns: []string{"seed", "flat sampling", "grouped", "auto-grouped"}}
+	for _, r := range res.Rows {
+		tbl.AddF(r.Seed, r.Flat, r.Grouped, r.Auto)
+	}
+	tbl.Render(os.Stdout)
+	fmt.Printf("\ngrouped beats flat on %d/%d seeds; auto-grouped on %d/%d\n",
+		res.GroupedWins, res.Seeds, res.AutoWins, res.Seeds)
+	fmt.Printf("mean model-guided ask: flat %v, grouped %v, auto %v\n",
+		res.FlatAsk.Round(time.Microsecond), res.GroupedAsk.Round(time.Microsecond),
+		res.AutoAsk.Round(time.Microsecond))
 	return nil
 }
 

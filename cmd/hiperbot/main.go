@@ -20,6 +20,16 @@
 //	hiperbot -app huge -budget 200
 //	hiperbot -app huge -budget 200 -strategy gp -pool-cap 2048
 //
+// The "compile40" app is a 40-flag synthetic compiler space (2^48
+// grid points) with additive family structure — the many-parameter
+// regime of the grouped engine. -groups partitions the space for
+// per-subspace acquisition ("a,b;c,d" syntax; empty auto-proposes
+// groups from importance and pairwise interactions):
+//
+//	hiperbot -app compile40 -budget 200 -strategy grouped
+//	hiperbot -app compile40 -budget 200 -strategy grouped \
+//	  -groups 'optlevel,inline,unroll,peel,ipa;vecwidth,slp,fma,prefetch,veclibm'
+//
 // The "service" app carries two real objectives (p95 latency and
 // hourly cost); with -objectives the tuner optimizes the Pareto front
 // directly (default engine: motpe) and prints the front instead of a
@@ -39,6 +49,7 @@ import (
 	"strings"
 
 	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/apps/compile40"
 	"github.com/hpcautotune/hiperbot/internal/apps/huge"
 	"github.com/hpcautotune/hiperbot/internal/apps/hypre"
 	"github.com/hpcautotune/hiperbot/internal/apps/kripke"
@@ -81,7 +92,7 @@ func appMetrics(name string) func(space.Config) map[string]float64 {
 func main() {
 	var (
 		csvPath    = flag.String("csv", "", "CSV file of measurements to tune over")
-		appName    = flag.String("app", "", "built-in app model (kripke-exec, kripke-energy, hypre, lulesh, openatom, service, huge)")
+		appName    = flag.String("app", "", "built-in app model (kripke-exec, kripke-energy, hypre, lulesh, openatom, service, huge, compile40)")
 		objectives = flag.String("objectives", "", "comma-separated objective specs for multi-objective tuning (e.g. p95_latency_ms,cost; needs a multi-metric app like service)")
 		budget     = flag.Int("budget", 150, "total objective evaluations (including initial samples)")
 		initial    = flag.Int("init", 20, "initial random samples")
@@ -89,6 +100,7 @@ func main() {
 		strategy   = flag.String("strategy", "", "selection engine: "+strings.Join(core.EngineNames(), ", ")+" (default: paper choice)")
 		poolCap    = flag.Int("pool-cap", 0, "sampled candidate pool size on spaces too large to enumerate (0 = default, <0 = disable large-space mode)")
 		candSamp   = flag.Int("candidate-samples", 0, "good-density draws per step of the pool-free sampling engine (0 = default)")
+		groupsSpec = flag.String("groups", "", "parameter grouping for the grouped engine, \"a,b;c,d\" (empty = auto-propose from importance)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		importance = flag.Bool("importance", false, "print the parameter-importance ranking")
 		trace      = flag.Bool("trace", false, "print every evaluation")
@@ -98,11 +110,12 @@ func main() {
 	)
 	flag.Parse()
 
-	if *appName == huge.Name {
-		tuneHuge(hugeOptions{
+	if app, ok := analyticApps()[*appName]; ok {
+		tuneAnalytic(app, analyticOptions{
 			budget: *budget, initial: *initial, quantile: *quantile,
 			strategy: *strategy, poolCap: *poolCap, candidateSamples: *candSamp,
-			seed: *seed, importance: *importance, trace: *trace,
+			groups: core.ParseGroups(*groupsSpec),
+			seed:   *seed, importance: *importance, trace: *trace,
 		})
 		return
 	}
@@ -376,36 +389,54 @@ func tuneMulti(appName, specs string, budget, initial int, strategy string, seed
 	out.Render(os.Stdout)
 }
 
-// hugeOptions carries the flag subset the huge app understands.
-type hugeOptions struct {
+// analyticApp is a built-in app tuned directly against its analytic
+// objective — its grid is too large to materialize as a table.
+type analyticApp struct {
+	name string
+	sp   *space.Space
+	eval func(space.Config) float64
+}
+
+// analyticApps lists the large-space apps: no table, no exhaustive
+// best, no -csv-style loading.
+func analyticApps() map[string]analyticApp {
+	return map[string]analyticApp{
+		huge.Name:      {huge.Name, huge.Space(), huge.Evaluate},
+		compile40.Name: {compile40.Name, compile40.Space(), compile40.Evaluate},
+	}
+}
+
+// analyticOptions carries the flag subset the analytic apps understand.
+type analyticOptions struct {
 	budget, initial           int
 	quantile                  float64
 	strategy                  string
 	poolCap, candidateSamples int
+	groups                    [][]string
 	seed                      uint64
 	importance, trace         bool
 }
 
-// tuneHuge drives the large-space demo app directly against its
-// analytic objective: the ~1.3e8-point grid is never materialized, so
-// there is no table, no exhaustive best, and no -csv-style loading —
-// memory stays bounded by the pool cap (or by CandidateSamples for
-// the pool-free sampling engine).
-func tuneHuge(o hugeOptions) {
-	sp := huge.Space()
+// tuneAnalytic drives a large-space app directly against its analytic
+// objective: the grid is never materialized, so memory stays bounded
+// by the pool cap (or by CandidateSamples for the pool-free sampling
+// engine, or by the per-group enumerations of the grouped engine).
+func tuneAnalytic(app analyticApp, o analyticOptions) {
+	sp := app.sp
 	var onStep func(int, core.Observation)
 	if o.trace {
 		onStep = func(i int, obs core.Observation) {
 			fmt.Printf("%4d  %-90s %.6g\n", i+1, sp.Describe(obs.Config), obs.Value)
 		}
 	}
-	tn, err := core.NewTuner(sp, huge.Evaluate, core.Options{
+	tn, err := core.NewTuner(sp, app.eval, core.Options{
 		InitialSamples:   o.initial,
 		Engine:           o.strategy,
 		Surrogate:        core.SurrogateConfig{Quantile: o.quantile},
 		Seed:             o.seed,
 		PoolCap:          o.poolCap,
 		CandidateSamples: o.candidateSamples,
+		Groups:           o.groups,
 		OnStep:           onStep,
 	})
 	if err != nil {
@@ -419,10 +450,19 @@ func tuneHuge(o hugeOptions) {
 	}
 	grid, _ := sp.GridSize64()
 	report.Section(os.Stdout, "Tuning %s (%d-point grid, large-space mode, %s engine)",
-		huge.Name, grid, tn.EngineName())
+		app.name, grid, tn.EngineName())
 	fmt.Printf("evaluations: %d (%.2g%% of the grid)\n", tn.Evaluations(), 100*float64(tn.Evaluations())/float64(grid))
 	if n := tn.SampledPoolSize(); n > 0 {
 		fmt.Printf("sampled pool: %d candidates\n", n)
+	}
+	if m, ok := tn.Model().(*core.GroupedModel); ok {
+		if groups := m.Groups(); groups != nil {
+			parts := make([]string, len(groups))
+			for i, g := range groups {
+				parts[i] = strings.Join(g, ",")
+			}
+			fmt.Printf("groups: %s\n", strings.Join(parts, "; "))
+		}
 	}
 	fmt.Printf("best found:  %.6g\n  %s\n", best.Value, sp.Describe(best.Config))
 	if o.importance {

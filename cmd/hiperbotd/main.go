@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +58,7 @@ func main() {
 		self       = flag.String("self", "", "this node's advertised base URL, required with -peers (e.g. http://10.0.0.1:8080)")
 		clusterMd  = flag.String("cluster-mode", "proxy", "how to serve sessions another node owns: proxy (forward transparently) or redirect (307 to the owner)")
 		vnodes     = flag.Int("vnodes", 0, "virtual nodes per cluster member on the consistent-hash ring (0 = default 128; must match across the cluster)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this localhost address (e.g. \"localhost:6060\" or just \"6060\"); empty = disabled. Kept off the service port so profiling is never exposed to workers")
 	)
 	flag.Parse()
 
@@ -124,6 +126,9 @@ func main() {
 		logger.Fatalf("hiperbotd: -self is only meaningful with -peers")
 	}
 	expvar.Publish("hiperbotd", expvar.Func(func() any { return srv.MetricsSnapshot() }))
+	if *pprofAddr != "" {
+		go servePprof(logger, *pprofAddr)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -152,6 +157,27 @@ func main() {
 		logger.Fatalf("hiperbotd: closing journals: %v", err)
 	}
 	logger.Printf("hiperbotd: journals flushed, bye")
+}
+
+// servePprof mounts net/http/pprof on its own mux and port, separate
+// from the service mux, so the profiling endpoints never ride on the
+// address workers (or the internet) reach. A bare port number is
+// shorthand for localhost:PORT. Serve failures are logged, not fatal:
+// losing profiling must not take the daemon down.
+func servePprof(logger *log.Logger, addr string) {
+	if !strings.Contains(addr, ":") {
+		addr = "localhost:" + addr
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Printf("hiperbotd: pprof on http://%s/debug/pprof/", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Printf("hiperbotd: pprof server: %v", err)
+	}
 }
 
 func dataDesc(dir string) string {

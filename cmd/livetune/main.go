@@ -166,6 +166,7 @@ func main() {
 		poolCap   = flag.Int("pool-cap", 0, "sampled candidate pool size on spaces too large to enumerate (0 = default, <0 = disable large-space mode)")
 		candSamp  = flag.Int("candidate-samples", 0, "good-density draws per step of the pool-free sampling engine (0 = default)")
 		liar      = flag.String("liar", "", "constant-liar policy for leased candidates: min, mean, or max (with -server; empty = server default)")
+		groups    = flag.String("groups", "", "parameter grouping for the grouped strategy, \"a,b;c,d\" (empty = auto-propose)")
 	)
 	flag.Parse()
 
@@ -199,8 +200,8 @@ func main() {
 		objectives := splitSpecs(*objSpecs)
 		tuneRemote(*serverURL, *name, k, measureSorted, *budget, *batch, client.SessionOptions{
 			Seed: *seed, Strategy: *strategy, PoolCap: *poolCap, CandidateSamples: *candSamp,
-			Objectives: objectives, Liar: *liar,
-		}, &evals)
+			Objectives: objectives, Liar: *liar, Groups: core.ParseGroups(*groups),
+		}, &evals, *marginals)
 		return
 	}
 	if *objSpecs != "" {
@@ -215,6 +216,7 @@ func main() {
 	start := time.Now()
 	tn, err := core.NewTuner(k.space, objective, core.Options{
 		Seed: *seed, Engine: *strategy, PoolCap: *poolCap, CandidateSamples: *candSamp,
+		Groups: core.ParseGroups(*groups),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "livetune:", err)
@@ -275,7 +277,7 @@ func kernelMetrics(sp *space.Space, c space.Config, sorted []float64) (float64, 
 // locally known space, measured, and reported back. With
 // opts.Objectives the session is multi-objective and the measured
 // Pareto front is printed instead of a single fastest config.
-func tuneRemote(baseURL, kernelName string, k kernel, measureSorted func(space.Config) []float64, budget, batch int, opts client.SessionOptions, evals *int) {
+func tuneRemote(baseURL, kernelName string, k kernel, measureSorted func(space.Config) []float64, budget, batch int, opts client.SessionOptions, evals *int, marginals bool) {
 	ctx := context.Background()
 	cl, err := client.New(baseURL)
 	if err != nil {
@@ -330,6 +332,25 @@ func tuneRemote(baseURL, kernelName string, k kernel, measureSorted func(space.C
 		fmt.Println("parameter importance (JS divergence):")
 		for _, e := range info.Importance {
 			fmt.Printf("  %-12s %.4f\n", e.Param, e.Score)
+		}
+	}
+	if marginals {
+		rep, err := cl.Importance(ctx, id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "livetune: importance:", err)
+			return
+		}
+		fmt.Println("\nsurrogate beliefs (daemon-side fit):")
+		for _, m := range rep.Marginals {
+			fmt.Printf("%-12s importance %.4f", m.Param, m.Importance)
+			for i, l := range m.Levels {
+				if i == 3 {
+					fmt.Print("  …")
+					break
+				}
+				fmt.Printf("  %s ×%.2f", l.Label, l.Lift)
+			}
+			fmt.Println()
 		}
 	}
 }

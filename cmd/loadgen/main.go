@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"github.com/hpcautotune/hiperbot/client"
+	"github.com/hpcautotune/hiperbot/internal/core"
 	"github.com/hpcautotune/hiperbot/internal/server"
 	"github.com/hpcautotune/hiperbot/internal/space"
 	"github.com/hpcautotune/hiperbot/internal/stats"
@@ -59,6 +60,7 @@ func main() {
 		strategy  = flag.String("strategy", "", "session strategy (empty = server default)")
 		objSpecs  = flag.String("objectives", "", "comma-separated objective specs; sessions post multi-metric observations (e.g. p95_latency_ms,cost)")
 		liar      = flag.String("liar", "", "constant-liar policy for leased candidates: min, mean, or max (empty = server default)")
+		groups    = flag.String("groups", "", "parameter grouping for -strategy grouped, \"p0,p1;p2\" over the synthetic p0..pN names (empty = auto-propose)")
 		maxDup    = flag.Float64("max-dup-rate", -1, "fail when the duplicate-suggestion fraction exceeds this (e.g. 0.001; <0 = report only)")
 		keep      = flag.Bool("keep", false, "keep the sessions on the daemon after the run")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile (covers the in-process daemon too)")
@@ -164,6 +166,7 @@ func main() {
 			Strategy:   *strategy,
 			Objectives: objectives,
 			Liar:       *liar,
+			Groups:     core.ParseGroups(*groups),
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: create session %d: %v\n", i, err)

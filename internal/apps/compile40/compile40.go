@@ -1,0 +1,343 @@
+// Package compile40 provides a 40-parameter synthetic compiler-flag
+// tuning problem — the many-parameter regime this repo's grouped
+// engine exists for. Eight themed flag families of five parameters
+// each (optimization, vectorization, memory layout, parallelism,
+// floating point, codegen, link-time, runtime); every family is one
+// 4-level knob plus four binary flags, so the grid is (4·2⁴)⁸ = 2^48
+// ≈ 2.8×10^14 points — only large-space mode can run it.
+//
+// The performance model is additive ACROSS the families with strong
+// couplings INSIDE each one (SLP/FMA are wasted without a vector
+// width; unrolling only pays alongside peeling; section GC needs
+// function sections) and a few deliberately weak cross-family
+// interaction terms (fast-math×vector-width, hugepages×threads,
+// pgo×lto). That is exactly the structure per-group factorization
+// exploits and a flat joint cannot: each family's best sub-assignment
+// is findable by 64-point enumeration, while a joint pg draw must get
+// all eight knobs and 32 flags right at once — at 40 dimensions the
+// fitted densities thin out and the flat sampling engine's candidate
+// draws essentially never compose the separable optimum. Deterministic
+// hash noise in the house style keeps reruns bit-identical.
+package compile40
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/hpcautotune/hiperbot/internal/apps"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// Parameter positions, by family: one 4-level knob then four binary
+// flags each.
+const (
+	// Optimization level and inlining.
+	iOptLevel = iota // O0, O1, O2, O3
+	iInline
+	iUnroll
+	iPeel
+	iIPA
+	// Vectorization.
+	iVecWidth // off, 128, 256, 512 bits
+	iSLP
+	iFMA
+	iPrefetch
+	iVecLibm
+	// Memory layout.
+	iTile // none, 16, 32, 64
+	iAlign
+	iRestrict
+	iPacked
+	iHuge
+	// Parallelism.
+	iThreads // 1, 8, 16, 32
+	iDynamic
+	iChunked
+	iPin
+	iNested
+	// Floating point.
+	iFPModel // strict, precise, fast, aggressive
+	iRecip
+	iContract
+	iFTZ
+	iDenormFlush
+	// Code generation.
+	iISA // sse2, avx, avx2, avx512
+	iHints
+	iSched
+	iRegAlloc
+	iFramePtr
+	// Link time.
+	iLTOMode // off, thin, full, full+ipo
+	iWholeProg
+	iFSections
+	iGCSections
+	iICF
+	// Runtime.
+	iMalloc // system, tcache, pool, arena
+	iBigStack
+	iGuard
+	iTLSLocal
+	iPGO
+)
+
+// Name is the app's registry name in cmd/hiperbot.
+const Name = "compile40"
+
+// Groups is the ground-truth grouping of the performance model — the
+// eight themed flag families the additive structure follows. Passed to
+// the grouped engine it makes every within-family coupling exactly
+// solvable by sub-enumeration; it is also what a good auto-grouping
+// should approximate.
+var Groups = [][]string{
+	{"optlevel", "inline", "unroll", "peel", "ipa"},
+	{"vecwidth", "slp", "fma", "prefetch", "veclibm"},
+	{"tile", "align", "restrict", "packed", "hugepages"},
+	{"threads", "dynamic", "chunked", "pin", "nested"},
+	{"fpmodel", "recip", "contract", "ftz", "denormflush"},
+	{"isa", "hints", "sched", "regalloc", "frameptr"},
+	{"ltomode", "wholeprog", "fsections", "gcsections", "icf"},
+	{"malloc", "bigstack", "guard", "tlslocal", "pgo"},
+}
+
+// knobLevels maps each family's leading knob to its level labels.
+var knobLevels = map[string][]string{
+	"optlevel": {"O0", "O1", "O2", "O3"},
+	"vecwidth": {"off", "128", "256", "512"},
+	"tile":     {"none", "16", "32", "64"},
+	"threads":  {"1", "8", "16", "32"},
+	"fpmodel":  {"strict", "precise", "fast", "aggressive"},
+	"isa":      {"sse2", "avx", "avx2", "avx512"},
+	"ltomode":  {"off", "thin", "full", "ipo"},
+	"malloc":   {"system", "tcache", "pool", "arena"},
+}
+
+// GroupsSpec renders Groups in the -groups flag syntax
+// ("a,b,c;d,e;…").
+func GroupsSpec() string {
+	parts := make([]string, len(Groups))
+	for i, g := range Groups {
+		parts[i] = strings.Join(g, ",")
+	}
+	return strings.Join(parts, ";")
+}
+
+// Space returns the 40-flag configuration space: (4·2⁴)⁸ = 2^48
+// unconstrained grid points, no constraint (every flag combination
+// compiles).
+var Space = sync.OnceValue(func() *space.Space {
+	params := make([]space.Param, 0, 40)
+	for _, g := range Groups {
+		for i, name := range g {
+			if i == 0 {
+				params = append(params, space.Discrete(name, knobLevels[name]...))
+			} else {
+				params = append(params, space.Discrete(name, "off", "on"))
+			}
+		}
+	}
+	return space.New(params...)
+})
+
+// knob applies a V-shaped per-step penalty around a knob's best level.
+func knob(c space.Config, i, best int, perStep float64) float64 {
+	d := int(c[i]) - best
+	if d < 0 {
+		d = -d
+	}
+	return perStep * float64(d)
+}
+
+// Evaluate returns the synthetic build-plus-run time (seconds) of c.
+// It panics on invalid configurations: tuners must only query valid
+// points.
+func Evaluate(c space.Config) float64 {
+	sp := Space()
+	if !sp.Valid(c) {
+		panic(fmt.Sprintf("compile40: Evaluate on invalid configuration %v", c))
+	}
+	on := func(i int) bool { return c[i] == 1 }
+
+	var pen float64
+
+	// Optimization: every step below -O3 costs; unrolling only pays
+	// alongside loop peeling (a partial-iteration epilogue defeats the
+	// unrolled body), and IPA matters mostly at -O2 and up.
+	pen += knob(c, iOptLevel, 3, 0.05)
+	if !on(iInline) {
+		pen += 0.05
+	}
+	switch {
+	case on(iUnroll) && on(iPeel):
+		// unrolled with clean epilogues: the family's sweet spot
+	case on(iUnroll) || on(iPeel):
+		pen += 0.05
+	default:
+		pen += 0.04
+	}
+	if c[iOptLevel] >= 2 && !on(iIPA) {
+		pen += 0.03
+	} else if c[iOptLevel] < 2 && on(iIPA) {
+		pen += 0.01
+	}
+
+	// Vectorization: 256-bit is the sweet spot (512-bit downclocks a
+	// little); SLP/FMA/vector libm only help once the loop vectorizer
+	// is on at all.
+	pen += knob(c, iVecWidth, 2, 0.05)
+	vec := c[iVecWidth] > 0
+	if vec && !on(iFMA) {
+		pen += 0.04
+	} else if !vec && on(iFMA) {
+		pen += 0.02
+	}
+	if vec && !on(iSLP) {
+		pen += 0.03
+	} else if !vec && on(iSLP) {
+		pen += 0.01
+	}
+	if vec && !on(iVecLibm) {
+		pen += 0.03
+	} else if !vec && on(iVecLibm) {
+		pen += 0.01
+	}
+	if !on(iPrefetch) {
+		pen += 0.02
+	}
+
+	// Memory layout: 32-element tiles fit L2; packed structures need
+	// alignment or the packed loads split across cache lines.
+	pen += knob(c, iTile, 2, 0.035)
+	if !on(iAlign) {
+		pen += 0.03
+	}
+	if !on(iRestrict) {
+		pen += 0.04
+	}
+	switch {
+	case on(iPacked) && on(iAlign):
+		// dense and aligned
+	case on(iPacked):
+		pen += 0.05
+	default:
+		pen += 0.03
+	}
+	if !on(iHuge) {
+		pen += 0.02
+	}
+
+	// Parallelism: 16 threads saturate the socket without contention;
+	// dynamic scheduling needs chunking to amortize its dispatch;
+	// pinning matters once threaded; nested parallelism oversubscribes.
+	pen += knob(c, iThreads, 2, 0.05)
+	threaded := c[iThreads] > 0
+	if threaded && !on(iDynamic) {
+		pen += 0.03
+	} else if !threaded && on(iDynamic) {
+		pen += 0.01
+	}
+	if on(iDynamic) && !on(iChunked) {
+		pen += 0.03
+	} else if !on(iDynamic) && on(iChunked) {
+		pen += 0.01
+	}
+	if threaded && !on(iPin) {
+		pen += 0.04
+	}
+	if on(iNested) {
+		pen += 0.03
+	}
+
+	// Floating point: "fast" reassociates without the accuracy cliff of
+	// "aggressive"; reciprocal approximations ride on it.
+	pen += knob(c, iFPModel, 2, 0.03)
+	fast := c[iFPModel] >= 2
+	if fast && !on(iRecip) {
+		pen += 0.02
+	} else if !fast && on(iRecip) {
+		pen += 0.01
+	}
+	if !on(iContract) {
+		pen += 0.03
+	}
+	if !on(iFTZ) {
+		pen += 0.02
+	}
+	if !on(iDenormFlush) {
+		pen += 0.01
+	}
+
+	// Code generation: AVX2 wins, AVX-512 downclocks slightly on this
+	// part; keeping the frame pointer costs a register.
+	pen += knob(c, iISA, 2, 0.03)
+	if !on(iHints) {
+		pen += 0.02
+	}
+	if !on(iSched) {
+		pen += 0.02
+	}
+	if !on(iRegAlloc) {
+		pen += 0.03
+	}
+	if on(iFramePtr) {
+		pen += 0.02
+	}
+
+	// Link time: full LTO is the sweet spot (the extra IPO pass bloats
+	// code); whole-program analysis rides on LTO being on; section GC
+	// needs function sections to have anything to drop.
+	pen += knob(c, iLTOMode, 2, 0.02)
+	if c[iLTOMode] > 0 && !on(iWholeProg) {
+		pen += 0.03
+	} else if c[iLTOMode] == 0 && on(iWholeProg) {
+		pen += 0.01
+	}
+	switch {
+	case on(iFSections) && on(iGCSections):
+		// sections emitted and garbage-collected
+	case on(iGCSections):
+		pen += 0.02
+	case on(iFSections):
+		pen += 0.01
+	default:
+		pen += 0.015
+	}
+	if !on(iICF) {
+		pen += 0.01
+	}
+
+	// Runtime: small effects — the least important family, so a useful
+	// importance ranking puts these flags last.
+	pen += knob(c, iMalloc, 2, 0.01)
+	if !on(iBigStack) {
+		pen += 0.01
+	}
+	if on(iGuard) {
+		pen += 0.01
+	}
+	if !on(iTLSLocal) {
+		pen += 0.015
+	}
+	if !on(iPGO) {
+		pen += 0.03
+	}
+
+	// Cross-family interactions — deliberately weak relative to the
+	// within-family couplings, so the additive group structure
+	// dominates: vectorized reductions need fast-math reassociation,
+	// threaded runs feel TLB pressure without huge pages, and
+	// profile-guided inlining needs link-time visibility.
+	if c[iVecWidth] >= 2 && c[iFPModel] < 2 {
+		pen += 0.02
+	}
+	if c[iThreads] >= 2 && !on(iHuge) {
+		pen += 0.015
+	}
+	if on(iPGO) && c[iLTOMode] == 0 {
+		pen += 0.015
+	}
+
+	t := 1 + apps.BasinGap(pen, 0.6, 0.35)
+	return t * apps.Noise(0xC40, 0.02, c)
+}

@@ -63,6 +63,13 @@ type SampledPool struct {
 	cap  int
 	rng  *stats.RNG
 	pool *Pool
+
+	// exhausted counts draws that hit the retry bound before filling
+	// the cap: the pool was returned short (≥ 2 candidates) because the
+	// constraint or the exclusions rejected almost every index drawn.
+	// Surfaced through Tuner.PoolExhaustedRetries so operators see a
+	// too-restrictive constraint instead of a silently small pool.
+	exhausted int64
 }
 
 // NewSampledPool draws the initial candidate set. cap 0 means
@@ -134,8 +141,15 @@ func (s *SampledPool) draw(exclude func(space.Config) bool) ([]space.Config, err
 	if len(out) < 2 {
 		return nil, fmt.Errorf("core: sampled pool found only %d valid configurations in %d draws (constraint too restrictive?)", len(out), maxTries)
 	}
+	if len(out) < s.cap {
+		s.exhausted++
+	}
 	return out, nil
 }
+
+// ExhaustedRetries reports how many draws (initial and Refresh) hit
+// the retry bound and returned a pool smaller than the cap.
+func (s *SampledPool) ExhaustedRetries() int64 { return s.exhausted }
 
 // randGridIndex draws a uniform index in [0, grid). gridOK=false
 // means the true grid size exceeds 2^64, so every uint64 is inside

@@ -86,6 +86,14 @@ type Options struct {
 	// pool-free "sampling" engine scores per acquisition; 0 means
 	// DefaultCandidateSamples.
 	CandidateSamples int
+	// Groups partitions the parameter space for the "grouped" engine:
+	// each inner slice names the parameters of one group (see
+	// ParseGroups for the flag syntax). Parameters named nowhere become
+	// singleton groups; unknown or repeated names are a construction
+	// error. Nil lets the engine auto-propose groups from the fitted
+	// surrogate's importance/interaction structure at the first
+	// model-guided fit. Engines other than "grouped" ignore it.
+	Groups [][]string
 	// Liar names the constant-liar policy ("min", "mean", "max"; empty
 	// = mean) assigning fantasy values to pending observations when the
 	// ask path runs with outstanding leases (see LiarPolicy). It only
@@ -488,6 +496,19 @@ func (t *Tuner) SampledPoolSize() int {
 		return 0
 	}
 	return t.sampled.Pool().Size()
+}
+
+// PoolExhaustedRetries reports how many times the sampled pool's
+// rejection sampling hit its retry bound and settled for a pool
+// smaller than the cap — the observable signal (surfaced in
+// SessionInfo and /metrics) that a constraint rejects most of the
+// grid, instead of a silently short pool. 0 when the tuner has no
+// sampled pool.
+func (t *Tuner) PoolExhaustedRetries() int64 {
+	if t.sampled == nil {
+		return 0
+	}
+	return t.sampled.ExhaustedRetries()
 }
 
 // RefreshPool redraws the sampled candidate pool (excluding evaluated

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/hpcautotune/hiperbot/internal/apps/compile40"
+	"github.com/hpcautotune/hiperbot/internal/core"
+)
+
+// The high-dimensional study behind README's "High-dimensional
+// spaces" table: flat TPE sampling vs the grouped factorized engine
+// on the 40-parameter compile40 app (2^48-point grid), where a joint
+// surrogate's pg draws almost never land two good coordinates in the
+// same sample.
+
+// GroupedSeedRow is one seed's best value at the budget under each
+// engine. Flat is the "sampling" engine; Grouped uses compile40's
+// published family grouping; Auto lets the engine propose groups from
+// importance and pairwise interactions.
+type GroupedSeedRow struct {
+	Seed    uint64
+	Flat    float64
+	Grouped float64
+	Auto    float64
+}
+
+// GroupedResult aggregates the per-seed races plus the steady-state
+// ask latency of each engine (model-guided steps only; the shared
+// initial phase is untimed).
+type GroupedResult struct {
+	Budget      int
+	Seeds       int
+	Rows        []GroupedSeedRow
+	GroupedWins int // seeds where Grouped < Flat (strictly better)
+	AutoWins    int // seeds where Auto < Flat
+	FlatAsk     time.Duration
+	GroupedAsk  time.Duration
+	AutoAsk     time.Duration
+}
+
+// GroupedComparison races the three engines seed-for-seed on
+// compile40 at a 200-evaluation budget. Seeds are capped at 10 (each
+// seed costs three full 200-evaluation runs; ten is what the
+// EXPERIMENTS.md claim is stated over) and run the fixed schedule
+// 1..N — the same convention the compile40 unit tests pin — so the
+// recorded table reproduces bit-for-bit regardless of -seed.
+func GroupedComparison(cfg Config) (*GroupedResult, error) {
+	cfg = cfg.withDefaults()
+	seeds := cfg.Repetitions
+	if seeds > 10 {
+		seeds = 10
+	}
+	const budget = 200
+	res := &GroupedResult{Budget: budget, Seeds: seeds}
+	var flatN, groupedN, autoN int
+	var flatT, groupedT, autoT time.Duration
+	for rep := 0; rep < seeds; rep++ {
+		seed := uint64(rep) + 1
+		flat, ft, fn, err := groupedRun("sampling", nil, seed, budget)
+		if err != nil {
+			return nil, err
+		}
+		grouped, gt, gn, err := groupedRun("grouped", compile40.Groups, seed, budget)
+		if err != nil {
+			return nil, err
+		}
+		auto, at, an, err := groupedRun("grouped", nil, seed, budget)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, GroupedSeedRow{Seed: seed, Flat: flat, Grouped: grouped, Auto: auto})
+		if grouped < flat {
+			res.GroupedWins++
+		}
+		if auto < flat {
+			res.AutoWins++
+		}
+		flatT += ft
+		groupedT += gt
+		autoT += at
+		flatN += fn
+		groupedN += gn
+		autoN += an
+	}
+	if flatN > 0 {
+		res.FlatAsk = flatT / time.Duration(flatN)
+	}
+	if groupedN > 0 {
+		res.GroupedAsk = groupedT / time.Duration(groupedN)
+	}
+	if autoN > 0 {
+		res.AutoAsk = autoT / time.Duration(autoN)
+	}
+	return res, nil
+}
+
+// groupedRun drives one tuner to the budget, timing only the
+// model-guided steps (the initial design is identical across engines
+// and would dilute the ask-latency comparison).
+func groupedRun(engine string, groups [][]string, seed uint64, budget int) (best float64, askTime time.Duration, asks int, err error) {
+	tn, err := core.NewTuner(compile40.Space(), compile40.Evaluate, core.Options{
+		Seed: seed, InitialSamples: 20, Engine: engine, Groups: groups,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err := tn.Run(20); err != nil {
+		return 0, 0, 0, err
+	}
+	for tn.Evaluations() < budget {
+		start := time.Now()
+		if _, err := tn.Step(); err != nil {
+			return 0, 0, 0, err
+		}
+		askTime += time.Since(start)
+		asks++
+	}
+	return tn.Best().Value, askTime, asks, nil
+}

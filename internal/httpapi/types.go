@@ -57,6 +57,14 @@ type SessionOptions struct {
 	// (pessimistic). Empty uses the server default (mean). Unknown
 	// values fail session creation with 400.
 	Liar string `json:"liar,omitempty"`
+	// Groups partitions the parameter space for the "grouped" strategy:
+	// each inner slice names the parameters of one group (the -groups
+	// flag syntax "a,b;c,d" parsed by core.ParseGroups). Parameters not
+	// mentioned become singleton groups. Empty lets the grouped engine
+	// auto-propose groups from importance and pairwise interactions;
+	// unknown or repeated names fail session creation with 400. Ignored
+	// by other strategies.
+	Groups [][]string `json:"groups,omitempty"`
 }
 
 // CreateSessionRequest creates a named tuning session.
@@ -162,6 +170,42 @@ type ImportanceEntry struct {
 	Score float64 `json:"score"`
 }
 
+// MarginalLevel is the surrogate's belief about one discrete level:
+// the good/bad probability masses and their ratio.
+type MarginalLevel struct {
+	Label string  `json:"label"`
+	Good  float64 `json:"good"`
+	Bad   float64 `json:"bad"`
+	// Lift is Good/Bad: values above 1 mark levels the model
+	// associates with good configurations.
+	Lift float64 `json:"lift"`
+}
+
+// MarginalReport summarizes one parameter's fitted densities, the
+// wire form of core.MarginalReport.
+type MarginalReport struct {
+	Param string `json:"param"`
+	// Importance is the Jensen-Shannon divergence between the good and
+	// bad marginal densities (paper eq. 13).
+	Importance float64 `json:"importance"`
+	// Levels holds per-level beliefs for discrete parameters, sorted by
+	// descending lift; empty for continuous parameters.
+	Levels []MarginalLevel `json:"levels,omitempty"`
+	// GoodPeak is, for continuous parameters, the grid point where the
+	// good density peaks.
+	GoodPeak float64 `json:"good_peak,omitempty"`
+}
+
+// ImportanceResponse is the GET /v1/sessions/{id}/importance payload:
+// per-parameter marginal reports sorted by descending importance.
+// Available only once the session has fitted a surrogate (enough
+// evaluations to leave the initial phase); 409 before that.
+type ImportanceResponse struct {
+	ID          string           `json:"id"`
+	Evaluations int              `json:"evaluations"`
+	Marginals   []MarginalReport `json:"marginals"`
+}
+
 // SessionInfo describes one session's progress.
 type SessionInfo struct {
 	ID             string `json:"id"`
@@ -178,7 +222,13 @@ type SessionInfo struct {
 	DuplicateSuggestions int64             `json:"duplicate_suggestions,omitempty"`
 	Best                 *Result           `json:"best,omitempty"`
 	Importance           []ImportanceEntry `json:"importance,omitempty"`
-	CreatedAt            string            `json:"created_at,omitempty"`
+	// PoolExhaustedRetries counts sampled-pool draws (initial and
+	// refresh) that hit their rejection-sampling retry bound and
+	// returned a pool smaller than the cap — a sign the space
+	// constraint rejects almost everything. Zero on sessions without a
+	// sampled pool.
+	PoolExhaustedRetries int64  `json:"pool_exhausted_retries,omitempty"`
+	CreatedAt            string `json:"created_at,omitempty"`
 	// SnapshotEvents counts the observations compacted into the
 	// session's on-disk snapshot; zero means the session has never been
 	// compacted and its journal holds the full history.
@@ -333,6 +383,9 @@ type MetricsResponse struct {
 	// DuplicateSuggestions sums SessionInfo.DuplicateSuggestions over
 	// sessions: candidates re-issued after their lease expired.
 	DuplicateSuggestions int64 `json:"duplicate_suggestions"`
+	// PoolExhaustedRetries sums SessionInfo.PoolExhaustedRetries over
+	// live sessions: sampled-pool draws that hit their retry bound.
+	PoolExhaustedRetries int64 `json:"pool_exhausted_retries"`
 	// HeapAllocMB is the daemon's live heap in MiB at snapshot time —
 	// the per-node memory column of multi-node experiments.
 	HeapAllocMB float64                    `json:"heap_alloc_mb"`

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/hpcautotune/hiperbot/internal/httpapi"
+	"github.com/hpcautotune/hiperbot/internal/space"
+)
+
+// groupedHTTPSpace is a 4-parameter grid with pair structure (a,b) and
+// (c,d) — small enough for fast HTTP tests, grouped enough for the
+// grouped engine to be meaningfully exercised.
+func groupedHTTPSpace() *space.Space {
+	return space.New(
+		space.DiscreteInts("a", 0, 1, 2, 3),
+		space.DiscreteInts("b", 0, 1, 2, 3),
+		space.DiscreteInts("c", 0, 1, 2, 3),
+		space.DiscreteInts("d", 0, 1, 2, 3),
+	)
+}
+
+func groupedHTTPValue(c space.Config) float64 {
+	v := 0.0
+	for p := 0; p < 4; p += 2 {
+		x, y := c[p], c[p+1]
+		v += (x-2)*(x-2) + (y-1)*(y-1)
+		if x == 2 && y != 1 {
+			v += 3
+		}
+	}
+	return v
+}
+
+// TestGroupedStrategySessionOverHTTP runs a grouped-strategy session
+// end-to-end — concurrent workers over HTTP, then a daemon restart —
+// checking that the groups option survives the journal round trip.
+// Run under -race in CI, it also exercises the grouped ask path under
+// concurrent suggest/observe.
+func TestGroupedStrategySessionOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	srv, store := newTestServer(t, dir)
+	sp := groupedHTTPSpace()
+	spJSON, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created httpapi.CreateSessionResponse
+	code := doJSON(t, srv, "POST", "/v1/sessions", httpapi.CreateSessionRequest{
+		Name: "grouped-e2e", Space: spJSON,
+		Options: httpapi.SessionOptions{
+			Seed: 3, InitialSamples: 6, Strategy: "grouped",
+			Groups: [][]string{{"a", "b"}, {"c", "d"}},
+		},
+	}, &created)
+	if code != http.StatusCreated {
+		t.Fatalf("create: HTTP %d", code)
+	}
+	id := created.ID
+
+	const budget = 40
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var info httpapi.SessionInfo
+				if code := doJSON(t, srv, "GET", "/v1/sessions/"+id, nil, &info); code != 200 {
+					t.Errorf("status: HTTP %d", code)
+					return
+				}
+				if info.Evaluations >= budget {
+					return
+				}
+				var sug httpapi.SuggestResponse
+				if code := doJSON(t, srv, "POST", "/v1/sessions/"+id+"/suggest",
+					httpapi.SuggestRequest{Count: 2}, &sug); code != 200 {
+					t.Errorf("suggest: HTTP %d", code)
+					return
+				}
+				if len(sug.Candidates) == 0 {
+					continue // another worker holds the remaining leases
+				}
+				var results []httpapi.Result
+				for _, cfg := range sug.Candidates {
+					c, err := sp.FromLabels(cfg)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					results = append(results, httpapi.Result{Config: cfg, Value: groupedHTTPValue(c)})
+				}
+				if code := doJSON(t, srv, "POST", "/v1/sessions/"+id+"/observe",
+					httpapi.ObserveRequest{Results: results}, nil); code != 200 {
+					t.Errorf("observe: HTTP %d", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var info httpapi.SessionInfo
+	if code := doJSON(t, srv, "GET", "/v1/sessions/"+id, nil, &info); code != 200 {
+		t.Fatalf("status: HTTP %d", code)
+	}
+	if info.Strategy != "grouped" {
+		t.Fatalf("strategy = %q, want grouped", info.Strategy)
+	}
+	if info.Evaluations < budget {
+		t.Fatalf("evaluations = %d, want >= %d", info.Evaluations, budget)
+	}
+	if info.Best == nil {
+		t.Fatal("no best after driving the session")
+	}
+
+	// Restart: the groups spec lives in the journal header, so the
+	// resumed session must come back with the grouped engine intact and
+	// keep serving suggestions.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, store2 := newTestServer(t, dir)
+	defer store2.Close()
+	var resumed httpapi.SessionInfo
+	if code := doJSON(t, srv2, "GET", "/v1/sessions/"+id, nil, &resumed); code != 200 {
+		t.Fatalf("status after restart: HTTP %d", code)
+	}
+	if resumed.Strategy != "grouped" || resumed.Evaluations != info.Evaluations {
+		t.Fatalf("resumed (strategy %q, evals %d), want (grouped, %d)",
+			resumed.Strategy, resumed.Evaluations, info.Evaluations)
+	}
+	var sug httpapi.SuggestResponse
+	if code := doJSON(t, srv2, "POST", "/v1/sessions/"+id+"/suggest",
+		httpapi.SuggestRequest{Count: 1}, &sug); code != 200 {
+		t.Fatalf("suggest after restart: HTTP %d", code)
+	}
+	if len(sug.Candidates) == 0 {
+		t.Fatal("resumed grouped session suggested nothing")
+	}
+}
+
+// TestImportanceEndpoint: 409 while the surrogate is unfitted (initial
+// phase), then per-parameter marginals sorted by descending importance
+// once the session is model-guided.
+func TestImportanceEndpoint(t *testing.T) {
+	srv, store := newTestServer(t, "")
+	defer store.Close()
+	id := createTestSession(t, srv, "imp", httpapi.SessionOptions{Seed: 7, InitialSamples: 6})
+
+	if code := doJSON(t, srv, "GET", "/v1/sessions/"+id+"/importance", nil, nil); code != http.StatusConflict {
+		t.Fatalf("importance during initial phase: HTTP %d, want 409", code)
+	}
+	drive(t, srv, id, 12, 2)
+
+	var resp httpapi.ImportanceResponse
+	if code := doJSON(t, srv, "GET", "/v1/sessions/"+id+"/importance", nil, &resp); code != 200 {
+		t.Fatalf("importance: HTTP %d", code)
+	}
+	if resp.ID != id || resp.Evaluations != 12 {
+		t.Fatalf("response header = (%q, %d), want (%q, 12)", resp.ID, resp.Evaluations, id)
+	}
+	if len(resp.Marginals) != 2 {
+		t.Fatalf("marginals for %d params, want 2", len(resp.Marginals))
+	}
+	for i, m := range resp.Marginals {
+		if i > 0 && m.Importance > resp.Marginals[i-1].Importance {
+			t.Fatalf("marginals not sorted by descending importance: %v", resp.Marginals)
+		}
+		if len(m.Levels) != 4 {
+			t.Fatalf("parameter %q has %d level beliefs, want 4", m.Param, len(m.Levels))
+		}
+	}
+
+	if code := doJSON(t, srv, "GET", "/v1/sessions/nosuch/importance", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("importance on unknown session: HTTP %d, want 404", code)
+	}
+}
+
+// TestCreateRejectsBadGroups: a groups spec naming an unknown or
+// repeated parameter fails creation with 400 before anything is
+// journaled.
+func TestCreateRejectsBadGroups(t *testing.T) {
+	dir := t.TempDir()
+	srv, store := newTestServer(t, dir)
+	defer store.Close()
+	for _, groups := range [][][]string{
+		{{"x", "nosuch"}},
+		{{"x", "y"}, {"y"}},
+	} {
+		code := doJSON(t, srv, "POST", "/v1/sessions", httpapi.CreateSessionRequest{
+			Name: "bad-groups", Space: testSpaceJSON(t),
+			Options: httpapi.SessionOptions{Strategy: "grouped", Groups: groups},
+		}, nil)
+		if code != http.StatusBadRequest {
+			t.Fatalf("create with groups %v: HTTP %d, want 400", groups, code)
+		}
+	}
+	if store.Len() != 0 {
+		t.Fatalf("rejected sessions were stored (%d)", store.Len())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Fatalf("rejected create left %s behind", filepath.Join(dir, e.Name()))
+	}
+}

@@ -76,6 +76,7 @@ func (m *Metrics) Snapshot(ss StoreStats) httpapi.MetricsResponse {
 		Evaluations:              ss.Evaluations,
 		PendingLeases:            ss.PendingLeases,
 		DuplicateSuggestions:     ss.DuplicateSuggestions,
+		PoolExhaustedRetries:     ss.PoolExhaustedRetries,
 		EvictionsTotal:           ss.Evictions,
 		RehydrationsTotal:        ss.Rehydrations,
 		SnapshotCompactionsTotal: ss.Compactions,

@@ -78,6 +78,7 @@ func New(store *Store, logger *log.Logger) *Server {
 	s.route("POST /v1/sessions", "create", s.handleCreate)
 	s.route("GET /v1/sessions", "list", s.handleList)
 	s.route("GET /v1/sessions/{id}", "status", s.owned(s.handleStatus))
+	s.route("GET /v1/sessions/{id}/importance", "importance", s.owned(s.handleImportance))
 	s.route("DELETE /v1/sessions/{id}", "delete", s.owned(s.handleDelete))
 	s.route("POST /v1/sessions/{id}/suggest", "suggest", s.owned(s.handleSuggest))
 	s.route("POST /v1/sessions/{id}/renew", "renew", s.owned(s.handleRenew))
@@ -213,6 +214,41 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) (int, erro
 		return http.StatusNotFound, err
 	}
 	writeJSON(w, http.StatusOK, sess.Info())
+	return http.StatusOK, nil
+}
+
+// handleImportance serves the per-parameter marginal reports of a
+// session's fitted surrogate, sorted by descending importance. 409
+// while the session is still collecting initial samples (there is no
+// surrogate to report yet) or when the engine has no marginal view.
+func (s *Server) handleImportance(w http.ResponseWriter, r *http.Request) (int, error) {
+	var resp httpapi.ImportanceResponse
+	var notReady error
+	err := s.store.WithSession(r.PathValue("id"), func(sess *Session) error {
+		reports, err := sess.Marginals()
+		if err != nil {
+			return err
+		}
+		if reports == nil {
+			notReady = fmt.Errorf("server: session %s has no fitted surrogate yet (still in the initial phase, or a model without marginals)", sess.ID())
+			return nil
+		}
+		resp = httpapi.ImportanceResponse{
+			ID:          sess.ID(),
+			Evaluations: sess.Snapshot().Evaluations,
+			Marginals:   reports,
+		}
+		return nil
+	})
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, err
+	case err != nil:
+		return http.StatusInternalServerError, err
+	case notReady != nil:
+		return http.StatusConflict, notReady
+	}
+	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
 }
 

@@ -375,6 +375,7 @@ func (s *Session) baseInfoLocked(now time.Time) *httpapi.SessionInfo {
 		CreatedAt:      s.created.UTC().Format(time.RFC3339),
 
 		DuplicateSuggestions: s.at.DuplicateSuggestions(),
+		PoolExhaustedRetries: t.PoolExhaustedRetries(),
 		Evicted:              s.evicted,
 	}
 	if s.snapBase > 0 {
@@ -410,6 +411,52 @@ func (s *Session) publishLocked(now time.Time) {
 		}
 	}
 	s.snap.Store(info)
+}
+
+// Marginals fits the session's model on the current history and
+// returns per-parameter marginal reports sorted by descending
+// importance — the GET /v1/sessions/{id}/importance payload. It
+// returns nil (no error) while the session is still in its initial
+// phase or when the engine's model defines no marginals (e.g.
+// "random"). It takes the write lock: the fit mutates tuner-owned
+// state, though the generation cache makes repeat calls between
+// evaluations free.
+func (s *Session) Marginals() ([]httpapi.MarginalReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.evicted {
+		return nil, ErrEvicted
+	}
+	if s.at.InitialPhase() {
+		return nil, nil
+	}
+	t := s.at.Tuner()
+	// Importance fits the model (generation-cached); its scores are
+	// folded into each report by Marginals itself.
+	if _, err := t.Importance(); err != nil {
+		return nil, err
+	}
+	m, ok := t.Model().(core.Marginaler)
+	if !ok {
+		return nil, nil
+	}
+	reports := m.Marginals()
+	out := make([]httpapi.MarginalReport, len(reports))
+	for i, r := range reports {
+		wire := httpapi.MarginalReport{
+			Param:      r.Param,
+			Importance: r.Importance,
+			GoodPeak:   r.GoodPeak,
+		}
+		for _, l := range r.Levels {
+			wire.Levels = append(wire.Levels, httpapi.MarginalLevel{
+				Label: l.Label, Good: l.Good, Bad: l.Bad, Lift: l.Lift,
+			})
+		}
+		out[i] = wire
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Importance > out[b].Importance })
+	return out, nil
 }
 
 // frontLocked renders the current nondominated set as wire Results, in

@@ -421,6 +421,12 @@ func (st *Store) newSession(id string, sp *space.Space, opts httpapi.SessionOpti
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	// Group specs are likewise validated against the space before the
+	// journal header is written: an unknown or repeated parameter name
+	// fails creation with 400 and never leaves an unresumable journal.
+	if err := core.ValidateGroups(sp, opts.Groups); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	sess := &Session{id: id, sp: sp, opts: opts, objs: objs, created: created, store: st, spaceJSON: spaceJSON}
 	if journalPath != "" {
 		f, err := openJournal(journalPath)
@@ -748,6 +754,7 @@ type StoreStats struct {
 	Evaluations          int64
 	PendingLeases        int
 	DuplicateSuggestions int64
+	PoolExhaustedRetries int64
 	Evictions            int64
 	Rehydrations         int64
 	Compactions          int64
@@ -771,11 +778,13 @@ func (st *Store) Stats() StoreStats {
 			out.Evaluations += int64(snap.Evaluations)
 			out.PendingLeases += snap.ActiveLeases
 			out.DuplicateSuggestions += snap.DuplicateSuggestions
+			out.PoolExhaustedRetries += snap.PoolExhaustedRetries
 		}
 		for _, stb := range sh.stubs {
 			out.Sessions++
 			out.Evaluations += int64(stb.info.Evaluations)
 			out.DuplicateSuggestions += stb.info.DuplicateSuggestions
+			out.PoolExhaustedRetries += stb.info.PoolExhaustedRetries
 		}
 		sh.mu.RUnlock()
 	}
@@ -932,6 +941,7 @@ func coreOptions(o httpapi.SessionOptions) (core.Options, error) {
 		PoolCap:            o.PoolCap,
 		CandidateSamples:   o.CandidateSamples,
 		Liar:               o.Liar,
+		Groups:             o.Groups,
 		Surrogate:          coreSurrogateConfig(o),
 	}
 	if o.CandidateSamples < 0 {
